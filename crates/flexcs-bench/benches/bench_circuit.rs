@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the circuit simulator: DC solve rate,
+//! transient step rate and AC sweeps on the paper's blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexcs_circuit::{
+    build_self_biased_amplifier, AmplifierConfig, CellLibrary, Circuit, NodeId,
+    TransientConfig, Waveform,
+};
+use std::hint::black_box;
+
+fn inverter_circuit() -> Circuit {
+    let mut ckt = Circuit::new();
+    let lib = CellLibrary::with_rails(&mut ckt, 3.0, -3.0);
+    let input = ckt.node("in");
+    ckt.add_vsource(input, NodeId::GROUND, Waveform::Dc(1.5));
+    lib.inverter(&mut ckt, input).unwrap();
+    ckt
+}
+
+fn amplifier_circuit() -> (Circuit, flexcs_circuit::ElementId) {
+    let mut ckt = Circuit::new();
+    let lib = CellLibrary::with_rails(&mut ckt, 3.0, -3.0);
+    let _amp =
+        build_self_biased_amplifier(&mut ckt, &lib, "vin", &AmplifierConfig::default()).unwrap();
+    let vin = ckt.find_node("vin").unwrap();
+    let src = ckt.add_vsource(vin, NodeId::GROUND, Waveform::Dc(0.0));
+    (ckt, src)
+}
+
+fn bench_dc(c: &mut Criterion) {
+    let ckt = inverter_circuit();
+    c.bench_function("dc_pseudo_cmos_inverter", |b| {
+        b.iter(|| black_box(&ckt).dc_operating_point().unwrap())
+    });
+    let (amp, _) = amplifier_circuit();
+    c.bench_function("dc_self_biased_amplifier", |b| {
+        b.iter(|| black_box(&amp).dc_operating_point().unwrap())
+    });
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient");
+    group.sample_size(10);
+    let mut ckt = Circuit::new();
+    let lib = CellLibrary::with_rails(&mut ckt, 3.0, -3.0);
+    let input = ckt.node("in");
+    ckt.add_vsource(input, NodeId::GROUND, Waveform::clock(0.0, 3.0, 10e3));
+    let buf = lib.buffer(&mut ckt, input).unwrap();
+    let _ = buf;
+    let config = TransientConfig::new(2e-4, 1e-6); // two clock periods
+    group.bench_function("buffer_200_steps", |b| {
+        b.iter(|| black_box(&ckt).transient(&config).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_ac(c: &mut Criterion) {
+    let (ckt, src) = amplifier_circuit();
+    let freqs: Vec<f64> = (0..20).map(|i| 100.0 * 1.6f64.powi(i)).collect();
+    c.bench_function("ac_amplifier_20_points", |b| {
+        b.iter(|| black_box(&ckt).ac_sweep(src, &freqs).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_dc, bench_transient, bench_ac);
+criterion_main!(benches);

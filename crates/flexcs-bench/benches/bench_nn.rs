@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the CNN substrate: inference and one
+//! training step of the tactile ResNet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexcs_nn::{
+    build_tactile_resnet, cross_entropy_with_logits, tensor_from_frame, Adam, Layer,
+};
+use flexcs_datasets::{tactile_frame, TactileConfig};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resnet8_32x32");
+    group.sample_size(20);
+    let mut net = build_tactile_resnet(26, 8, 1);
+    let frame = tactile_frame(&TactileConfig::default(), 7, 3);
+    let x = tensor_from_frame(&frame);
+    group.bench_function("forward", |b| {
+        b.iter(|| net.forward(black_box(&x), false))
+    });
+    group.bench_function("train_step", |b| {
+        let mut opt = Adam::new(1e-3);
+        b.iter(|| {
+            net.zero_grads();
+            let logits = net.forward(black_box(&x), true);
+            let (_, grad) = cross_entropy_with_logits(&logits, 7);
+            net.backward(&grad);
+            opt.step(&mut net);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

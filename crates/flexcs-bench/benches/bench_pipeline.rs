@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the end-to-end robust-sensing pipeline —
+//! the per-frame decoding cost a silicon host would pay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexcs_core::{run_experiment, Decoder, ExperimentConfig, SamplingPlan};
+use flexcs_datasets::{normalize_unit, thermal_frame, ThermalConfig};
+use std::hint::black_box;
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruct");
+    group.sample_size(10);
+    for &n in &[16usize, 32] {
+        let cfg = ThermalConfig {
+            rows: n,
+            cols: n,
+            ..ThermalConfig::default()
+        };
+        let frame = normalize_unit(&thermal_frame(&cfg, 3));
+        let m = n * n / 2;
+        let plan = SamplingPlan::random_subset(n * n, m, &[], 1).unwrap();
+        let y = plan.measure(&frame.to_flat());
+        let decoder = Decoder::default();
+        group.bench_with_input(BenchmarkId::new("fista_50pct", n), &n, |b, _| {
+            b.iter(|| {
+                decoder
+                    .reconstruct(n, n, black_box(plan.selected()), black_box(&y))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    let frame = thermal_frame(&ThermalConfig::default(), 9);
+    let config = ExperimentConfig::default();
+    group.bench_function("fig6a_point_32x32", |b| {
+        b.iter(|| run_experiment(black_box(&frame), &config).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconstruct, bench_full_experiment);
+criterion_main!(benches);

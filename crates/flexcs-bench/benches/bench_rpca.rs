@@ -1,0 +1,36 @@
+//! Criterion benchmarks for RPCA and the SVD that dominates it (the
+//! Fig. 6c outlier-detection strategy's cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexcs_core::{rpca, RpcaConfig, SparseErrorModel};
+use flexcs_datasets::{normalize_unit, thermal_frame, ThermalConfig};
+use flexcs_linalg::{Matrix, Svd};
+use std::hint::black_box;
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    for &n in &[16usize, 32, 64] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) as f64 * 0.013).sin());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Svd::compute(black_box(&a)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_rpca(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpca_32x32");
+    group.sample_size(10);
+    let cfg = ThermalConfig::default();
+    let truth = normalize_unit(&thermal_frame(&cfg, 5));
+    let (corrupted, _) = SparseErrorModel::new(0.08).unwrap().corrupt(&truth, 3);
+    let mut rpca_cfg = RpcaConfig::default();
+    rpca_cfg.tol = 1e-6;
+    group.bench_function("decompose_8pct_errors", |b| {
+        b.iter(|| rpca(black_box(&corrupted), &rpca_cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd, bench_rpca);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the transform layer: DCT throughput
+//! determines the decoder's per-iteration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexcs_linalg::Matrix;
+use flexcs_transform::{fast_dct2_orthonormal, Dct2d, DctPlan};
+use std::hint::black_box;
+
+fn bench_dct_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dct1d");
+    for &n in &[32usize, 128, 512] {
+        let plan = DctPlan::new(n).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("plan", n), &n, |b, _| {
+            b.iter(|| plan.forward(black_box(&x)).unwrap())
+        });
+        if n.is_power_of_two() {
+            group.bench_with_input(BenchmarkId::new("fast_lee", n), &n, |b, _| {
+                b.iter(|| fast_dct2_orthonormal(black_box(&x)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_dct_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dct2d");
+    for &n in &[16usize, 32, 64] {
+        let plan = Dct2d::new(n, n).unwrap();
+        let frame = Matrix::from_fn(n, n, |i, j| ((i * j) as f64 * 0.01).cos());
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| plan.forward(black_box(&frame)).unwrap())
+        });
+        let coeffs = plan.forward(&frame).unwrap();
+        group.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter(|| plan.inverse(black_box(&coeffs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dct_1d, bench_dct_2d);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates paper Fig. 6a: temperature-imaging RMSE with/without CS
+//! under 0–20 % sparse errors at 45–60 % sampling.
+//!
+//! Run with: `cargo run --release -p flexcs-bench --bin fig6a_rmse`
+
+use flexcs_bench::{f4, fig6a_sweep, pct, print_table};
+use flexcs_datasets::{thermal_frames, ThermalConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 2020;
+    let frame_count = 8;
+    println!(
+        "Fig. 6a — RMSE w/ and w/o compressed sensing ({} thermal frames, 32x32, seed {seed})\n",
+        frame_count
+    );
+    let frames = thermal_frames(&ThermalConfig::default(), frame_count, seed);
+    let samplings = [0.45, 0.50, 0.55, 0.60];
+    let errors = [0.0, 0.03, 0.05, 0.10, 0.15, 0.20];
+    let rows = fig6a_sweep(&frames, &samplings, &errors, seed)?;
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                pct(r.sampling),
+                pct(r.errors),
+                f4(r.rmse_cs),
+                f4(r.rmse_raw),
+            ]
+        })
+        .collect();
+    print_table(&["sampling", "errors", "rmse w/ cs", "rmse w/o cs"], &table);
+
+    // Paper-shape checks printed as a summary.
+    let at = |s: f64, e: f64| {
+        rows.iter()
+            .find(|r| (r.sampling - s).abs() < 1e-9 && (r.errors - e).abs() < 1e-9)
+            .expect("grid point exists")
+    };
+    println!("\nshape checks (paper Fig. 6a):");
+    let headline = at(0.50, 0.10);
+    println!(
+        "  10% errors @ 50% sampling: raw {:.3} -> cs {:.3} (paper: 0.20 -> 0.05)",
+        headline.rmse_raw, headline.rmse_cs
+    );
+    let r45 = at(0.45, 0.05).rmse_cs;
+    let r60 = at(0.60, 0.05).rmse_cs;
+    println!(
+        "  rmse falls with sampling: {:.4} @45% -> {:.4} @60% ({})",
+        r45,
+        r60,
+        if r60 < r45 { "ok" } else { "MISMATCH" }
+    );
+    let e0 = at(0.55, 0.0).rmse_cs;
+    let e20 = at(0.55, 0.20).rmse_cs;
+    println!(
+        "  rmse rises only slightly to 20% errors: {:.4} -> {:.4} ({})",
+        e0,
+        e20,
+        if e20 < e0 + 0.06 { "ok" } else { "MISMATCH" }
+    );
+    Ok(())
+}

@@ -1,0 +1,456 @@
+//! Behavioral active-matrix array with defect injection.
+//!
+//! The transistor-level pixel ([`crate::read_pixel_current`]) is exact
+//! but a full frame would need thousands of DC solves per read. This
+//! module calibrates the pixel's temperature→current transfer once at
+//! the circuit level and then reads whole frames behaviorally: linear
+//! transfer + per-pixel gain variation + readout noise + stuck defects —
+//! the device non-idealities the paper's robustness study targets
+//! ("device defects/transient errors … usually show extreme results
+//! either very high or almost zero currents").
+
+use crate::error::{CircuitError, Result};
+use crate::scan::ScanSchedule;
+use crate::sensor::{linearity_fit, pixel_temperature_sweep, PixelBias, PtSensorModel};
+
+/// Per-pixel defect state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PixelDefect {
+    /// Healthy pixel.
+    #[default]
+    None,
+    /// Open circuit / dead device: reads almost zero current.
+    StuckLow,
+    /// Shorted device: reads a very high current.
+    StuckHigh,
+}
+
+/// Pixel transfer calibration: `i = slope·t + intercept`, extracted from
+/// a transistor-level temperature sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PixelCalibration {
+    /// Current-per-degree slope, A/°C.
+    pub slope: f64,
+    /// Zero-temperature intercept, A.
+    pub intercept: f64,
+    /// Fit quality from the underlying sweep.
+    pub r_squared: f64,
+}
+
+impl PixelCalibration {
+    /// Runs the transistor-level sweep over `[t_min, t_max]` and fits
+    /// the linear transfer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-simulation failures, or
+    /// [`CircuitError::InvalidParameter`] if the fitted transfer is
+    /// degenerate.
+    pub fn from_circuit(
+        sensor: &PtSensorModel,
+        bias: &PixelBias,
+        t_min: f64,
+        t_max: f64,
+    ) -> Result<Self> {
+        let sweep = pixel_temperature_sweep(sensor, bias, t_min, t_max, 9)?;
+        let (slope, intercept, r_squared) = linearity_fit(&sweep);
+        if slope == 0.0 {
+            return Err(CircuitError::InvalidParameter(
+                "pixel transfer has zero slope; check bias".to_string(),
+            ));
+        }
+        Ok(PixelCalibration {
+            slope,
+            intercept,
+            r_squared,
+        })
+    }
+
+    /// Current produced at temperature `t`.
+    pub fn current_at(&self, t: f64) -> f64 {
+        self.slope * t + self.intercept
+    }
+
+    /// Temperature recovered from a measured current.
+    pub fn temperature_at(&self, i: f64) -> f64 {
+        (i - self.intercept) / self.slope
+    }
+}
+
+/// Configuration of the behavioral array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveMatrixConfig {
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Temperature range represented by normalized frame values `[0, 1]`.
+    pub t_range: (f64, f64),
+    /// Relative per-pixel gain mismatch (std of a multiplicative factor).
+    pub gain_mismatch: f64,
+    /// Additive readout-current noise, relative to full scale.
+    pub readout_noise: f64,
+}
+
+impl Default for ActiveMatrixConfig {
+    /// 32x32 array spanning 20–40 °C with 0.5 % gain mismatch and
+    /// 0.2 % readout noise.
+    fn default() -> Self {
+        ActiveMatrixConfig {
+            rows: 32,
+            cols: 32,
+            t_range: (20.0, 40.0),
+            gain_mismatch: 0.005,
+            readout_noise: 0.002,
+        }
+    }
+}
+
+/// Small deterministic RNG so the array's mismatch/defect pattern and
+/// readout noise are reproducible without external dependencies.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e3779b97f4a7c15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1 = self.uniform().max(1e-300);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// A behavioral large-area sensing array.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_circuit::{ActiveMatrix, ActiveMatrixConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut config = ActiveMatrixConfig::default();
+/// config.rows = 8;
+/// config.cols = 8;
+/// let array = ActiveMatrix::new(config)?;
+/// // A uniform 30 °C scene reads back near 0.5 in normalized units.
+/// let frame = vec![0.5; 64];
+/// let reading = array.read_normalized(&frame, 1)?;
+/// assert!((reading[10] - 0.5).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActiveMatrix {
+    config: ActiveMatrixConfig,
+    calibration: PixelCalibration,
+    defects: Vec<PixelDefect>,
+    gains: Vec<f64>,
+}
+
+impl ActiveMatrix {
+    /// Builds an array, calibrating the pixel transfer at the
+    /// transistor level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for zero dimensions
+    /// and propagates calibration failures.
+    pub fn new(config: ActiveMatrixConfig) -> Result<Self> {
+        Self::with_seed(config, 0x5eed)
+    }
+
+    /// Like [`ActiveMatrix::new`] with an explicit mismatch seed.
+    ///
+    /// # Errors
+    ///
+    /// See [`ActiveMatrix::new`].
+    pub fn with_seed(config: ActiveMatrixConfig, seed: u64) -> Result<Self> {
+        if config.rows == 0 || config.cols == 0 {
+            return Err(CircuitError::InvalidParameter(
+                "array needs positive dimensions".to_string(),
+            ));
+        }
+        if config.t_range.1 <= config.t_range.0 {
+            return Err(CircuitError::InvalidParameter(
+                "t_range must be increasing".to_string(),
+            ));
+        }
+        let calibration = PixelCalibration::from_circuit(
+            &PtSensorModel::default(),
+            &PixelBias::default(),
+            config.t_range.0,
+            config.t_range.1,
+        )?;
+        let n = config.rows * config.cols;
+        let mut rng = Rng::new(seed);
+        let gains = (0..n)
+            .map(|_| 1.0 + config.gain_mismatch * rng.gaussian())
+            .collect();
+        Ok(ActiveMatrix {
+            config,
+            calibration,
+            defects: vec![PixelDefect::None; n],
+            gains,
+        })
+    }
+
+    /// Array configuration.
+    pub fn config(&self) -> &ActiveMatrixConfig {
+        &self.config
+    }
+
+    /// Pixel calibration in use.
+    pub fn calibration(&self) -> &PixelCalibration {
+        &self.calibration
+    }
+
+    /// Pixel count `N`.
+    pub fn len(&self) -> usize {
+        self.defects.len()
+    }
+
+    /// `true` for an empty array (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.defects.is_empty()
+    }
+
+    /// Current defect map.
+    pub fn defects(&self) -> &[PixelDefect] {
+        &self.defects
+    }
+
+    /// Indices of defective pixels.
+    pub fn defective_indices(&self) -> Vec<usize> {
+        self.defects
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d != PixelDefect::None)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Sets one pixel's defect state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn set_defect(&mut self, index: usize, defect: PixelDefect) {
+        self.defects[index] = defect;
+    }
+
+    /// Injects random stuck defects on `fraction` of the pixels (half
+    /// low, half high in expectation), per the paper's sparse-error
+    /// model.
+    pub fn inject_defects(&mut self, fraction: f64, seed: u64) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let n = self.len();
+        let count = ((n as f64) * fraction).round() as usize;
+        let mut rng = Rng::new(seed ^ 0xdefec7);
+        // Sample distinct indices by shuffling.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            idx.swap(i, j);
+        }
+        for &i in idx.iter().take(count) {
+            self.defects[i] = if rng.uniform() < 0.5 {
+                PixelDefect::StuckLow
+            } else {
+                PixelDefect::StuckHigh
+            };
+        }
+    }
+
+    /// Reads the full frame. `scene` holds normalized `[0, 1]` pixel
+    /// values (row-major); the return is the normalized measured frame,
+    /// with defects showing as 0/1 extremes and healthy pixels carrying
+    /// gain mismatch + readout noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] when `scene.len()`
+    /// differs from the pixel count.
+    pub fn read_normalized(&self, scene: &[f64], seed: u64) -> Result<Vec<f64>> {
+        let order: Vec<usize> = (0..self.len()).collect();
+        self.read_indices(scene, &order, seed)
+    }
+
+    /// Reads only the pixels a [`ScanSchedule`] selects, in readout
+    /// order — the measurement vector `Φ_M·y` the CS decoder consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for a scene-length
+    /// mismatch or a schedule shaped differently from the array.
+    pub fn read_scheduled(
+        &self,
+        scene: &[f64],
+        schedule: &ScanSchedule,
+        seed: u64,
+    ) -> Result<Vec<f64>> {
+        if schedule.rows() != self.config.rows || schedule.cols() != self.config.cols {
+            return Err(CircuitError::InvalidParameter(format!(
+                "schedule is {}x{} but array is {}x{}",
+                schedule.rows(),
+                schedule.cols(),
+                self.config.rows,
+                self.config.cols
+            )));
+        }
+        self.read_indices(scene, &schedule.readout_order(), seed)
+    }
+
+    fn read_indices(&self, scene: &[f64], indices: &[usize], seed: u64) -> Result<Vec<f64>> {
+        let n = self.len();
+        if scene.len() != n {
+            return Err(CircuitError::InvalidParameter(format!(
+                "scene has {} pixels, array has {n}",
+                scene.len()
+            )));
+        }
+        let (t0, t1) = self.config.t_range;
+        let full_scale = (self.calibration.current_at(t1) - self.calibration.current_at(t0)).abs();
+        let mut rng = Rng::new(seed ^ 0x4ead);
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let v = match self.defects[i] {
+                PixelDefect::StuckLow => 0.0,
+                PixelDefect::StuckHigh => 1.0,
+                PixelDefect::None => {
+                    // Scene value → temperature → current → (mismatched,
+                    // noisy) measurement → temperature → normalized.
+                    // Pixels are offset-calibrated at `t0` (the paper's
+                    // flow tests the array before use), so the residual
+                    // gain mismatch applies to the signal span only.
+                    let t = t0 + scene[i].clamp(0.0, 1.0) * (t1 - t0);
+                    let ideal = self.calibration.current_at(t);
+                    let i_ref = self.calibration.current_at(t0);
+                    let measured = i_ref
+                        + (ideal - i_ref) * self.gains[i]
+                        + full_scale * self.config.readout_noise * rng.gaussian();
+                    let t_est = self.calibration.temperature_at(measured);
+                    (t_est - t0) / (t1 - t0)
+                }
+            };
+            out.push(v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_array() -> ActiveMatrix {
+        let config = ActiveMatrixConfig {
+            rows: 8,
+            cols: 8,
+            ..ActiveMatrixConfig::default()
+        };
+        ActiveMatrix::new(config).unwrap()
+    }
+
+    #[test]
+    fn calibration_is_linear_and_invertible() {
+        let array = small_array();
+        let cal = array.calibration();
+        assert!(cal.r_squared > 0.99);
+        let i = cal.current_at(33.0);
+        assert!((cal.temperature_at(i) - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn healthy_read_tracks_scene() {
+        let array = small_array();
+        let scene: Vec<f64> = (0..64).map(|i| (i % 8) as f64 / 7.0).collect();
+        let read = array.read_normalized(&scene, 3).unwrap();
+        for (s, r) in scene.iter().zip(&read) {
+            assert!((s - r).abs() < 0.08, "scene {s} read {r}");
+        }
+    }
+
+    #[test]
+    fn read_is_deterministic_per_seed() {
+        let array = small_array();
+        let scene = vec![0.4; 64];
+        assert_eq!(
+            array.read_normalized(&scene, 9).unwrap(),
+            array.read_normalized(&scene, 9).unwrap()
+        );
+        assert_ne!(
+            array.read_normalized(&scene, 9).unwrap(),
+            array.read_normalized(&scene, 10).unwrap()
+        );
+    }
+
+    #[test]
+    fn defects_read_extreme_values() {
+        let mut array = small_array();
+        array.set_defect(5, PixelDefect::StuckLow);
+        array.set_defect(6, PixelDefect::StuckHigh);
+        let scene = vec![0.5; 64];
+        let read = array.read_normalized(&scene, 1).unwrap();
+        assert_eq!(read[5], 0.0);
+        assert_eq!(read[6], 1.0);
+        assert!((read[7] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn inject_defects_hits_requested_fraction() {
+        let mut array = small_array();
+        array.inject_defects(0.25, 7);
+        let bad = array.defective_indices().len();
+        assert_eq!(bad, 16);
+        // Both polarities appear.
+        let lows = array
+            .defects()
+            .iter()
+            .filter(|d| **d == PixelDefect::StuckLow)
+            .count();
+        assert!(lows > 0 && lows < bad);
+    }
+
+    #[test]
+    fn scheduled_read_matches_full_read_subset() {
+        let mut array = small_array();
+        array.set_defect(9, PixelDefect::StuckHigh);
+        let scene: Vec<f64> = (0..64).map(|i| (i as f64) / 63.0).collect();
+        let schedule =
+            crate::scan::ScanSchedule::from_selected(8, 8, &[2, 9, 17, 33]).unwrap();
+        let order = schedule.readout_order();
+        let sel = array.read_scheduled(&scene, &schedule, 5).unwrap();
+        assert_eq!(sel.len(), 4);
+        // Stuck pixel shows its extreme wherever it lands in the order.
+        let pos = order.iter().position(|&i| i == 9).unwrap();
+        assert_eq!(sel[pos], 1.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let array = small_array();
+        assert!(array.read_normalized(&vec![0.0; 5], 1).is_err());
+        let wrong = crate::scan::ScanSchedule::from_selected(4, 4, &[1]).unwrap();
+        assert!(array.read_scheduled(&vec![0.0; 64], &wrong, 1).is_err());
+        let bad_cfg = ActiveMatrixConfig {
+            rows: 0,
+            ..ActiveMatrixConfig::default()
+        };
+        assert!(ActiveMatrix::new(bad_cfg).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for circuit construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by netlist building and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A node name was used inconsistently or an index was out of range.
+    UnknownNode(String),
+    /// An element parameter was invalid (non-positive resistance, …).
+    InvalidElement(String),
+    /// Newton iteration failed to converge at a DC operating point.
+    DcNotConverged {
+        /// Newton iterations attempted.
+        iterations: usize,
+        /// Final residual norm (amps).
+        residual: f64,
+    },
+    /// A transient step failed to converge.
+    TransientStepFailed {
+        /// Simulation time of the failed step, in seconds.
+        time: f64,
+    },
+    /// The system matrix was singular (floating node, short loop, …).
+    SingularMatrix,
+    /// A simulation parameter was invalid.
+    InvalidParameter(String),
+    /// Inner linear algebra failure.
+    Linalg(flexcs_linalg::LinalgError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
+            CircuitError::InvalidElement(msg) => write!(f, "invalid element: {msg}"),
+            CircuitError::DcNotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "dc operating point did not converge after {iterations} iterations (residual {residual:.3e} A)"
+            ),
+            CircuitError::TransientStepFailed { time } => {
+                write!(f, "transient step failed at t = {time:.3e} s")
+            }
+            CircuitError::SingularMatrix => {
+                write!(f, "singular system matrix (floating node or source loop)")
+            }
+            CircuitError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CircuitError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flexcs_linalg::LinalgError> for CircuitError {
+    fn from(e: flexcs_linalg::LinalgError) -> Self {
+        match e {
+            flexcs_linalg::LinalgError::Singular { .. } => CircuitError::SingularMatrix,
+            other => CircuitError::Linalg(other),
+        }
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CircuitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CircuitError::UnknownNode("x7".into())
+            .to_string()
+            .contains("x7"));
+        assert!(CircuitError::DcNotConverged {
+            iterations: 50,
+            residual: 1e-3
+        }
+        .to_string()
+        .contains("50"));
+    }
+
+    #[test]
+    fn singular_linalg_maps_to_singular_matrix() {
+        let e: CircuitError = flexcs_linalg::LinalgError::Singular { pivot: 3 }.into();
+        assert_eq!(e, CircuitError::SingularMatrix);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

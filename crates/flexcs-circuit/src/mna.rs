@@ -1,0 +1,519 @@
+//! Modified nodal analysis: stamps, Newton iteration and DC solves.
+//!
+//! The simulator follows the classic SPICE structure: node voltages plus
+//! one branch-current unknown per voltage source, nonlinear devices
+//! linearized at each Newton iterate, `gmin` conductances to ground for
+//! matrix robustness, and source stepping as the global-convergence
+//! fallback.
+
+use crate::error::{CircuitError, Result};
+use crate::netlist::{Circuit, Element, ElementId, NodeId};
+use flexcs_linalg::{Lu, Matrix};
+
+/// Conductance from every node to ground, for numerical robustness
+/// (floating gates would otherwise make the Jacobian singular).
+pub const GMIN: f64 = 1e-12;
+
+/// Maximum Newton iterations per solve.
+const MAX_NEWTON: usize = 200;
+/// Voltage-update damping limit per Newton step, volts.
+const DAMP_LIMIT: f64 = 2.0;
+/// Convergence: maximum KCL residual, amps.
+const ABSTOL_I: f64 = 1e-9;
+/// Convergence: maximum voltage update, volts.
+const ABSTOL_V: f64 = 1e-6;
+
+/// A solved operating point: node voltages and source branch currents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// Voltage per node index (ground included as entry 0).
+    voltages: Vec<f64>,
+    /// Branch current per voltage source, in element order.
+    branch_currents: Vec<(usize, f64)>,
+}
+
+impl OperatingPoint {
+    /// Voltage at a node.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.voltages[node.index()]
+    }
+
+    /// All node voltages (index 0 is ground).
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Current through a voltage source (positive flowing from its `p`
+    /// terminal through the source to `n`). `None` if the id is not a
+    /// voltage source.
+    pub fn source_current(&self, id: ElementId) -> Option<f64> {
+        self.branch_currents
+            .iter()
+            .find(|(e, _)| *e == id.0)
+            .map(|(_, i)| *i)
+    }
+}
+
+/// Shared assembly machinery for DC, transient and AC analyses.
+pub(crate) struct Assembler<'a> {
+    ckt: &'a Circuit,
+    /// Element indices of the voltage sources, in order.
+    pub vsrc_elements: Vec<usize>,
+    /// Number of non-ground nodes.
+    pub n_free: usize,
+    /// Node-to-ground conductance; raised temporarily by gmin stepping.
+    pub gmin: f64,
+}
+
+impl<'a> Assembler<'a> {
+    pub fn new(ckt: &'a Circuit) -> Self {
+        let vsrc_elements = ckt
+            .elements()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, Element::VSource { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        Assembler {
+            ckt,
+            vsrc_elements,
+            n_free: ckt.node_count() - 1,
+            gmin: GMIN,
+        }
+    }
+
+    /// Total unknown count (free nodes + source branches).
+    pub fn dim(&self) -> usize {
+        self.n_free + self.vsrc_elements.len()
+    }
+
+    /// Index of a node's unknown, `None` for ground.
+    fn var(&self, n: NodeId) -> Option<usize> {
+        if n.index() == 0 {
+            None
+        } else {
+            Some(n.index() - 1)
+        }
+    }
+
+    /// Voltage of node `n` under unknown vector `x`.
+    fn v(&self, x: &[f64], n: NodeId) -> f64 {
+        match self.var(n) {
+            None => 0.0,
+            Some(i) => x[i],
+        }
+    }
+
+    /// Builds the Newton residual `F(x)` and Jacobian `J(x)` at time `t`.
+    ///
+    /// `companion` carries `(h, x_prev)` for backward-Euler transient
+    /// steps; `None` means DC (capacitors open). `src_scale` scales all
+    /// independent sources (source stepping).
+    pub fn assemble(
+        &self,
+        x: &[f64],
+        t: f64,
+        companion: Option<(f64, &[f64])>,
+        src_scale: f64,
+    ) -> (Matrix, Vec<f64>) {
+        let dim = self.dim();
+        let mut j = Matrix::zeros(dim, dim);
+        let mut f = vec![0.0; dim];
+
+        // gmin to ground on every free node.
+        for i in 0..self.n_free {
+            j[(i, i)] += self.gmin;
+            f[i] += self.gmin * x[i];
+        }
+
+        let stamp_conductance = |j: &mut Matrix,
+                                     f: &mut Vec<f64>,
+                                     a: NodeId,
+                                     b: NodeId,
+                                     g: f64,
+                                     ieq: f64| {
+            // Current a -> b: g (va - vb) + ieq.
+            let va = self.v(x, a);
+            let vb = self.v(x, b);
+            let i = g * (va - vb) + ieq;
+            if let Some(ia) = self.var(a) {
+                f[ia] += i;
+                j[(ia, ia)] += g;
+                if let Some(ib) = self.var(b) {
+                    j[(ia, ib)] -= g;
+                }
+            }
+            if let Some(ib) = self.var(b) {
+                f[ib] -= i;
+                j[(ib, ib)] += g;
+                if let Some(ia) = self.var(a) {
+                    j[(ib, ia)] -= g;
+                }
+            }
+        };
+
+        let mut vsrc_branch = 0usize;
+        for element in self.ckt.elements() {
+            match element {
+                Element::Resistor { a, b, ohms } => {
+                    stamp_conductance(&mut j, &mut f, *a, *b, 1.0 / ohms, 0.0);
+                }
+                Element::Capacitor { a, b, farads } => {
+                    if let Some((h, x_prev)) = companion {
+                        // Backward Euler: i = C/h (v - v_prev).
+                        let g = farads / h;
+                        let va_p = self.v(x_prev, *a);
+                        let vb_p = self.v(x_prev, *b);
+                        stamp_conductance(&mut j, &mut f, *a, *b, g, -g * (va_p - vb_p));
+                    }
+                }
+                Element::VSource { p, n, waveform } => {
+                    let branch = self.n_free + vsrc_branch;
+                    vsrc_branch += 1;
+                    let value = waveform.value(t) * src_scale;
+                    let i_br = x[branch];
+                    // KCL: branch current leaves p, enters n.
+                    if let Some(ip) = self.var(*p) {
+                        f[ip] += i_br;
+                        j[(ip, branch)] += 1.0;
+                    }
+                    if let Some(in_) = self.var(*n) {
+                        f[in_] -= i_br;
+                        j[(in_, branch)] -= 1.0;
+                    }
+                    // Branch equation: v(p) - v(n) - value = 0.
+                    f[branch] = self.v(x, *p) - self.v(x, *n) - value;
+                    if let Some(ip) = self.var(*p) {
+                        j[(branch, ip)] += 1.0;
+                    }
+                    if let Some(in_) = self.var(*n) {
+                        j[(branch, in_)] -= 1.0;
+                    }
+                }
+                Element::ISource { from, to, waveform } => {
+                    let i = waveform.value(t) * src_scale;
+                    if let Some(ia) = self.var(*from) {
+                        f[ia] += i;
+                    }
+                    if let Some(ib) = self.var(*to) {
+                        f[ib] -= i;
+                    }
+                }
+                Element::Tft {
+                    g,
+                    d,
+                    s,
+                    w_over_l,
+                    model,
+                } => {
+                    let vg = self.v(x, *g);
+                    let vd = self.v(x, *d);
+                    let vs = self.v(x, *s);
+                    let op = model.eval(vg, vd, vs, *w_over_l);
+                    // Channel current source → drain.
+                    if let Some(is) = self.var(*s) {
+                        f[is] += op.i_sd;
+                        j[(is, is)] += op.di_dvs;
+                        if let Some(id) = self.var(*d) {
+                            j[(is, id)] += op.di_dvd;
+                        }
+                        if let Some(ig) = self.var(*g) {
+                            j[(is, ig)] += op.di_dvg;
+                        }
+                    }
+                    if let Some(id) = self.var(*d) {
+                        f[id] -= op.i_sd;
+                        j[(id, id)] -= op.di_dvd;
+                        if let Some(is) = self.var(*s) {
+                            j[(id, is)] -= op.di_dvs;
+                        }
+                        if let Some(ig) = self.var(*g) {
+                            j[(id, ig)] -= op.di_dvg;
+                        }
+                    }
+                    // Gate capacitances (transient only).
+                    if companion.is_some() {
+                        let (h, x_prev) = companion.expect("checked");
+                        let cgs = model.cgs(*w_over_l);
+                        if cgs > 0.0 {
+                            let gc = cgs / h;
+                            let vp = self.v(x_prev, *g) - self.v(x_prev, *s);
+                            stamp_conductance(&mut j, &mut f, *g, *s, gc, -gc * vp);
+                        }
+                        let cgd = model.cgd(*w_over_l);
+                        if cgd > 0.0 {
+                            let gc = cgd / h;
+                            let vp = self.v(x_prev, *g) - self.v(x_prev, *d);
+                            stamp_conductance(&mut j, &mut f, *g, *d, gc, -gc * vp);
+                        }
+                    }
+                }
+            }
+        }
+        (j, f)
+    }
+
+    /// Residual infinity norm at `x`.
+    fn residual_norm(
+        &self,
+        x: &[f64],
+        t: f64,
+        companion: Option<(f64, &[f64])>,
+        src_scale: f64,
+    ) -> f64 {
+        let (_, f) = self.assemble(x, t, companion, src_scale);
+        f.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Newton solve from `x0` with step damping and a backtracking line
+    /// search (bistable latches otherwise cycle between basins).
+    pub fn newton(
+        &self,
+        mut x: Vec<f64>,
+        t: f64,
+        companion: Option<(f64, &[f64])>,
+        src_scale: f64,
+    ) -> Result<Vec<f64>> {
+        let mut last_residual = f64::INFINITY;
+        for _iter in 0..MAX_NEWTON {
+            let (j, f) = self.assemble(&x, t, companion, src_scale);
+            let res = f.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            let lu = Lu::factor(&j)?;
+            let mut delta = lu.solve(&f)?;
+            // Damping.
+            let dmax = delta.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            if dmax > DAMP_LIMIT {
+                let scale = DAMP_LIMIT / dmax;
+                for d in &mut delta {
+                    *d *= scale;
+                }
+            }
+            // Backtracking: shrink the step until the residual stops
+            // growing (up to 6 halvings).
+            let mut step = 1.0_f64;
+            let mut x_new: Vec<f64>;
+            let mut res_new;
+            loop {
+                x_new = x
+                    .iter()
+                    .zip(&delta)
+                    .map(|(xi, di)| xi - step * di)
+                    .collect();
+                res_new = self.residual_norm(&x_new, t, companion, src_scale);
+                if res_new <= res * 1.01 || step < 1.0 / 64.0 || res <= ABSTOL_I {
+                    break;
+                }
+                step *= 0.5;
+            }
+            x = x_new;
+            if !x.iter().all(|v| v.is_finite()) {
+                return Err(CircuitError::DcNotConverged {
+                    iterations: MAX_NEWTON,
+                    residual: f64::INFINITY,
+                });
+            }
+            let dnorm = step * delta.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            if dnorm < ABSTOL_V && res_new < ABSTOL_I {
+                return Ok(x);
+            }
+            last_residual = res_new;
+        }
+        Err(CircuitError::DcNotConverged {
+            iterations: MAX_NEWTON,
+            residual: last_residual,
+        })
+    }
+
+    /// Packages an unknown vector as an [`OperatingPoint`].
+    pub fn package(&self, x: &[f64]) -> OperatingPoint {
+        let mut voltages = vec![0.0; self.ckt.node_count()];
+        for i in 0..self.n_free {
+            voltages[i + 1] = x[i];
+        }
+        let branch_currents = self
+            .vsrc_elements
+            .iter()
+            .enumerate()
+            .map(|(k, &e)| (e, x[self.n_free + k]))
+            .collect();
+        OperatingPoint {
+            voltages,
+            branch_currents,
+        }
+    }
+}
+
+impl Circuit {
+    /// Solves the DC operating point at `t = 0` (waveforms evaluated at
+    /// zero; capacitors open).
+    ///
+    /// Falls back to source stepping (ramping all sources from zero)
+    /// when plain Newton does not converge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DcNotConverged`] when both strategies
+    /// fail, or [`CircuitError::SingularMatrix`] for a structurally
+    /// defective netlist.
+    pub fn dc_operating_point(&self) -> Result<OperatingPoint> {
+        self.dc_operating_point_at(0.0)
+    }
+
+    /// Solves the DC operating point with waveforms evaluated at time
+    /// `t` (useful for sweeping quasi-static controls).
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::dc_operating_point`].
+    pub fn dc_operating_point_at(&self, t: f64) -> Result<OperatingPoint> {
+        let mut asm = Assembler::new(self);
+        let x0 = vec![0.0; asm.dim()];
+        if let Ok(x) = asm.newton(x0.clone(), t, None, 1.0) {
+            return Ok(asm.package(&x));
+        }
+        // Source stepping: ramp sources 0 → 1.
+        let source_stepping = |asm: &Assembler| -> Result<Vec<f64>> {
+            let mut x = x0.clone();
+            let steps = 20;
+            for k in 1..=steps {
+                let scale = k as f64 / steps as f64;
+                x = asm.newton(x, t, None, scale)?;
+            }
+            Ok(x)
+        };
+        if let Ok(x) = source_stepping(&asm) {
+            return Ok(asm.package(&x));
+        }
+        // Gmin stepping: start heavily loaded, relax to GMIN.
+        let mut x = x0;
+        for gmin in [1e-3, 1e-5, 1e-7, 1e-9, GMIN] {
+            asm.gmin = gmin;
+            x = asm.newton(x, t, None, 1.0)?;
+        }
+        asm.gmin = GMIN;
+        Ok(asm.package(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn resistive_divider() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let mid = c.node("mid");
+        c.add_vsource(vdd, NodeId::GROUND, Waveform::Dc(3.0));
+        c.add_resistor(vdd, mid, 1000.0).unwrap();
+        c.add_resistor(mid, NodeId::GROUND, 2000.0).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        assert!((op.voltage(mid) - 2.0).abs() < 1e-8);
+        assert!((op.voltage(vdd) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_current_through_resistor() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let v = c.add_vsource(a, NodeId::GROUND, Waveform::Dc(1.0));
+        c.add_resistor(a, NodeId::GROUND, 100.0).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        // 10 mA flows out of the + terminal into the resistor, so the
+        // branch current (p through source to n) is -10 mA.
+        let i = op.source_current(v).unwrap();
+        assert!((i + 0.01).abs() < 1e-9, "got {i}");
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_isource(NodeId::GROUND, a, Waveform::Dc(1e-3));
+        c.add_resistor(a, NodeId::GROUND, 2000.0).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        assert!((op.voltage(a) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacitor_open_in_dc() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource(a, NodeId::GROUND, Waveform::Dc(5.0));
+        c.add_resistor(a, b, 1000.0).unwrap();
+        c.add_capacitor(b, NodeId::GROUND, 1e-9).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        // No DC path through the capacitor: b floats up to a.
+        assert!((op.voltage(b) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tft_diode_connected_drops_reasonable_voltage() {
+        // p-type diode-connected TFT (gate = drain at ground) fed from a
+        // 3 V supply through a resistor: the device conducts and the
+        // intermediate node sits somewhere strictly between rails.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let x = c.node("x");
+        c.add_vsource(vdd, NodeId::GROUND, Waveform::Dc(3.0));
+        c.add_resistor(vdd, x, 100_000.0).unwrap();
+        c.add_tft(NodeId::GROUND, NodeId::GROUND, x, 10.0).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        let vx = op.voltage(x);
+        assert!(vx > 0.5 && vx < 2.9, "vx = {vx}");
+    }
+
+    #[test]
+    fn tft_off_blocks_current() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        c.add_vsource(vdd, NodeId::GROUND, Waveform::Dc(3.0));
+        // Gate tied to source (vdd): off.
+        c.add_tft(vdd, out, vdd, 10.0).unwrap();
+        c.add_resistor(out, NodeId::GROUND, 10_000.0).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        assert!(op.voltage(out).abs() < 1e-3, "out = {}", op.voltage(out));
+    }
+
+    #[test]
+    fn tft_on_pulls_output_up() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        c.add_vsource(vdd, NodeId::GROUND, Waveform::Dc(3.0));
+        // Gate at ground: Vsg = 3 V, strongly on; load resistor sized so
+        // that the device drop is small.
+        c.add_tft(NodeId::GROUND, out, vdd, 50.0).unwrap();
+        c.add_resistor(out, NodeId::GROUND, 1_000_000.0).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        assert!(op.voltage(out) > 2.8, "out = {}", op.voltage(out));
+    }
+
+    #[test]
+    fn floating_node_held_by_gmin() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let _unused = c.node("floating");
+        c.add_vsource(a, NodeId::GROUND, Waveform::Dc(1.0));
+        c.add_resistor(a, NodeId::GROUND, 1000.0).unwrap();
+        // Must not error despite the floating node.
+        let op = c.dc_operating_point().unwrap();
+        assert_eq!(op.voltage(c.find_node("floating").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn two_sources_kcl_consistent() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource(a, NodeId::GROUND, Waveform::Dc(2.0));
+        c.add_vsource(b, NodeId::GROUND, Waveform::Dc(1.0));
+        c.add_resistor(a, b, 1000.0).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        assert!((op.voltage(a) - 2.0).abs() < 1e-9);
+        assert!((op.voltage(b) - 1.0).abs() < 1e-9);
+    }
+}

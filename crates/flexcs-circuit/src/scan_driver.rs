@@ -1,0 +1,175 @@
+//! Transistor-level scan drivers for the Fig. 4 encoder.
+//!
+//! The paper's active matrix is scanned by two shift registers: the
+//! *column* driver marches a one-hot select across the array (one
+//! column per cycle, `√N` cycles total), while the *row* driver is
+//! serially loaded with the row-select word of the upcoming column —
+//! the blocks of the summed `Φ_M` rows. This module builds both drivers
+//! from the pseudo-CMOS [`crate::CellLibrary`] and generates the serial
+//! bit stream that realizes a given [`ScanSchedule`].
+
+use crate::cells::CellLibrary;
+use crate::error::Result;
+use crate::netlist::{Circuit, NodeId};
+use crate::scan::ScanSchedule;
+use crate::shift_register::{build_shift_register, ShiftRegister};
+use crate::waveform::Waveform;
+
+/// A constructed column scanner: a shift register carrying a one-hot
+/// token, one stage per array column.
+#[derive(Debug, Clone)]
+pub struct ColumnScanner {
+    /// Per-column select outputs.
+    pub selects: Vec<NodeId>,
+    /// TFTs used.
+    pub tft_count: usize,
+}
+
+/// Builds the one-hot column scanner: a `cols`-stage register whose data
+/// input carries a single token pulse, so stage `c` goes high during
+/// scan cycle `c`.
+///
+/// `clk` must carry the scan clock; the token pulse waveform is created
+/// on a fresh node and returned as part of the netlist.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures.
+pub fn build_column_scanner(
+    ckt: &mut Circuit,
+    lib: &CellLibrary,
+    cols: usize,
+    clk: NodeId,
+    scan_clock_hz: f64,
+    vdd: f64,
+) -> Result<ColumnScanner> {
+    let token = ckt.fresh_node("scan_token");
+    let period = 1.0 / scan_clock_hz;
+    // One token pulse covering the first clock period (captured by the
+    // first rising edge, then marched along).
+    ckt.add_vsource(
+        token,
+        NodeId::GROUND,
+        Waveform::Pulse {
+            v0: vdd,
+            v1: 0.0,
+            delay: 0.9 * period,
+            rise: period * 0.02,
+            fall: period * 0.02,
+            width: 1.0,
+            period: 0.0,
+        },
+    );
+    let sr: ShiftRegister = build_shift_register(ckt, lib, cols, token, clk)?;
+    Ok(ColumnScanner {
+        selects: sr.outputs,
+        tft_count: sr.tft_count,
+    })
+}
+
+/// Serial bit stream that loads a schedule's row words into the row
+/// shift register.
+///
+/// The row register shifts one bit per fast clock; after `rows` shifts
+/// the bit shifted *first* sits in the last stage. Hence each cycle's
+/// word is streamed most-significant-stage first:
+/// `word[rows-1], …, word[0]`, cycle after cycle.
+pub fn serial_row_stream(schedule: &ScanSchedule) -> Vec<bool> {
+    let rows = schedule.rows();
+    let mut bits = Vec::with_capacity(rows * schedule.cols());
+    for c in 0..schedule.cycles() {
+        let word = schedule.row_word(c);
+        for r in (0..rows).rev() {
+            bits.push(word[r]);
+        }
+    }
+    bits
+}
+
+/// Converts a bit stream into a piecewise-linear waveform clocked at
+/// `bit_rate_hz` (bit `k` valid during `[k, k+1)/bit_rate`), swinging
+/// `0..vdd` with 2 % transition times.
+pub fn bitstream_waveform(bits: &[bool], bit_rate_hz: f64, vdd: f64) -> Waveform {
+    let t_bit = 1.0 / bit_rate_hz;
+    let edge = t_bit * 0.02;
+    let mut points = Vec::with_capacity(2 * bits.len() + 2);
+    let level = |b: bool| if b { vdd } else { 0.0 };
+    points.push((0.0, level(bits.first().copied().unwrap_or(false))));
+    for k in 1..bits.len() {
+        if bits[k] != bits[k - 1] {
+            let t = k as f64 * t_bit;
+            points.push((t - edge, level(bits[k - 1])));
+            points.push((t, level(bits[k])));
+        }
+    }
+    let t_end = bits.len() as f64 * t_bit;
+    points.push((t_end, level(bits.last().copied().unwrap_or(false))));
+    Waveform::Pwl(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::TransientConfig;
+
+    #[test]
+    fn serial_stream_layout() {
+        // 3x3 array, pixels (0,0), (2,1) sampled.
+        let schedule = ScanSchedule::from_selected(3, 3, &[0, 7]).unwrap();
+        let bits = serial_row_stream(&schedule);
+        assert_eq!(bits.len(), 9);
+        // Cycle 0 (column 0): word = [true, false, false], streamed
+        // reversed: f, f, t.
+        assert_eq!(&bits[0..3], &[false, false, true]);
+        // Cycle 1 (column 1): pixel (2,1): word = [f, f, t] reversed:
+        // t, f, f.
+        assert_eq!(&bits[3..6], &[true, false, false]);
+        // Cycle 2: empty.
+        assert_eq!(&bits[6..9], &[false, false, false]);
+    }
+
+    #[test]
+    fn bitstream_waveform_levels() {
+        let w = bitstream_waveform(&[true, false, false, true], 1000.0, 3.0);
+        assert!((w.value(0.4e-3) - 3.0).abs() < 1e-9);
+        assert!(w.value(1.5e-3).abs() < 1e-9);
+        assert!((w.value(3.5e-3) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_bitstream_is_flat_zero() {
+        let w = bitstream_waveform(&[], 1000.0, 3.0);
+        assert_eq!(w.value(0.0), 0.0);
+        assert_eq!(w.value(1.0), 0.0);
+    }
+
+    #[test]
+    fn column_scanner_marches_one_hot() {
+        // 3-column scanner at 10 kHz: stage c is high during cycle c
+        // and exactly one stage is high per cycle.
+        let vdd = 3.0;
+        let f_scan = 10e3;
+        let mut ckt = Circuit::new();
+        let lib = CellLibrary::with_rails(&mut ckt, vdd, -vdd);
+        let clk = ckt.node("clk");
+        ckt.add_vsource(clk, NodeId::GROUND, Waveform::clock(0.0, vdd, f_scan));
+        let scanner = build_column_scanner(&mut ckt, &lib, 3, clk, f_scan, vdd).unwrap();
+        let period = 1.0 / f_scan;
+        let result = ckt
+            .transient(&TransientConfig::new(4.0 * period, 2e-6))
+            .unwrap();
+        for cycle in 0..3usize {
+            // The first rising edge at t ≈ 0 captures the token, so
+            // stage c is high during [cT, (c+1)T]; sample late in that
+            // window.
+            let t = (cycle as f64 + 0.9) * period;
+            let mut high = Vec::new();
+            for (stage, &q) in scanner.selects.iter().enumerate() {
+                if result.trace(q).value_at(t).unwrap() > vdd / 2.0 {
+                    high.push(stage);
+                }
+            }
+            assert_eq!(high, vec![cycle], "cycle {cycle}: high stages {high:?}");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Pt temperature-sensor pixel (paper Fig. 5b).
+//!
+//! Each active-matrix pixel is a platinum RTD in series with a large
+//! access TFT (`W/L = 500/25 µm`) biased in the linear region; the cell
+//! current maps linearly to temperature, which is what lets the decoder
+//! "map the current to temperature accurately". Bias per the paper:
+//! `V_WL = 1 V` on the word line (so the p-type access device sees a
+//! strong source–gate drive: the array is low-enabled), `V_BL = 0 V` on
+//! the bit line, and the read line held at a small negative read
+//! voltage.
+
+use crate::device::CntTftModel;
+use crate::error::Result;
+use crate::netlist::{Circuit, NodeId};
+use crate::waveform::Waveform;
+
+/// Pt resistance–temperature model: `R(T) = R0·(1 + α·(T − T0))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtSensorModel {
+    /// Reference resistance at `t0`, ohms.
+    pub r0: f64,
+    /// Temperature coefficient of resistance, 1/°C (platinum ≈ 3.9e-3).
+    pub alpha: f64,
+    /// Reference temperature, °C.
+    pub t0: f64,
+}
+
+impl Default for PtSensorModel {
+    /// A 100 kΩ thin-film Pt RTD referenced at 25 °C (high resistance so
+    /// the access TFT's on-resistance stays a small, linearity-
+    /// preserving fraction of the cell resistance).
+    fn default() -> Self {
+        PtSensorModel {
+            r0: 100_000.0,
+            alpha: 3.9e-3,
+            t0: 25.0,
+        }
+    }
+}
+
+impl PtSensorModel {
+    /// Resistance at temperature `t` in °C.
+    pub fn resistance(&self, t: f64) -> f64 {
+        self.r0 * (1.0 + self.alpha * (t - self.t0))
+    }
+}
+
+/// Depletion-mode access-TFT model for the pixel.
+///
+/// Measured CNT TFTs (paper ref. \[9\]) are normally-on p-type devices:
+/// they conduct at `V_gs = 0` and need a *positive* gate-source voltage
+/// to turn off — which is why the paper's active matrix is "low-enabled"
+/// and reads with `V_WL = 1 V` while deselecting rows at `V_WL = 3 V`.
+/// Negative `vth_abs` expresses that depletion behaviour in the shared
+/// compact model, and the higher `kp` reflects the very wide 500/25 µm
+/// pixel device.
+pub fn pixel_access_model() -> CntTftModel {
+    CntTftModel {
+        kp: 5e-6,
+        vth_abs: -2.0,
+        ..CntTftModel::default()
+    }
+}
+
+/// Bias configuration of a pixel read (paper defaults: `V_WL = 1 V`,
+/// `V_BL = 0 V`, read line at −0.1 V so the TFT stays in deep triode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PixelBias {
+    /// Word-line (gate) voltage, volts.
+    pub v_wl: f64,
+    /// Bit-line voltage, volts.
+    pub v_bl: f64,
+    /// Read-line voltage, volts.
+    pub v_read: f64,
+    /// Access TFT geometry `W/L` (paper: 500/25).
+    pub w_over_l: f64,
+}
+
+impl Default for PixelBias {
+    fn default() -> Self {
+        PixelBias {
+            v_wl: 1.0,
+            v_bl: 0.0,
+            v_read: -0.1,
+            w_over_l: 20.0,
+        }
+    }
+}
+
+/// Simulates one pixel read at temperature `t_celsius`, returning the
+/// read current in amps.
+///
+/// The netlist is: `BL ──[R_pt(T)]── x ──[access TFT]── READ`, with the
+/// TFT gate on the word line. With the paper's bias the TFT is in deep
+/// triode, so `I ≈ (V_BL − V_READ)/(R_pt + R_on)` — linear in `T`
+/// because `R_pt` is.
+///
+/// # Errors
+///
+/// Propagates netlist and DC-solve failures.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_circuit::{read_pixel_current, PixelBias, PtSensorModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cold = read_pixel_current(&PtSensorModel::default(), &PixelBias::default(), 20.0)?;
+/// let hot = read_pixel_current(&PtSensorModel::default(), &PixelBias::default(), 40.0)?;
+/// // Hotter Pt has more resistance, hence less current magnitude.
+/// assert!(hot.abs() < cold.abs());
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_pixel_current(
+    sensor: &PtSensorModel,
+    bias: &PixelBias,
+    t_celsius: f64,
+) -> Result<f64> {
+    let mut ckt = Circuit::new();
+    let bl = ckt.node("bl");
+    let wl = ckt.node("wl");
+    let read = ckt.node("read");
+    let x = ckt.node("x");
+    ckt.add_vsource(bl, NodeId::GROUND, Waveform::Dc(bias.v_bl));
+    ckt.add_vsource(wl, NodeId::GROUND, Waveform::Dc(bias.v_wl));
+    let v_read = ckt.add_vsource(read, NodeId::GROUND, Waveform::Dc(bias.v_read));
+    ckt.add_resistor(bl, x, sensor.resistance(t_celsius))?;
+    // Depletion-mode p-type access TFT: source at the pixel node, drain
+    // at the read line, gate on the word line. The array is
+    // *low-enabled*: a row is selected by a low word line and deselected
+    // by raising WL to VDD, which drives V_sg below the (negative)
+    // depletion threshold.
+    ckt.add_tft_with_model(wl, read, x, bias.w_over_l, pixel_access_model())?;
+    let op = ckt.dc_operating_point()?;
+    // Current delivered into the read line (through its source).
+    Ok(op.source_current(v_read).expect("read source exists"))
+}
+
+/// Sweeps pixel temperature and returns `(t, i)` pairs — the data behind
+/// the paper's Fig. 5b linearity plot.
+///
+/// # Errors
+///
+/// See [`read_pixel_current`].
+pub fn pixel_temperature_sweep(
+    sensor: &PtSensorModel,
+    bias: &PixelBias,
+    t_start: f64,
+    t_stop: f64,
+    points: usize,
+) -> Result<Vec<(f64, f64)>> {
+    let mut out = Vec::with_capacity(points);
+    for k in 0..points {
+        let t = if points == 1 {
+            t_start
+        } else {
+            t_start + (t_stop - t_start) * k as f64 / (points - 1) as f64
+        };
+        out.push((t, read_pixel_current(sensor, bias, t)?));
+    }
+    Ok(out)
+}
+
+/// Linear-regression figure of merit for a sweep: returns `(slope,
+/// intercept, r_squared)` of `i` against `t`.
+pub fn linearity_fit(sweep: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = sweep.len() as f64;
+    if sweep.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mean_t = sweep.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_i = sweep.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(t, i) in sweep {
+        sxx += (t - mean_t) * (t - mean_t);
+        sxy += (t - mean_t) * (i - mean_i);
+        syy += (i - mean_i) * (i - mean_i);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return (0.0, mean_i, 1.0);
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_i - slope * mean_t;
+    let r2 = (sxy * sxy) / (sxx * syy);
+    (slope, intercept, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pt_resistance_is_linear() {
+        let m = PtSensorModel::default();
+        assert!((m.resistance(25.0) - 100_000.0).abs() < 1e-9);
+        assert!((m.resistance(125.0) - 139_000.0).abs() < 1e-6);
+        let d1 = m.resistance(30.0) - m.resistance(25.0);
+        let d2 = m.resistance(95.0) - m.resistance(90.0);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_flows_and_tracks_temperature() {
+        let sweep =
+            pixel_temperature_sweep(&PtSensorModel::default(), &PixelBias::default(), 20.0, 100.0, 9)
+                .unwrap();
+        // Magnitudes in a plausible µA range and strictly decreasing
+        // with temperature.
+        for w in sweep.windows(2) {
+            assert!(w[0].1.abs() > w[1].1.abs(), "current not monotone: {w:?}");
+        }
+        let i_max = sweep[0].1.abs();
+        assert!(i_max > 1e-7 && i_max < 1e-3, "magnitude {i_max}");
+    }
+
+    #[test]
+    fn sweep_is_highly_linear() {
+        // Fig. 5b's claim: "great linearity of the temperature w.r.t.
+        // the sensed current".
+        let sweep =
+            pixel_temperature_sweep(&PtSensorModel::default(), &PixelBias::default(), 20.0, 100.0, 17)
+                .unwrap();
+        let (slope, _, r2) = linearity_fit(&sweep);
+        assert!(slope != 0.0);
+        assert!(r2 > 0.995, "r² = {r2}");
+    }
+
+    #[test]
+    fn word_line_high_disables_pixel() {
+        // Raising WL to VDD-level turns the p-type access device off.
+        let on = read_pixel_current(
+            &PtSensorModel::default(),
+            &PixelBias::default(),
+            30.0,
+        )
+        .unwrap();
+        let off_bias = PixelBias {
+            v_wl: 3.0,
+            ..PixelBias::default()
+        };
+        let off = read_pixel_current(&PtSensorModel::default(), &off_bias, 30.0).unwrap();
+        assert!(off.abs() < on.abs() * 1e-2, "off {off} vs on {on}");
+    }
+
+    #[test]
+    fn linearity_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|k| (k as f64, 3.0 - 0.5 * k as f64)).collect();
+        let (slope, intercept, r2) = linearity_fit(&pts);
+        assert!((slope + 0.5).abs() < 1e-12);
+        assert!((intercept - 3.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+        assert_eq!(linearity_fit(&[]), (0.0, 0.0, 0.0));
+    }
+}

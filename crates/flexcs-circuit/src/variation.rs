@@ -1,0 +1,347 @@
+//! Monte-Carlo device-variation analysis.
+//!
+//! The paper's premise is that flexible fabrication suffers "large
+//! device variation, device defects and transient errors". The system
+//! solution (CS) handles defects; this module quantifies what *process
+//! variation* does to the encoder circuits themselves — the classic
+//! EDA yield questions: does the pseudo-CMOS inverter still produce
+//! valid logic levels when every TFT's threshold and transconductance
+//! are perturbed? How much does the amplifier's gain spread?
+
+use crate::amplifier::{build_self_biased_amplifier, AmplifierConfig};
+use crate::cells::CellLibrary;
+use crate::device::CntTftModel;
+use crate::error::Result;
+use crate::netlist::{Circuit, NodeId};
+use crate::waveform::Waveform;
+
+/// Per-device random variation magnitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationModel {
+    /// Threshold-voltage standard deviation, volts (CNT TFT reports run
+    /// 50–150 mV).
+    pub vth_sigma: f64,
+    /// Relative transconductance (`k_p`) standard deviation.
+    pub kp_rel_sigma: f64,
+}
+
+impl Default for VariationModel {
+    /// 100 mV σ(Vth), 10 % σ(kp) — mid-range for CNT TFT literature.
+    fn default() -> Self {
+        VariationModel {
+            vth_sigma: 0.1,
+            kp_rel_sigma: 0.1,
+        }
+    }
+}
+
+/// Deterministic per-trial RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e3779b97f4a7c15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1 = self.uniform().max(1e-300);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl VariationModel {
+    /// Draws a perturbed copy of a nominal device model.
+    fn perturb(&self, nominal: &CntTftModel, rng: &mut Rng) -> CntTftModel {
+        let mut m = nominal.clone();
+        m.vth_abs += self.vth_sigma * rng.gaussian();
+        m.kp *= (1.0 + self.kp_rel_sigma * rng.gaussian()).max(0.05);
+        m
+    }
+}
+
+/// Statistics of one Monte-Carlo metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloStats {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials meeting the pass criterion.
+    pub passes: usize,
+    /// Metric samples, one per trial.
+    pub values: Vec<f64>,
+}
+
+impl MonteCarloStats {
+    /// Pass fraction (parametric yield).
+    pub fn yield_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.passes as f64 / self.trials as f64
+        }
+    }
+
+    /// Sample mean of the metric.
+    pub fn mean(&self) -> f64 {
+        flexcs_linalg::vecops::mean(&self.values)
+    }
+
+    /// Sample standard deviation of the metric.
+    pub fn std_dev(&self) -> f64 {
+        flexcs_linalg::vecops::std_dev(&self.values)
+    }
+
+    /// Smallest metric value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest metric value.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Builds a pseudo-CMOS inverter whose four devices carry independent
+/// variation draws, returning `(circuit, input, output)`.
+fn varied_inverter(
+    variation: &VariationModel,
+    vdd: f64,
+    rng: &mut Rng,
+    vin: f64,
+) -> Result<(Circuit, NodeId)> {
+    let mut ckt = Circuit::new();
+    let lib = CellLibrary::with_rails(&mut ckt, vdd, -vdd);
+    let input = ckt.node("in");
+    ckt.add_vsource(input, NodeId::GROUND, Waveform::Dc(vin));
+    // The cell library clones its model per device; emulate per-device
+    // variation by building the inverter manually with perturbed models.
+    let nominal = lib.model.clone();
+    let sizing = lib.sizing.clone();
+    let v1 = ckt.fresh_node("v1");
+    ckt.add_tft_with_model(input, v1, lib.vdd, sizing.drive, variation.perturb(&nominal, rng))?;
+    ckt.add_tft_with_model(lib.vss, lib.vss, v1, sizing.load, variation.perturb(&nominal, rng))?;
+    let out = ckt.fresh_node("out");
+    ckt.add_tft_with_model(
+        input,
+        out,
+        lib.vdd,
+        sizing.out_drive,
+        variation.perturb(&nominal, rng),
+    )?;
+    ckt.add_tft_with_model(
+        v1,
+        NodeId::GROUND,
+        out,
+        sizing.out_load,
+        variation.perturb(&nominal, rng),
+    )?;
+    Ok((ckt, out))
+}
+
+/// Monte-Carlo yield of the pseudo-CMOS inverter's static logic levels:
+/// a trial passes when `V_out(0) > vdd − margin` and
+/// `V_out(vdd) < margin`. The metric recorded per trial is the *static
+/// noise margin proxy* `min(V_out(0) − vdd/2, vdd/2 − V_out(vdd))`.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn inverter_yield(
+    variation: &VariationModel,
+    vdd: f64,
+    margin: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<MonteCarloStats> {
+    let mut rng = Rng::new(seed);
+    let mut passes = 0;
+    let mut values = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let (ckt_low, out_low) = varied_inverter(variation, vdd, &mut rng, 0.0)?;
+        let v_high = ckt_low.dc_operating_point()?.voltage(out_low);
+        let (ckt_high, out_high) = varied_inverter(variation, vdd, &mut rng, vdd)?;
+        let v_low = ckt_high.dc_operating_point()?.voltage(out_high);
+        // Note: the two ends use independent device draws; static yield
+        // is conservative under that pessimism.
+        if v_high > vdd - margin && v_low < margin {
+            passes += 1;
+        }
+        values.push((v_high - vdd / 2.0).min(vdd / 2.0 - v_low));
+    }
+    Ok(MonteCarloStats {
+        trials,
+        passes,
+        values,
+    })
+}
+
+/// Monte-Carlo spread of the self-biased amplifier's mid-band gain (dB
+/// at `freq`); a trial passes when the gain exceeds `min_gain_db`.
+///
+/// Device variation is applied to the library model per trial (all nine
+/// TFTs share the draw — the paper's amplifier is small enough that
+/// systematic variation dominates).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn amplifier_gain_spread(
+    variation: &VariationModel,
+    freq: f64,
+    min_gain_db: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<MonteCarloStats> {
+    let mut rng = Rng::new(seed ^ 0xa321);
+    let mut passes = 0;
+    let mut values = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut ckt = Circuit::new();
+        let mut lib = CellLibrary::with_rails(&mut ckt, 3.0, -3.0);
+        lib.model = variation.perturb(&CntTftModel::default(), &mut rng);
+        let amp =
+            build_self_biased_amplifier(&mut ckt, &lib, "vin", &AmplifierConfig::default())?;
+        let vin = ckt.find_node("vin")?;
+        let src = ckt.add_vsource(vin, NodeId::GROUND, Waveform::Dc(0.0));
+        let gain_db = ckt.ac_sweep(src, &[freq])?.gain_db(amp.output)[0];
+        if gain_db >= min_gain_db {
+            passes += 1;
+        }
+        values.push(gain_db);
+    }
+    Ok(MonteCarloStats {
+        trials,
+        passes,
+        values,
+    })
+}
+
+/// Monte-Carlo spread of the five-stage ring-oscillator frequency — the
+/// paper's own process monitor ("44 five-stage ring oscillators"),
+/// reproduced statistically. Returns frequency samples in hertz; a
+/// trial passes when the ring oscillates at all.
+///
+/// # Errors
+///
+/// Propagates simulation failures unrelated to oscillation (a ring that
+/// fails to oscillate counts as a failed trial, not an error).
+pub fn ring_frequency_spread(
+    variation: &VariationModel,
+    trials: usize,
+    seed: u64,
+) -> Result<MonteCarloStats> {
+    let mut rng = Rng::new(seed ^ 0x0c111);
+    let mut passes = 0;
+    let mut values = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let model = variation.perturb(&CntTftModel::default(), &mut rng);
+        match crate::ring_oscillator::ring_oscillator_frequency_with_model(
+            5, 3.0, 4e-3, 4e-6, model,
+        ) {
+            Ok(m) => {
+                passes += 1;
+                values.push(m.frequency);
+            }
+            Err(_) => values.push(0.0),
+        }
+    }
+    Ok(MonteCarloStats {
+        trials,
+        passes,
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_variation_gives_full_yield() {
+        let none = VariationModel {
+            vth_sigma: 0.0,
+            kp_rel_sigma: 0.0,
+        };
+        let stats = inverter_yield(&none, 3.0, 0.6, 5, 1).unwrap();
+        assert_eq!(stats.yield_fraction(), 1.0);
+        // All trials identical.
+        assert!(stats.std_dev() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_variation_keeps_high_yield() {
+        let stats = inverter_yield(&VariationModel::default(), 3.0, 0.6, 25, 2).unwrap();
+        assert!(
+            stats.yield_fraction() >= 0.9,
+            "inverter yield {} under nominal variation",
+            stats.yield_fraction()
+        );
+    }
+
+    #[test]
+    fn extreme_variation_degrades_yield_and_widens_spread() {
+        let mild = inverter_yield(&VariationModel::default(), 3.0, 0.6, 20, 3).unwrap();
+        let wild = VariationModel {
+            vth_sigma: 0.8,
+            kp_rel_sigma: 0.5,
+        };
+        let bad = inverter_yield(&wild, 3.0, 0.6, 20, 3).unwrap();
+        assert!(bad.yield_fraction() <= mild.yield_fraction());
+        assert!(bad.std_dev() > mild.std_dev());
+    }
+
+    #[test]
+    fn amplifier_gain_spread_is_reported() {
+        let stats =
+            amplifier_gain_spread(&VariationModel::default(), 30e3, 20.0, 10, 4).unwrap();
+        assert_eq!(stats.trials, 10);
+        assert!(stats.mean() > 20.0, "mean gain {}", stats.mean());
+        assert!(stats.min() <= stats.mean() && stats.mean() <= stats.max());
+        assert!(stats.yield_fraction() > 0.5);
+    }
+
+    #[test]
+    fn ring_monitor_spread() {
+        let stats = ring_frequency_spread(&VariationModel::default(), 6, 5).unwrap();
+        assert_eq!(stats.trials, 6);
+        assert!(stats.yield_fraction() > 0.8, "ring yield {}", stats.yield_fraction());
+        // Frequencies cluster in the kHz monitor band and actually vary.
+        assert!(stats.mean() > 500.0 && stats.mean() < 20_000.0, "mean {}", stats.mean());
+        assert!(stats.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = MonteCarloStats {
+            trials: 4,
+            passes: 3,
+            values: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        assert_eq!(s.yield_fraction(), 0.75);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        let empty = MonteCarloStats {
+            trials: 0,
+            passes: 0,
+            values: vec![],
+        };
+        assert_eq!(empty.yield_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Source waveforms and recorded traces.
+
+/// A time-dependent source value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Periodic trapezoidal pulse (SPICE `PULSE` semantics).
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Time at `v1` per period, seconds.
+        width: f64,
+        /// Repetition period, seconds (0 disables repetition).
+        period: f64,
+    },
+    /// Sinusoid `offset + amplitude·sin(2πf·t + phase)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        frequency: f64,
+        /// Phase in radians.
+        phase: f64,
+    },
+    /// Piecewise-linear interpolation through `(time, value)` points
+    /// (clamped outside the range).
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// A 50 %-duty clock between `v0` and `v1` at `frequency`, with edges
+    /// taking 2 % of the period.
+    pub fn clock(v0: f64, v1: f64, frequency: f64) -> Waveform {
+        let period = 1.0 / frequency;
+        let edge = period * 0.02;
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay: 0.0,
+            rise: edge,
+            fall: edge,
+            width: period / 2.0 - edge,
+            period,
+        }
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let mut tau = t - delay;
+                if *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    if *rise == 0.0 {
+                        *v1
+                    } else {
+                        v0 + (v1 - v0) * tau / rise
+                    }
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < rise + width + fall {
+                    if *fall == 0.0 {
+                        *v0
+                    } else {
+                        v1 + (v0 - v1) * (tau - rise - width) / fall
+                    }
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+                phase,
+            } => offset + amplitude * (std::f64::consts::TAU * frequency * t + phase).sin(),
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("nonempty").1
+            }
+        }
+    }
+}
+
+/// A recorded `(time, value)` trace from a transient simulation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Borrow the time axis.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Borrow the values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Linear-interpolated value at time `t` (clamped at the ends).
+    ///
+    /// Returns `None` for an empty trace.
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        if self.times.is_empty() {
+            return None;
+        }
+        if t <= self.times[0] {
+            return Some(self.values[0]);
+        }
+        for i in 1..self.times.len() {
+            if t <= self.times[i] {
+                let t0 = self.times[i - 1];
+                let t1 = self.times[i];
+                let v0 = self.values[i - 1];
+                let v1 = self.values[i];
+                if t1 == t0 {
+                    return Some(v1);
+                }
+                return Some(v0 + (v1 - v0) * (t - t0) / (t1 - t0));
+            }
+        }
+        self.values.last().copied()
+    }
+
+    /// Minimum recorded value (`None` for an empty trace).
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum recorded value (`None` for an empty trace).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Peak-to-peak amplitude over the window `[t0, t1]`, `None` when the
+    /// window holds no samples.
+    pub fn peak_to_peak(&self, t0: f64, t1: f64) -> Option<f64> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut any = false;
+        for (t, v) in self.times.iter().zip(&self.values) {
+            if *t >= t0 && *t <= t1 {
+                lo = lo.min(*v);
+                hi = hi.max(*v);
+                any = true;
+            }
+        }
+        if any {
+            Some(hi - lo)
+        } else {
+            None
+        }
+    }
+
+    /// Times of rising crossings through `threshold`.
+    pub fn rising_crossings(&self, threshold: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 1..self.times.len() {
+            let v0 = self.values[i - 1];
+            let v1 = self.values[i];
+            if v0 < threshold && v1 >= threshold {
+                let t0 = self.times[i - 1];
+                let t1 = self.times[i];
+                let frac = if v1 == v0 { 0.0 } else { (threshold - v0) / (v1 - v0) };
+                out.push(t0 + frac * (t1 - t0));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(2.5);
+        assert_eq!(w.value(0.0), 2.5);
+        assert_eq!(w.value(1e9), 2.5);
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 1.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.4,
+            period: 1.0,
+        };
+        assert_eq!(w.value(0.5), 0.0); // before delay
+        assert!((w.value(1.05) - 0.5).abs() < 1e-12); // mid rise
+        assert_eq!(w.value(1.3), 1.0); // plateau
+        assert!((w.value(1.55) - 0.5).abs() < 1e-12); // mid fall
+        assert_eq!(w.value(1.8), 0.0); // off
+        assert_eq!(w.value(2.3), 1.0); // next period plateau
+    }
+
+    #[test]
+    fn clock_has_half_duty() {
+        let w = Waveform::clock(0.0, 3.0, 10e3);
+        let period = 1e-4;
+        assert_eq!(w.value(period * 0.25), 3.0);
+        assert_eq!(w.value(period * 0.75), 0.0);
+    }
+
+    #[test]
+    fn sine_value() {
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            frequency: 1.0,
+            phase: 0.0,
+        };
+        assert!((w.value(0.25) - 3.0).abs() < 1e-12);
+        assert!((w.value(0.75) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(w.value(-1.0), 0.0);
+        assert!((w.value(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(w.value(5.0), 2.0);
+        assert_eq!(Waveform::Pwl(vec![]).value(1.0), 0.0);
+    }
+
+    #[test]
+    fn trace_queries() {
+        let mut tr = Trace::new();
+        tr.push(0.0, 0.0);
+        tr.push(1.0, 2.0);
+        tr.push(2.0, -1.0);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.value_at(0.5), Some(1.0));
+        assert_eq!(tr.value_at(-1.0), Some(0.0));
+        assert_eq!(tr.value_at(9.0), Some(-1.0));
+        assert_eq!(tr.min(), Some(-1.0));
+        assert_eq!(tr.max(), Some(2.0));
+        assert_eq!(tr.peak_to_peak(0.0, 2.0), Some(3.0));
+        assert_eq!(tr.peak_to_peak(5.0, 6.0), None);
+    }
+
+    #[test]
+    fn rising_crossings_found() {
+        let mut tr = Trace::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            tr.push(t, (std::f64::consts::TAU * t).sin());
+        }
+        // Samples run t = 0..1.9; the only rising zero crossing with a
+        // preceding negative sample is near t = 1.
+        let crossings = tr.rising_crossings(0.0);
+        assert_eq!(crossings.len(), 1);
+        assert!((crossings[0] - 1.0).abs() < 0.15, "at {}", crossings[0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the circuit simulator: device-model
+//! physics, network laws and analysis consistency.
+
+use flexcs_circuit::{Circuit, CntTftModel, NodeId, TransientConfig, Waveform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tft_current_zero_at_zero_vds(vg in -3.0..3.0f64, v in -3.0..3.0f64, wl in 0.5..50.0f64) {
+        let m = CntTftModel::default();
+        let op = m.eval(vg, v, v, wl);
+        prop_assert!(op.i_sd.abs() < 1e-15, "i = {}", op.i_sd);
+    }
+
+    #[test]
+    fn tft_antisymmetric_in_terminals(vg in -3.0..3.0f64, vd in -3.0..3.0f64, vs in -3.0..3.0f64) {
+        let m = CntTftModel::default();
+        let fwd = m.eval(vg, vd, vs, 10.0);
+        let rev = m.eval(vg, vs, vd, 10.0);
+        prop_assert!((fwd.i_sd + rev.i_sd).abs() < 1e-12 + 1e-9 * fwd.i_sd.abs());
+    }
+
+    #[test]
+    fn tft_passive_power_dissipation(vg in -3.0..3.0f64, vd in -3.0..3.0f64, vs in -3.0..3.0f64) {
+        // The channel never generates power: i_sd (v_s − v_d) >= 0.
+        let m = CntTftModel::default();
+        let op = m.eval(vg, vd, vs, 10.0);
+        prop_assert!(op.i_sd * (vs - vd) >= -1e-15);
+    }
+
+    #[test]
+    fn tft_current_monotone_in_gate_drive(vd in -2.0..0.0f64, vs in 1.0..3.0f64, vg1 in -3.0..2.0f64) {
+        // For a p-type device, lowering the gate increases |i|.
+        let m = CntTftModel::default();
+        let vg2 = vg1 - 0.5;
+        let i1 = m.eval(vg1, vd, vs, 10.0).i_sd;
+        let i2 = m.eval(vg2, vd, vs, 10.0).i_sd;
+        prop_assert!(i2 >= i1 - 1e-15);
+    }
+
+    #[test]
+    fn divider_matches_analytic(r1 in 10.0..1e6f64, r2 in 10.0..1e6f64, v in -5.0..5.0f64) {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        let mid = ckt.node("mid");
+        ckt.add_vsource(top, NodeId::GROUND, Waveform::Dc(v));
+        ckt.add_resistor(top, mid, r1).unwrap();
+        ckt.add_resistor(mid, NodeId::GROUND, r2).unwrap();
+        let op = ckt.dc_operating_point().unwrap();
+        let expect = v * r2 / (r1 + r2);
+        prop_assert!((op.voltage(mid) - expect).abs() < 1e-5 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn superposition_of_current_sources(i1 in -1e-3..1e-3f64, i2 in -1e-3..1e-3f64, r in 100.0..1e5f64) {
+        let build = |a_on: bool, b_on: bool| {
+            let mut ckt = Circuit::new();
+            let n = ckt.node("n");
+            if a_on {
+                ckt.add_isource(NodeId::GROUND, n, Waveform::Dc(i1));
+            }
+            if b_on {
+                ckt.add_isource(NodeId::GROUND, n, Waveform::Dc(i2));
+            }
+            ckt.add_resistor(n, NodeId::GROUND, r).unwrap();
+            let op = ckt.dc_operating_point().unwrap();
+            op.voltage(ckt.find_node("n").unwrap())
+        };
+        let va = build(true, false);
+        let vb = build(false, true);
+        let vab = build(true, true);
+        prop_assert!((vab - (va + vb)).abs() < 1e-6 * (1.0 + vab.abs()));
+    }
+
+    #[test]
+    fn kcl_at_source_matches_load(v in 0.1..5.0f64, r in 100.0..1e5f64) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let src = ckt.add_vsource(a, NodeId::GROUND, Waveform::Dc(v));
+        ckt.add_resistor(a, NodeId::GROUND, r).unwrap();
+        let op = ckt.dc_operating_point().unwrap();
+        let i = op.source_current(src).unwrap();
+        prop_assert!((i + v / r).abs() < 1e-9 * (1.0 + v / r));
+    }
+
+    #[test]
+    fn rc_transient_energy_decay(r in 100.0..10_000.0f64, c in 1e-8..1e-6f64) {
+        // A discharging RC network's voltage magnitude is non-increasing.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        // Charge node b via a source that drops to 0 at t = 0+.
+        ckt.add_vsource(
+            a,
+            NodeId::GROUND,
+            Waveform::Pulse {
+                v0: 1.0,
+                v1: 0.0,
+                delay: 1e-9,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 10.0,
+                period: 0.0,
+            },
+        );
+        ckt.add_resistor(a, b, r).unwrap();
+        ckt.add_capacitor(b, NodeId::GROUND, c).unwrap();
+        let tau = r * c;
+        let result = ckt.transient(&TransientConfig::new(2.0 * tau, tau / 50.0)).unwrap();
+        let tr = result.trace(b);
+        let vals = tr.values();
+        for w in vals.windows(2).skip(1) {
+            prop_assert!(w[1] <= w[0] + 1e-9, "voltage rose during discharge");
+        }
+    }
+
+    #[test]
+    fn waveform_pulse_bounded(
+        v0 in -5.0..5.0f64,
+        v1 in -5.0..5.0f64,
+        t in 0.0..1.0f64,
+    ) {
+        let w = Waveform::Pulse {
+            v0,
+            v1,
+            delay: 0.1,
+            rise: 0.01,
+            fall: 0.01,
+            width: 0.2,
+            period: 0.5,
+        };
+        let v = w.value(t);
+        let lo = v0.min(v1);
+        let hi = v0.max(v1);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn ac_magnitude_of_divider_is_frequency_flat(r1 in 100.0..1e5f64, r2 in 100.0..1e5f64, f in 1.0..1e6f64) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        let src = ckt.add_vsource(a, NodeId::GROUND, Waveform::Dc(0.0));
+        ckt.add_resistor(a, mid, r1).unwrap();
+        ckt.add_resistor(mid, NodeId::GROUND, r2).unwrap();
+        let sweep = ckt.ac_sweep(src, &[f]).unwrap();
+        let mag = sweep.magnitude(ckt.find_node("mid").unwrap())[0];
+        let expect = r2 / (r1 + r2);
+        prop_assert!((mag - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,78 @@
+//! Communication-cost model (paper Sec. 4.1).
+//!
+//! With no sparse errors, only `M` of `N` sensors need conversion and
+//! transmission; since "the A/D conversion usually is the bottleneck of
+//! sensing applications", the cost scales as `M/N ≈ 0.5`. The scan
+//! itself still takes `√N` cycles (one per column, Fig. 4).
+
+use flexcs_transform::required_measurements;
+
+/// Cost summary for reading one frame through the CS encoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommCostReport {
+    /// Total sensors `N`.
+    pub n: usize,
+    /// Measurements taken `M`.
+    pub m: usize,
+    /// `M/N` — the fraction of A/D conversions (and link payload)
+    /// relative to a full read.
+    pub cost_ratio: f64,
+    /// Scan cycles (`cols`, i.e. `√N` for a square array).
+    pub scan_cycles: usize,
+    /// A/D conversions performed (equals `M`).
+    pub adc_conversions: usize,
+}
+
+/// Builds the cost report for an `rows x cols` array sampled `m` times.
+pub fn comm_cost(rows: usize, cols: usize, m: usize) -> CommCostReport {
+    let n = rows * cols;
+    CommCostReport {
+        n,
+        m,
+        cost_ratio: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        scan_cycles: cols,
+        adc_conversions: m,
+    }
+}
+
+/// Cost report at the Eq. 1 operating point for a measured sparsity `k`:
+/// `M ≈ K·log₂(N/K)`.
+pub fn comm_cost_for_sparsity(rows: usize, cols: usize, k: usize) -> CommCostReport {
+    let n = rows * cols;
+    comm_cost(rows, cols, required_measurements(k, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_cycles() {
+        let r = comm_cost(32, 32, 512);
+        assert_eq!(r.n, 1024);
+        assert_eq!(r.m, 512);
+        assert!((r.cost_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(r.scan_cycles, 32);
+        assert_eq!(r.adc_conversions, 512);
+    }
+
+    #[test]
+    fn paper_claim_half_sparsity_halves_cost() {
+        // K = N/2 → M = N/2 → cost ratio 0.5 (Sec. 4.1's "~0.5").
+        let r = comm_cost_for_sparsity(32, 32, 512);
+        assert!((r.cost_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparser_signals_cost_less() {
+        let half = comm_cost_for_sparsity(32, 32, 512);
+        let tenth = comm_cost_for_sparsity(32, 32, 102);
+        assert!(tenth.cost_ratio < half.cost_ratio);
+    }
+
+    #[test]
+    fn empty_array_is_free() {
+        let r = comm_cost(0, 0, 0);
+        assert_eq!(r.cost_ratio, 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Reconstruction-quality metrics.
+
+use flexcs_linalg::Matrix;
+
+/// Root-mean-square error between two equal-shape frames — the paper's
+/// temperature-imaging metric (Fig. 6a/6c).
+///
+/// # Panics
+///
+/// Panics on a shape mismatch.
+pub fn rmse(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "rmse: shape mismatch");
+    let n = (a.rows() * a.cols()) as f64;
+    let sse: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    (sse / n).sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics on a shape mismatch.
+pub fn mae(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mae: shape mismatch");
+    let n = (a.rows() * a.cols()) as f64;
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>() / n
+}
+
+/// Peak signal-to-noise ratio in dB for unit-range frames
+/// (`20·log10(1/rmse)`), `+inf` for identical frames.
+///
+/// # Panics
+///
+/// Panics on a shape mismatch.
+pub fn psnr_unit(a: &Matrix, b: &Matrix) -> f64 {
+    let e = rmse(a, b);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        -20.0 * e.log10()
+    }
+}
+
+/// Relative Frobenius error `‖a − b‖_F / ‖b‖_F` (`b` is the reference;
+/// 0 reference with nonzero `a` gives `+inf`).
+///
+/// # Panics
+///
+/// Panics on a shape mismatch.
+pub fn relative_error(a: &Matrix, reference: &Matrix) -> f64 {
+    assert_eq!(a.shape(), reference.shape(), "relative_error: shape mismatch");
+    let num = (a - reference).norm_fro();
+    let den = reference.norm_fro();
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_identical_is_zero() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(psnr_unit(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 0.5);
+        assert!((rmse(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((mae(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((psnr_unit(&a, &b) - 20.0 * 2.0_f64.log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_scales() {
+        let a = Matrix::filled(2, 2, 1.1);
+        let b = Matrix::filled(2, 2, 1.0);
+        assert!((relative_error(&a, &b) - 0.1).abs() < 1e-12);
+        let z = Matrix::zeros(2, 2);
+        assert_eq!(relative_error(&z, &z), 0.0);
+        assert_eq!(relative_error(&b, &z), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        rmse(&Matrix::zeros(2, 2), &Matrix::zeros(2, 3));
+    }
+}

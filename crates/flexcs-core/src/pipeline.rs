@@ -1,0 +1,282 @@
+//! End-to-end robustness experiment (paper Fig. 7).
+//!
+//! "Instead of directly using the noisy inputs, we perform the sampling
+//! and reconstruction before the RMSE evaluation and classification":
+//! normalize → inject sparse errors → (strategy) sample → reconstruct →
+//! compare to ground truth. The "w/o CS" baseline consumes the corrupted
+//! frame directly.
+
+use crate::decode::Decoder;
+use crate::error::Result;
+use crate::inject::SparseErrorModel;
+use crate::metrics::rmse;
+use crate::strategy::SamplingStrategy;
+use flexcs_datasets::normalize_unit;
+use flexcs_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one robustness experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Fraction of pixels sampled (`M/N`, the paper sweeps 45–60 %).
+    pub sampling_fraction: f64,
+    /// Fraction of pixels hit by sparse errors (paper sweeps 0–20 %).
+    pub error_fraction: f64,
+    /// Sampling strategy.
+    pub strategy: SamplingStrategy,
+    /// CS decoder.
+    pub decoder: Decoder,
+    /// Additive Gaussian measurement-noise std ε (normalized units) —
+    /// the measurement-error term of the paper's Eq. 2 bound.
+    pub measurement_noise: f64,
+    /// Base RNG seed; error injection and sampling derive from it.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    /// 50 % sampling, 10 % errors (the paper's headline point),
+    /// exclude-tested strategy, FISTA decoder.
+    fn default() -> Self {
+        ExperimentConfig {
+            sampling_fraction: 0.5,
+            error_fraction: 0.1,
+            strategy: SamplingStrategy::exclude_tested(),
+            decoder: Decoder::default(),
+            measurement_noise: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Ground-truth normalized frame.
+    pub truth: Matrix,
+    /// Corrupted frame as acquired (the "w/o CS" input).
+    pub corrupted: Matrix,
+    /// CS reconstruction.
+    pub reconstructed: Matrix,
+    /// RMSE of the CS reconstruction against the truth.
+    pub rmse_cs: f64,
+    /// RMSE of the corrupted frame against the truth (w/o CS baseline).
+    pub rmse_raw: f64,
+    /// Number of pixels corrupted.
+    pub corrupted_count: usize,
+}
+
+/// Runs one experiment on a raw (unnormalized) frame.
+///
+/// # Errors
+///
+/// Returns a configuration error for fractions outside `[0, 1]` (or a
+/// zero sampling fraction) and propagates pipeline failures.
+pub fn run_experiment(frame: &Matrix, config: &ExperimentConfig) -> Result<ExperimentOutcome> {
+    if !(config.sampling_fraction > 0.0 && config.sampling_fraction <= 1.0) {
+        return Err(crate::error::CoreError::InvalidConfig(format!(
+            "sampling fraction must lie in (0, 1], got {}",
+            config.sampling_fraction
+        )));
+    }
+    // Step 1 (Fig. 7): normalize to [0, 1].
+    let truth = normalize_unit(frame);
+    let (rows, cols) = truth.shape();
+    let n = rows * cols;
+    // Step 2: inject sparse errors, then additive measurement noise ε
+    // on the healthy pixels (Eq. 2's measurement-error source).
+    let model = SparseErrorModel::new(config.error_fraction)?;
+    let (mut corrupted, corrupted_indices) = model.corrupt(&truth, config.seed);
+    if config.measurement_noise > 0.0 {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0e25);
+        let mut gauss = move || {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let cols = corrupted.cols();
+        let mut stuck = vec![false; n];
+        for &i in &corrupted_indices {
+            stuck[i] = true;
+        }
+        for i in 0..corrupted.rows() {
+            for j in 0..cols {
+                if !stuck[i * cols + j] {
+                    corrupted[(i, j)] += config.measurement_noise * gauss();
+                }
+            }
+        }
+    }
+    // Step 3–4: strategy-driven sampling + reconstruction.
+    let m = ((n as f64) * config.sampling_fraction).round().max(1.0) as usize;
+    let reconstructed = config.strategy.reconstruct(
+        &corrupted,
+        m.min(n),
+        &config.decoder,
+        config.seed ^ 0x5a5a,
+    )?;
+    // Step 5: evaluate.
+    Ok(ExperimentOutcome {
+        rmse_cs: rmse(&reconstructed, &truth),
+        rmse_raw: rmse(&corrupted, &truth),
+        truth,
+        corrupted,
+        reconstructed,
+        corrupted_count: corrupted_indices.len(),
+    })
+}
+
+/// Averages an experiment over several frames (trial `k` uses
+/// `seed + k`), returning `(mean rmse_cs, mean rmse_raw)`.
+///
+/// # Errors
+///
+/// Propagates per-frame failures; returns a configuration error for an
+/// empty frame list.
+pub fn run_experiment_batch(
+    frames: &[Matrix],
+    config: &ExperimentConfig,
+) -> Result<(f64, f64)> {
+    if frames.is_empty() {
+        return Err(crate::error::CoreError::InvalidConfig(
+            "experiment batch needs at least one frame".to_string(),
+        ));
+    }
+    let mut sum_cs = 0.0;
+    let mut sum_raw = 0.0;
+    for (k, frame) in frames.iter().enumerate() {
+        let mut cfg = config.clone();
+        cfg.seed = config.seed.wrapping_add(k as u64 * 1013);
+        let outcome = run_experiment(frame, &cfg)?;
+        sum_cs += outcome.rmse_cs;
+        sum_raw += outcome.rmse_raw;
+    }
+    Ok((
+        sum_cs / frames.len() as f64,
+        sum_raw / frames.len() as f64,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcs_datasets::{thermal_frame, ThermalConfig};
+
+    fn thermal(seed: u64) -> Matrix {
+        let cfg = ThermalConfig {
+            rows: 16,
+            cols: 16,
+            ..ThermalConfig::default()
+        };
+        thermal_frame(&cfg, seed)
+    }
+
+    #[test]
+    fn cs_beats_raw_at_moderate_errors() {
+        // The paper's headline: at ~10 % errors CS reconstruction has a
+        // far lower RMSE than using the corrupted frame directly.
+        let frame = thermal(1);
+        let config = ExperimentConfig {
+            sampling_fraction: 0.55,
+            error_fraction: 0.1,
+            ..ExperimentConfig::default()
+        };
+        let outcome = run_experiment(&frame, &config).unwrap();
+        assert!(
+            outcome.rmse_cs < outcome.rmse_raw * 0.6,
+            "cs {:.4} vs raw {:.4}",
+            outcome.rmse_cs,
+            outcome.rmse_raw
+        );
+    }
+
+    #[test]
+    fn raw_rmse_grows_with_error_fraction() {
+        let frame = thermal(2);
+        let mut last = 0.0;
+        for ef in [0.0, 0.05, 0.1, 0.2] {
+            let config = ExperimentConfig {
+                error_fraction: ef,
+                ..ExperimentConfig::default()
+            };
+            let outcome = run_experiment(&frame, &config).unwrap();
+            assert!(
+                outcome.rmse_raw >= last,
+                "raw rmse not monotone at {ef}: {} < {last}",
+                outcome.rmse_raw
+            );
+            last = outcome.rmse_raw;
+        }
+    }
+
+    #[test]
+    fn more_sampling_reduces_cs_rmse() {
+        let frame = thermal(3);
+        let rmse_at = |fraction: f64| {
+            let config = ExperimentConfig {
+                sampling_fraction: fraction,
+                error_fraction: 0.05,
+                seed: 4,
+                ..ExperimentConfig::default()
+            };
+            run_experiment(&frame, &config).unwrap().rmse_cs
+        };
+        let lo = rmse_at(0.3);
+        let hi = rmse_at(0.65);
+        assert!(hi < lo, "rmse at 65 % ({hi:.4}) should beat 30 % ({lo:.4})");
+    }
+
+    #[test]
+    fn corrupted_count_tracks_fraction() {
+        let frame = thermal(5);
+        let config = ExperimentConfig {
+            error_fraction: 0.1,
+            ..ExperimentConfig::default()
+        };
+        let outcome = run_experiment(&frame, &config).unwrap();
+        assert_eq!(outcome.corrupted_count, 26); // 10 % of 256, rounded
+    }
+
+    #[test]
+    fn batch_averages_over_frames() {
+        let frames: Vec<Matrix> = (0..3).map(thermal).collect();
+        let config = ExperimentConfig::default();
+        let (cs, raw) = run_experiment_batch(&frames, &config).unwrap();
+        assert!(cs > 0.0 && raw > 0.0);
+        assert!(cs < raw);
+        assert!(run_experiment_batch(&[], &config).is_err());
+    }
+
+    #[test]
+    fn measurement_noise_degrades_rmse_smoothly() {
+        let frame = thermal(8);
+        let rmse_at = |eps: f64| {
+            let config = ExperimentConfig {
+                error_fraction: 0.0,
+                measurement_noise: eps,
+                seed: 3,
+                ..ExperimentConfig::default()
+            };
+            run_experiment(&frame, &config).unwrap().rmse_cs
+        };
+        let clean = rmse_at(0.0);
+        let mild = rmse_at(0.02);
+        let heavy = rmse_at(0.10);
+        assert!(mild >= clean - 1e-9, "noise should not improve rmse");
+        assert!(heavy > mild, "more noise, more error");
+        // Eq. 2: the noise contribution is O(sqrt(N/M)·ε), i.e. same
+        // order as ε — not catastrophically amplified.
+        assert!(heavy < clean + 0.1 * 4.0, "heavy {heavy} vs clean {clean}");
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        let frame = thermal(6);
+        let mut config = ExperimentConfig::default();
+        config.sampling_fraction = 0.0;
+        assert!(run_experiment(&frame, &config).is_err());
+        config.sampling_fraction = 0.5;
+        config.error_fraction = 1.2;
+        assert!(run_experiment(&frame, &config).is_err());
+    }
+}

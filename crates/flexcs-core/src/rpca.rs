@@ -1,0 +1,392 @@
+//! Robust Principal Component Analysis via the inexact augmented
+//! Lagrange multiplier method (paper ref. \[29\], used by the Fig. 6c
+//! outlier-detection sampling strategy).
+//!
+//! Decomposes a frame `D = L + S` with `L` low rank (the smooth sensing
+//! field) and `S` sparse (stuck pixels / transient upsets), by
+//! minimizing `‖L‖_* + λ‖S‖₁` subject to `D = L + S`.
+
+use crate::error::{CoreError, Result};
+use flexcs_linalg::{Matrix, Svd};
+
+/// RPCA configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcaConfig {
+    /// Sparsity weight λ; `None` uses the standard
+    /// `1/√max(rows, cols)`.
+    pub lambda: Option<f64>,
+    /// Convergence tolerance on `‖D − L − S‖_F / ‖D‖_F`.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for RpcaConfig {
+    fn default() -> Self {
+        RpcaConfig {
+            lambda: None,
+            tol: 1e-7,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Result of an RPCA decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcaDecomposition {
+    /// Low-rank component.
+    pub low_rank: Matrix,
+    /// Sparse component.
+    pub sparse: Matrix,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Runs inexact-ALM RPCA on `d`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for empty input or a bad
+/// configuration, and propagates SVD failures.
+pub fn rpca(d: &Matrix, config: &RpcaConfig) -> Result<RpcaDecomposition> {
+    let (m, n) = d.shape();
+    if m == 0 || n == 0 {
+        return Err(CoreError::InvalidConfig("rpca: empty matrix".to_string()));
+    }
+    if config.max_iterations == 0 || !(config.tol > 0.0) {
+        return Err(CoreError::InvalidConfig(
+            "rpca: need positive tolerance and iterations".to_string(),
+        ));
+    }
+    let lambda = config
+        .lambda
+        .unwrap_or(1.0 / (m.max(n) as f64).sqrt());
+    if !(lambda > 0.0) {
+        return Err(CoreError::InvalidConfig(format!(
+            "rpca: lambda must be positive, got {lambda}"
+        )));
+    }
+    let d_norm = d.norm_fro();
+    if d_norm == 0.0 {
+        return Ok(RpcaDecomposition {
+            low_rank: Matrix::zeros(m, n),
+            sparse: Matrix::zeros(m, n),
+            iterations: 0,
+            converged: true,
+        });
+    }
+    // Standard IALM initialization (Lin, Chen & Ma 2010).
+    let spectral = Svd::compute(d)?.spectral_norm();
+    let inf_norm = d.norm_max() / lambda;
+    let dual_scale = spectral.max(inf_norm).max(1e-12);
+    let mut y = d.scaled(1.0 / dual_scale);
+    let mut s = Matrix::zeros(m, n);
+    let mut mu = 1.25 / spectral.max(1e-12);
+    let mu_max = mu * 1e7;
+    let rho = 1.2;
+    let mut low_rank = Matrix::zeros(m, n);
+    let mut iterations = 0;
+    let mut converged = false;
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        // L-update: singular-value shrinkage of D − S + Y/μ.
+        let target = &(d - &s) + &y.scaled(1.0 / mu);
+        low_rank = Svd::compute(&target)?.shrink(1.0 / mu);
+        // S-update: entrywise soft threshold of D − L + Y/μ.
+        let starget = &(d - &low_rank) + &y.scaled(1.0 / mu);
+        let thr = lambda / mu;
+        s = starget.map(|v| {
+            if v > thr {
+                v - thr
+            } else if v < -thr {
+                v + thr
+            } else {
+                0.0
+            }
+        });
+        // Dual update.
+        let z = &(d - &low_rank) - &s;
+        y += &z.scaled(mu);
+        mu = (mu * rho).min(mu_max);
+        if z.norm_fro() / d_norm < config.tol {
+            converged = true;
+            break;
+        }
+    }
+    Ok(RpcaDecomposition {
+        low_rank,
+        sparse: s,
+        iterations,
+        converged,
+    })
+}
+
+/// Flags outlier pixels: indices whose sparse-component magnitude
+/// exceeds `threshold_factor` times the sparse component's maximum
+/// (pixels with no sparse energy are never flagged).
+pub fn outlier_indices(decomposition: &RpcaDecomposition, threshold_factor: f64) -> Vec<usize> {
+    let s = &decomposition.sparse;
+    let max = s.norm_max();
+    if max == 0.0 {
+        return Vec::new();
+    }
+    let thr = threshold_factor.clamp(0.0, 1.0) * max;
+    let cols = s.cols();
+    let mut out = Vec::new();
+    for i in 0..s.rows() {
+        for j in 0..cols {
+            if s[(i, j)].abs() > thr {
+                out.push(i * cols + j);
+            }
+        }
+    }
+    out
+}
+
+/// Multi-frame RPCA: stacks `frames` (all the same shape) as the
+/// columns of a `N x T` matrix and decomposes it.
+///
+/// The temporal low-rank component captures persistent scene content;
+/// the sparse component isolates *transient* upsets (the
+/// surveillance-video use of the paper's ref. \[29\]). A constant stuck
+/// row may land in either component depending on its magnitude versus
+/// `λ·√T` — for reliable static-defect mapping use the per-frame
+/// persistence vote of [`persistent_outliers`] instead.
+///
+/// Returns the decomposition of the stacked matrix (`low_rank` and
+/// `sparse` are `N x T`; column `t` is frame `t` vectorized row-major).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an empty frame list or
+/// mismatched shapes, and propagates [`rpca`] failures.
+pub fn rpca_multiframe(frames: &[Matrix], config: &RpcaConfig) -> Result<RpcaDecomposition> {
+    let Some(first) = frames.first() else {
+        return Err(CoreError::InvalidConfig(
+            "rpca_multiframe: no frames".to_string(),
+        ));
+    };
+    let shape = first.shape();
+    if frames.iter().any(|f| f.shape() != shape) {
+        return Err(CoreError::InvalidConfig(
+            "rpca_multiframe: frames differ in shape".to_string(),
+        ));
+    }
+    let n = shape.0 * shape.1;
+    let t = frames.len();
+    let mut stacked = Matrix::zeros(n, t);
+    for (col, frame) in frames.iter().enumerate() {
+        for (row, &v) in frame.to_flat().iter().enumerate() {
+            stacked[(row, col)] = v;
+        }
+    }
+    rpca(&stacked, config)
+}
+
+/// Maps *static* defects from a frame sequence: runs spatial RPCA on
+/// each frame, flags its outliers, and returns pixels flagged in at
+/// least `persistence` (fraction) of the frames. Fabrication defects
+/// are flagged in every frame; transient upsets in one — the
+/// multi-frame version of the paper's "testing to identify those
+/// defects".
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an empty frame list and
+/// propagates [`rpca`] failures.
+pub fn persistent_outliers(
+    frames: &[Matrix],
+    config: &RpcaConfig,
+    threshold_factor: f64,
+    persistence: f64,
+) -> Result<Vec<usize>> {
+    let Some(first) = frames.first() else {
+        return Err(CoreError::InvalidConfig(
+            "persistent_outliers: no frames".to_string(),
+        ));
+    };
+    let n = first.rows() * first.cols();
+    let mut hits = vec![0usize; n];
+    for frame in frames {
+        if frame.shape() != first.shape() {
+            return Err(CoreError::InvalidConfig(
+                "persistent_outliers: frames differ in shape".to_string(),
+            ));
+        }
+        let dec = rpca(frame, config)?;
+        for idx in outlier_indices(&dec, threshold_factor) {
+            hits[idx] += 1;
+        }
+    }
+    let needed = (((frames.len() as f64) * persistence.clamp(0.0, 1.0)).ceil() as usize).max(1);
+    Ok((0..n).filter(|&i| hits[i] >= needed).collect())
+}
+
+/// Flags *transient* upsets from a multi-frame decomposition: `(pixel,
+/// frame)` pairs whose temporal-sparse component is large.
+pub fn transient_outliers(
+    decomposition: &RpcaDecomposition,
+    threshold_factor: f64,
+) -> Vec<(usize, usize)> {
+    let s = &decomposition.sparse;
+    let max = s.norm_max();
+    if max == 0.0 {
+        return Vec::new();
+    }
+    let thr = threshold_factor.clamp(0.0, 1.0) * max;
+    let mut out = Vec::new();
+    for pixel in 0..s.rows() {
+        for t in 0..s.cols() {
+            if s[(pixel, t)].abs() > thr {
+                out.push((pixel, t));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic low-rank + sparse test matrix.
+    fn synthetic(m: usize, n: usize, rank: usize, outliers: &[(usize, usize, f64)]) -> (Matrix, Matrix, Matrix) {
+        let u = Matrix::from_fn(m, rank, |i, r| ((i * (r + 2)) as f64 * 0.31).sin());
+        let v = Matrix::from_fn(rank, n, |r, j| ((j * (r + 3)) as f64 * 0.17).cos());
+        let l = u.matmul(&v).unwrap();
+        let mut s = Matrix::zeros(m, n);
+        for &(i, j, val) in outliers {
+            s[(i, j)] = val;
+        }
+        (&l + &s, l, s)
+    }
+
+    #[test]
+    fn recovers_low_rank_plus_sparse() {
+        let outliers = [(2, 3, 5.0), (7, 1, -4.0), (5, 9, 6.0)];
+        let (d, l_true, s_true) = synthetic(12, 10, 2, &outliers);
+        let dec = rpca(&d, &RpcaConfig::default()).unwrap();
+        assert!(dec.converged);
+        assert!(
+            dec.low_rank.max_abs_diff(&l_true).unwrap() < 1e-3,
+            "L error {}",
+            dec.low_rank.max_abs_diff(&l_true).unwrap()
+        );
+        assert!(
+            dec.sparse.max_abs_diff(&s_true).unwrap() < 1e-3,
+            "S error {}",
+            dec.sparse.max_abs_diff(&s_true).unwrap()
+        );
+    }
+
+    #[test]
+    fn decomposition_sums_to_input() {
+        let (d, _, _) = synthetic(8, 8, 2, &[(1, 1, 3.0)]);
+        let dec = rpca(&d, &RpcaConfig::default()).unwrap();
+        let sum = &dec.low_rank + &dec.sparse;
+        assert!(sum.max_abs_diff(&d).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn outlier_indices_find_injected_pixels() {
+        let outliers = [(0, 4, 8.0), (6, 2, -7.0)];
+        let (d, _, _) = synthetic(10, 8, 2, &outliers);
+        let dec = rpca(&d, &RpcaConfig::default()).unwrap();
+        let mut flagged = outlier_indices(&dec, 0.5);
+        flagged.sort_unstable();
+        assert_eq!(flagged, vec![4, 50]);
+    }
+
+    #[test]
+    fn zero_matrix_short_circuits() {
+        let dec = rpca(&Matrix::zeros(4, 4), &RpcaConfig::default()).unwrap();
+        assert!(dec.converged);
+        assert_eq!(dec.iterations, 0);
+        assert!(outlier_indices(&dec, 0.5).is_empty());
+    }
+
+    #[test]
+    fn clean_low_rank_has_tiny_sparse_part() {
+        let (d, _, _) = synthetic(10, 10, 2, &[]);
+        let dec = rpca(&d, &RpcaConfig::default()).unwrap();
+        assert!(dec.sparse.norm_max() < 1e-4, "sparse residue {}", dec.sparse.norm_max());
+    }
+
+    /// Smooth scenes varying over time + one stuck pixel (all frames) +
+    /// one transient upset (single frame).
+    fn defect_sequence() -> Vec<Matrix> {
+        (0..6)
+            .map(|t| {
+                let mut f = Matrix::from_fn(8, 8, |i, j| {
+                    0.5 + 0.3 * ((i as f64 + t as f64) * 0.4).sin()
+                        + 0.2 * ((j as f64) * 0.3).cos()
+                });
+                f[(2, 3)] = 3.0; // stuck pixel: every frame
+                if t == 2 {
+                    f[(5, 5)] = -2.0; // transient: one frame only
+                }
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn persistent_outliers_map_static_defects() {
+        let frames = defect_sequence();
+        let flagged =
+            persistent_outliers(&frames, &RpcaConfig::default(), 0.3, 0.9).unwrap();
+        assert!(flagged.contains(&(2 * 8 + 3)), "stuck pixel flagged: {flagged:?}");
+        assert!(
+            !flagged.contains(&(5 * 8 + 5)),
+            "transient must not be flagged as persistent"
+        );
+    }
+
+    #[test]
+    fn multiframe_sparse_isolates_transients() {
+        let frames = defect_sequence();
+        let dec = rpca_multiframe(&frames, &RpcaConfig::default()).unwrap();
+        let transients = transient_outliers(&dec, 0.4);
+        assert!(
+            transients.contains(&(5 * 8 + 5, 2)),
+            "transient upset located at (pixel 45, frame 2): {transients:?}"
+        );
+        // Whether a constant stuck row lands in L (rank-1 content) or S
+        // (λ-cheap persistent outlier) depends on its magnitude vs λ√T;
+        // either way, persistent_outliers is the reliable static test.
+        // Here we only require that the transient is clearly separated
+        // in its own (pixel, frame) cell.
+        let frame2_hits: Vec<usize> = transients
+            .iter()
+            .filter(|&&(_, t)| t == 2)
+            .map(|&(p, _)| p)
+            .collect();
+        assert!(frame2_hits.contains(&(5 * 8 + 5)));
+    }
+
+    #[test]
+    fn multiframe_validates_input() {
+        assert!(rpca_multiframe(&[], &RpcaConfig::default()).is_err());
+        let a = Matrix::zeros(4, 4);
+        let b = Matrix::zeros(4, 5);
+        assert!(rpca_multiframe(&[a, b], &RpcaConfig::default()).is_err());
+        assert!(persistent_outliers(&[], &RpcaConfig::default(), 0.3, 0.5).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let d = Matrix::zeros(3, 3);
+        let mut cfg = RpcaConfig::default();
+        cfg.max_iterations = 0;
+        assert!(rpca(&d, &cfg).is_err());
+        cfg.max_iterations = 10;
+        cfg.tol = 0.0;
+        assert!(rpca(&d, &cfg).is_err());
+        cfg.tol = 1e-6;
+        cfg.lambda = Some(-1.0);
+        assert!(rpca(&d, &cfg).is_err());
+        assert!(rpca(&Matrix::zeros(3, 0).clone(), &RpcaConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Robust sampling strategies (paper Sec. 4.2–4.3).
+//!
+//! - [`SamplingStrategy::ExcludeTested`]: defects are identified by
+//!   testing, so sampling draws from good pixels only (the main Fig. 6a/b
+//!   setting).
+//! - [`SamplingStrategy::Oblivious`]: sample blindly, defects included —
+//!   the pessimistic baseline the advanced strategies improve on.
+//! - [`SamplingStrategy::ResampleMedian`]: acquire once, then decode
+//!   several random subsets on the silicon side and take the per-pixel
+//!   median (Fig. 6c "mean/median from 10 rounds of resampling").
+//! - [`SamplingStrategy::RpcaFilter`]: detect outliers with RPCA first,
+//!   exclude them, then sample and reconstruct (Fig. 6c "RPCA").
+
+use crate::decode::Decoder;
+use crate::error::Result;
+use crate::inject::detect_extremes;
+use crate::rpca::{outlier_indices, rpca, RpcaConfig};
+use crate::sampling::SamplingPlan;
+use flexcs_linalg::{vecops, Matrix};
+
+/// How the encoder chooses pixels in the presence of sparse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplingStrategy {
+    /// Exclude pixels whose values sit at the 0/1 extremes (defects are
+    /// found by testing), then sample from the rest.
+    ///
+    /// Appropriate when legitimate signal values avoid the rails (e.g.
+    /// normalized temperature fields). For signals with true zeros
+    /// (tactile background), use [`SamplingStrategy::ExcludeKnown`] with
+    /// the offline test results instead.
+    ExcludeTested {
+        /// Extreme-detection margin from the rails.
+        margin: f64,
+    },
+    /// Exclude an explicitly known defect list — the paper's "after
+    /// testing to identify those defects" flow, where defects are mapped
+    /// offline rather than inferred from one frame.
+    ExcludeKnown {
+        /// Defective pixel indices from testing.
+        indices: Vec<usize>,
+    },
+    /// Sample uniformly, including defective pixels.
+    Oblivious,
+    /// Acquire all pixels once, then reconstruct `rounds` random subsets
+    /// and take the per-pixel median.
+    ResampleMedian {
+        /// Number of resampling rounds (paper: 10).
+        rounds: usize,
+    },
+    /// Exclude RPCA-flagged outliers, then sample from the rest.
+    RpcaFilter {
+        /// Outlier threshold as a fraction of the largest sparse-
+        /// component magnitude.
+        threshold: f64,
+    },
+}
+
+impl SamplingStrategy {
+    /// The paper's default testing-based exclusion.
+    pub fn exclude_tested() -> Self {
+        SamplingStrategy::ExcludeTested { margin: 0.02 }
+    }
+
+    /// Short name for result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SamplingStrategy::ExcludeTested { .. } => "exclude-tested",
+            SamplingStrategy::ExcludeKnown { .. } => "exclude-known",
+            SamplingStrategy::Oblivious => "oblivious",
+            SamplingStrategy::ResampleMedian { .. } => "resample-median",
+            SamplingStrategy::RpcaFilter { .. } => "rpca-filter",
+        }
+    }
+
+    /// Runs the strategy: from the corrupted acquisition `measured`
+    /// (a full normalized frame as stored on the silicon side), sample
+    /// `m` pixels and reconstruct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling/decoding failures (e.g. too few usable
+    /// pixels).
+    pub fn reconstruct(
+        &self,
+        measured: &Matrix,
+        m: usize,
+        decoder: &Decoder,
+        seed: u64,
+    ) -> Result<Matrix> {
+        let (rows, cols) = measured.shape();
+        let n = rows * cols;
+        let flat = measured.to_flat();
+        match self {
+            SamplingStrategy::ExcludeTested { margin } => {
+                let excluded = detect_extremes(measured, *margin);
+                let m_eff = m.min(n - excluded.len().min(n));
+                let plan = SamplingPlan::random_subset(n, m_eff, &excluded, seed)?;
+                let y = plan.measure(&flat);
+                Ok(decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame)
+            }
+            SamplingStrategy::ExcludeKnown { indices } => {
+                let m_eff = m.min(n - indices.len().min(n));
+                let plan = SamplingPlan::random_subset(n, m_eff, indices, seed)?;
+                let y = plan.measure(&flat);
+                Ok(decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame)
+            }
+            SamplingStrategy::Oblivious => {
+                let plan = SamplingPlan::random_subset(n, m, &[], seed)?;
+                let y = plan.measure(&flat);
+                Ok(decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame)
+            }
+            SamplingStrategy::ResampleMedian { rounds } => {
+                let rounds = (*rounds).max(1);
+                let mut stacks: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); n];
+                for r in 0..rounds {
+                    let plan =
+                        SamplingPlan::random_subset(n, m, &[], seed.wrapping_add(r as u64 * 77))?;
+                    let y = plan.measure(&flat);
+                    let rec = decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame;
+                    for (stack, &v) in stacks.iter_mut().zip(rec.as_slice()) {
+                        stack.push(v);
+                    }
+                }
+                Ok(Matrix::from_fn(rows, cols, |i, j| {
+                    vecops::median(&stacks[i * cols + j])
+                }))
+            }
+            SamplingStrategy::RpcaFilter { threshold } => {
+                let decomposition = rpca(measured, &RpcaConfig::default())?;
+                let excluded = outlier_indices(&decomposition, *threshold);
+                let m_eff = m.min(n - excluded.len().min(n));
+                let plan = SamplingPlan::random_subset(n, m_eff, &excluded, seed)?;
+                let y = plan.measure(&flat);
+                Ok(decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::SparseErrorModel;
+    use crate::metrics::rmse;
+
+    /// A smooth synthetic frame, normalized to [0, 1].
+    fn smooth_frame(rows: usize, cols: usize) -> Matrix {
+        let raw = Matrix::from_fn(rows, cols, |i, j| {
+            0.5 + 0.3 * ((i as f64) * 0.4).sin() + 0.2 * ((j as f64) * 0.3).cos()
+        });
+        let min = raw.min();
+        let max = raw.max();
+        raw.map(|v| (v - min) / (max - min))
+    }
+
+    fn corrupted(rows: usize, cols: usize, fraction: f64, seed: u64) -> (Matrix, Matrix) {
+        let truth = smooth_frame(rows, cols);
+        let (bad, _) = SparseErrorModel::new(fraction).unwrap().corrupt(&truth, seed);
+        (truth, bad)
+    }
+
+    #[test]
+    fn exclude_tested_beats_oblivious_under_errors() {
+        let (truth, bad) = corrupted(16, 16, 0.1, 3);
+        let decoder = Decoder::default();
+        let m = 150;
+        let r_excl = SamplingStrategy::exclude_tested()
+            .reconstruct(&bad, m, &decoder, 1)
+            .unwrap();
+        let r_obl = SamplingStrategy::Oblivious
+            .reconstruct(&bad, m, &decoder, 1)
+            .unwrap();
+        let e_excl = rmse(&r_excl, &truth);
+        let e_obl = rmse(&r_obl, &truth);
+        assert!(
+            e_excl < e_obl,
+            "exclude {e_excl:.4} should beat oblivious {e_obl:.4}"
+        );
+    }
+
+    #[test]
+    fn resample_median_tolerates_blind_errors() {
+        let (truth, bad) = corrupted(16, 16, 0.05, 7);
+        let decoder = Decoder::default();
+        let m = 150;
+        let single = SamplingStrategy::Oblivious
+            .reconstruct(&bad, m, &decoder, 2)
+            .unwrap();
+        let median = SamplingStrategy::ResampleMedian { rounds: 10 }
+            .reconstruct(&bad, m, &decoder, 2)
+            .unwrap();
+        assert!(
+            rmse(&median, &truth) < rmse(&single, &truth),
+            "median {:.4} vs single {:.4}",
+            rmse(&median, &truth),
+            rmse(&single, &truth)
+        );
+    }
+
+    #[test]
+    fn rpca_filter_excludes_most_stuck_pixels() {
+        let (truth, bad) = corrupted(16, 16, 0.08, 11);
+        let decoder = Decoder::default();
+        let rec = SamplingStrategy::RpcaFilter { threshold: 0.3 }
+            .reconstruct(&bad, 150, &decoder, 3)
+            .unwrap();
+        // With outliers excluded the reconstruction approaches the
+        // clean frame.
+        assert!(rmse(&rec, &truth) < 0.12, "rmse {}", rmse(&rec, &truth));
+    }
+
+    #[test]
+    fn no_errors_all_strategies_agree_roughly() {
+        let truth = smooth_frame(12, 12);
+        let decoder = Decoder::default();
+        for strategy in [
+            SamplingStrategy::exclude_tested(),
+            SamplingStrategy::Oblivious,
+            SamplingStrategy::ResampleMedian { rounds: 3 },
+            SamplingStrategy::RpcaFilter { threshold: 0.5 },
+        ] {
+            let rec = strategy.reconstruct(&truth, 100, &decoder, 5).unwrap();
+            let e = rmse(&rec, &truth);
+            assert!(e < 0.12, "{}: rmse {e}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn exclude_known_uses_the_given_mask() {
+        let (truth, bad) = corrupted(16, 16, 0.1, 21);
+        // Recover the injected indices by diffing.
+        let indices: Vec<usize> = (0..256)
+            .filter(|&i| (bad[(i / 16, i % 16)] - truth[(i / 16, i % 16)]).abs() > 1e-12)
+            .collect();
+        let decoder = Decoder::default();
+        let rec = SamplingStrategy::ExcludeKnown { indices }
+            .reconstruct(&bad, 150, &decoder, 4)
+            .unwrap();
+        assert!(rmse(&rec, &truth) < 0.08, "rmse {}", rmse(&rec, &truth));
+    }
+
+    #[test]
+    fn exclude_known_differs_with_sample_budget() {
+        // Regression test: different m must actually change the plan.
+        let (_, bad) = corrupted(16, 16, 0.05, 31);
+        let decoder = Decoder::default();
+        let strategy = SamplingStrategy::ExcludeKnown { indices: vec![] };
+        let r1 = strategy.reconstruct(&bad, 100, &decoder, 9).unwrap();
+        let r2 = strategy.reconstruct(&bad, 180, &decoder, 9).unwrap();
+        assert!((&r1 - &r2).norm_fro() > 1e-9, "budgets produced identical plans");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SamplingStrategy::Oblivious.name(), "oblivious");
+        assert_eq!(
+            SamplingStrategy::ResampleMedian { rounds: 10 }.name(),
+            "resample-median"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Spatial filtering helpers for the generators.
+
+use flexcs_linalg::Matrix;
+
+/// Separable Gaussian blur with clamped (replicate) borders.
+///
+/// Models the point-spread function of a physical sensor array: thermal
+/// diffusion for the temperature imager, elastomer spreading for tactile
+/// skins. A `sigma <= 0` is a no-op.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_linalg::Matrix;
+/// use flexcs_datasets::gaussian_blur;
+///
+/// let mut impulse = Matrix::zeros(9, 9);
+/// impulse[(4, 4)] = 1.0;
+/// let blurred = gaussian_blur(&impulse, 1.0);
+/// assert!((blurred.sum() - 1.0).abs() < 1e-6, "blur preserves mass");
+/// assert!(blurred[(4, 4)] < 1.0);
+/// ```
+pub fn gaussian_blur(frame: &Matrix, sigma: f64) -> Matrix {
+    if sigma <= 0.0 {
+        return frame.clone();
+    }
+    let radius = (3.0 * sigma).ceil() as isize;
+    let kernel: Vec<f64> = (-radius..=radius)
+        .map(|i| (-((i * i) as f64) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let ksum: f64 = kernel.iter().sum();
+    let (rows, cols) = frame.shape();
+    // Horizontal pass.
+    let mut tmp = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            let mut s = 0.0;
+            for (ki, d) in (-radius..=radius).enumerate() {
+                let jj = (j as isize + d).clamp(0, cols as isize - 1) as usize;
+                s += kernel[ki] * frame[(i, jj)];
+            }
+            tmp[(i, j)] = s / ksum;
+        }
+    }
+    // Vertical pass.
+    let mut out = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            let mut s = 0.0;
+            for (ki, d) in (-radius..=radius).enumerate() {
+                let ii = (i as isize + d).clamp(0, rows as isize - 1) as usize;
+                s += kernel[ki] * tmp[(ii, j)];
+            }
+            out[(i, j)] = s / ksum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let m = Matrix::from_fn(4, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(gaussian_blur(&m, 0.0), m);
+        assert_eq!(gaussian_blur(&m, -1.0), m);
+    }
+
+    #[test]
+    fn constant_frame_unchanged() {
+        let m = Matrix::filled(6, 6, 3.5);
+        let b = gaussian_blur(&m, 1.5);
+        assert!(b.max_abs_diff(&m).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn blur_reduces_peak_and_spreads() {
+        let mut m = Matrix::zeros(11, 11);
+        m[(5, 5)] = 1.0;
+        let b = gaussian_blur(&m, 1.0);
+        assert!(b[(5, 5)] < 0.5);
+        assert!(b[(5, 6)] > 0.0);
+        assert!(b[(6, 6)] > 0.0);
+        assert!((b.sum() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blur_is_monotone_in_sigma_for_peak() {
+        let mut m = Matrix::zeros(15, 15);
+        m[(7, 7)] = 1.0;
+        let p1 = gaussian_blur(&m, 0.8)[(7, 7)];
+        let p2 = gaussian_blur(&m, 1.6)[(7, 7)];
+        assert!(p2 < p1);
+    }
+}

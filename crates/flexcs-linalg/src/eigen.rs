@@ -1,0 +1,220 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! RPCA diagnostics and the sampling-matrix coherence analysis need
+//! eigenvalues of small symmetric Gram matrices; cyclic Jacobi is exact
+//! enough and dependency-free.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Eigendecomposition `A = Q·Λ·Qᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are sorted in non-increasing order with matching columns in
+/// `q`.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_linalg::{Matrix, SymmetricEigen};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = SymmetricEigen::compute(&a)?;
+/// assert!((eig.values()[0] - 3.0).abs() < 1e-12);
+/// assert!((eig.values()[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    values: Vec<f64>,
+    q: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes eigenvalues and eigenvectors of a symmetric matrix.
+    ///
+    /// Only symmetry up to rounding is assumed; the strictly upper triangle
+    /// is averaged with the lower before iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input or
+    /// [`LinalgError::NotConverged`] if Jacobi sweeps fail to reduce
+    /// off-diagonal mass (practically unreachable).
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::InvalidArgument("eigen: empty matrix".into()));
+        }
+        // Symmetrize defensively.
+        let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let mut q = Matrix::identity(n);
+        let max_sweeps = 64;
+        let mut converged = false;
+        let mut off = 0.0;
+        for _ in 0..max_sweeps {
+            off = 0.0_f64;
+            for p in 0..n {
+                for r in (p + 1)..n {
+                    off += m[(p, r)] * m[(p, r)];
+                }
+            }
+            off = off.sqrt();
+            if off < 1e-13 * (1.0 + m.norm_fro()) {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for r in (p + 1)..n {
+                    let apq = m[(p, r)];
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(r, r)];
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = if tau >= 0.0 {
+                        1.0 / (tau + (1.0 + tau * tau).sqrt())
+                    } else {
+                        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    // Update rows/cols p and r of M = Jᵀ M J.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, r)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, r)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(r, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(r, k)] = s * mpk + c * mqk;
+                    }
+                    for k in 0..n {
+                        let qkp = q[(k, p)];
+                        let qkq = q[(k, r)];
+                        q[(k, p)] = c * qkp - s * qkq;
+                        q[(k, r)] = s * qkp + c * qkq;
+                    }
+                }
+            }
+        }
+        if !converged && off > 1e-8 {
+            return Err(LinalgError::NotConverged {
+                iterations: max_sweeps,
+                residual: off,
+            });
+        }
+        // Extract and sort.
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let qs = Matrix::from_fn(n, n, |i, j| q[(i, pairs[j].1)]);
+        Ok(SymmetricEigen { values, q: qs })
+    }
+
+    /// Eigenvalues, non-increasing.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Orthonormal eigenvector matrix (column `j` pairs with
+    /// `values()[j]`).
+    pub fn vectors(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Reconstructs `Q·Λ·Qᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let ql = Matrix::from_fn(n, n, |i, j| self.q[(i, j)] * self.values[j]);
+        ql.matmul(&self.q.transpose()).expect("consistent shapes")
+    }
+
+    /// Condition number `|λ_max| / |λ_min|` (infinite when the smallest
+    /// eigenvalue is zero).
+    pub fn condition_number(&self) -> f64 {
+        let lmax = self
+            .values
+            .iter()
+            .fold(0.0_f64, |m, v| m.max(v.abs()));
+        let lmin = self
+            .values
+            .iter()
+            .fold(f64::INFINITY, |m, v| m.min(v.abs()));
+        if lmin == 0.0 {
+            f64::INFINITY
+        } else {
+            lmax / lmin
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let eig = SymmetricEigen::compute(&a).unwrap();
+        assert!((eig.values()[0] - 3.0).abs() < 1e-12);
+        assert!((eig.values()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let mut state = 42_u64;
+        let mut r = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let b = Matrix::from_fn(7, 7, |_, _| r());
+        let a = &b + &b.transpose();
+        let eig = SymmetricEigen::compute(&a).unwrap();
+        assert!(eig.reconstruct().max_abs_diff(&a).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn vectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 1.0]]).unwrap();
+        let eig = SymmetricEigen::compute(&a).unwrap();
+        let qtq = eig.vectors().transpose().matmul(eig.vectors()).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_equation_holds() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let eig = SymmetricEigen::compute(&a).unwrap();
+        for j in 0..2 {
+            let v = eig.vectors().col(j);
+            let av = a.matvec(&v).unwrap();
+            for i in 0..2 {
+                assert!((av[i] - eig.values()[j] * v[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn condition_number_diag() {
+        let a = Matrix::from_diagonal(&[10.0, 1.0]);
+        let eig = SymmetricEigen::compute(&a).unwrap();
+        assert!((eig.condition_number() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(SymmetricEigen::compute(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for linear-algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by factorizations and solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    ///
+    /// The payload is a human-readable description of the mismatch,
+    /// e.g. `"matmul: lhs is 3x4 but rhs is 5x2"`.
+    DimensionMismatch(String),
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// A factorization encountered a (numerically) singular matrix.
+    Singular {
+        /// Elimination step at which the zero pivot appeared.
+        pivot: usize,
+    },
+    /// Cholesky factorization found a non-positive-definite matrix.
+    NotPositiveDefinite {
+        /// Diagonal index with a non-positive pivot.
+        index: usize,
+    },
+    /// An iterative algorithm failed to converge within its budget.
+    NotConverged {
+        /// Iterations executed before giving up.
+        iterations: usize,
+        /// Residual magnitude at the final iteration.
+        residual: f64,
+    },
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch(msg) => {
+                write!(f, "dimension mismatch: {msg}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite at index {index}")
+            }
+            LinalgError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration failed to converge after {iterations} steps (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert_eq!(e.to_string(), "matrix must be square, got 2x3");
+        let e = LinalgError::Singular { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn not_converged_formats_residual() {
+        let e = LinalgError::NotConverged {
+            iterations: 10,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5.000e-1"));
+    }
+}

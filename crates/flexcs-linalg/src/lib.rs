@@ -1,0 +1,60 @@
+//! # flexcs-linalg
+//!
+//! Self-contained dense linear algebra for the flexcs stack — the Rust
+//! reproduction of *"Robust Design of Large Area Flexible Electronics via
+//! Compressed Sensing"* (DAC 2020).
+//!
+//! The crate deliberately implements everything from scratch (the
+//! reproduction brief forbids external linear-algebra dependencies) and is
+//! sized for the problem domain: sensor frames up to a few thousand pixels,
+//! MNA circuit Jacobians of a few hundred nodes, and RPCA on frame-sized
+//! matrices.
+//!
+//! ## Contents
+//!
+//! - [`Matrix`]: dense row-major `f64` matrix with the usual algebra.
+//! - [`vecops`]: slice-level vector kernels (dot, norms, soft threshold).
+//! - [`Lu`] / [`solve`]: partially pivoted LU for general square systems.
+//! - [`Cholesky`] / [`solve_spd`]: SPD solves for Gram systems.
+//! - [`Qr`] / [`solve_least_squares`]: Householder QR for least squares.
+//! - [`Svd`]: one-sided Jacobi SVD (thin), plus singular-value shrinkage
+//!   for RPCA.
+//! - [`SymmetricEigen`]: cyclic Jacobi symmetric eigendecomposition.
+//! - [`Complex`] / [`ComplexMatrix`]: complex solves for AC circuit
+//!   analysis.
+//!
+//! ## Example
+//!
+//! ```
+//! use flexcs_linalg::{Matrix, Svd};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let a = Matrix::from_fn(6, 4, |i, j| ((i * 7 + j * 3) % 5) as f64);
+//! let svd = Svd::compute(&a)?;
+//! let a2 = svd.truncated(2); // best rank-2 approximation
+//! assert!(a2.norm_fro() <= a.norm_fro() + 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod complex;
+mod eigen;
+mod error;
+mod lu;
+mod matrix;
+mod qr;
+mod svd;
+pub mod vecops;
+
+pub use cholesky::{solve_spd, Cholesky};
+pub use complex::{Complex, ComplexMatrix};
+pub use eigen::SymmetricEigen;
+pub use error::{LinalgError, Result};
+pub use lu::{solve, Lu};
+pub use matrix::Matrix;
+pub use qr::{solve_least_squares, Qr};
+pub use svd::{spectral_norm_estimate, Svd};

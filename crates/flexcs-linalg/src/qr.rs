@@ -1,0 +1,294 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! OMP-family solvers repeatedly solve over-determined systems restricted
+//! to the current support set; QR is the numerically robust way to do so.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// A Householder QR factorization `A = Q·R` of an `m x n` matrix with
+/// `m >= n`.
+///
+/// The factorization stores the Householder vectors implicitly and exposes
+/// a thin `Q` (`m x n`) and square `R` (`n x n`) on demand.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_linalg::{Matrix, Qr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Fit y = a + b t through three points (least squares).
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let qr = Qr::factor(&a)?;
+/// let coef = qr.solve_least_squares(&[1.0, 2.0, 3.0])?;
+/// assert!((coef[0] - 1.0).abs() < 1e-12);
+/// assert!((coef[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization: R in the upper triangle, Householder vectors
+    /// below the diagonal (with implicit unit leading entry).
+    qr: Matrix,
+    /// Scalar `beta` for each Householder reflector `H = I - beta v vᵀ`.
+    betas: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors an `m x n` matrix with `m >= n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `m < n`.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "qr: need rows >= cols, got {m}x{n}"
+            )));
+        }
+        let mut qr = a.clone();
+        let mut betas = Vec::with_capacity(n);
+        for k in 0..n {
+            // Householder vector for column k below row k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                betas.push(0.0);
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = (v0, a[k+1..m, k]); normalized so v[0] = 1.
+            let mut vsq = v0 * v0;
+            for i in (k + 1)..m {
+                vsq += qr[(i, k)] * qr[(i, k)];
+            }
+            if vsq == 0.0 {
+                betas.push(0.0);
+                continue;
+            }
+            let beta = 2.0 * v0 * v0 / vsq;
+            // Store normalized vector below the diagonal (v/v0, unit head).
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            qr[(k, k)] = alpha;
+            // Apply H to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= beta;
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+            betas.push(beta);
+        }
+        Ok(Qr { qr, betas })
+    }
+
+    /// Shape `(m, n)` of the factored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = self.qr.shape();
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= beta;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ||A·x - b||₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != m`, or
+    /// [`LinalgError::Singular`] when `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "qr solve: expected rhs of length {m}, got {}",
+                b.len()
+            )));
+        }
+        let y = self.apply_qt(b);
+        // Back substitution on R (n x n upper triangle). A diagonal entry
+        // tiny relative to the largest one signals rank deficiency.
+        let rmax = (0..n).fold(0.0_f64, |m, i| m.max(self.qr[(i, i)].abs()));
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= rmax * 1e-13 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+
+    /// Materializes the thin orthonormal factor `Q` (`m x n`).
+    pub fn q_thin(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::zeros(m, n);
+        // Apply reflectors in reverse to the first n identity columns.
+        for j in 0..n {
+            let mut e = vec![0.0; m];
+            e[j] = 1.0;
+            for k in (0..n).rev() {
+                let beta = self.betas[k];
+                if beta == 0.0 {
+                    continue;
+                }
+                let mut s = e[k];
+                for i in (k + 1)..m {
+                    s += self.qr[(i, k)] * e[i];
+                }
+                s *= beta;
+                e[k] -= s;
+                for i in (k + 1)..m {
+                    e[i] -= s * self.qr[(i, k)];
+                }
+            }
+            for i in 0..m {
+                q[(i, j)] = e[i];
+            }
+        }
+        q
+    }
+
+    /// Materializes the square upper-triangular factor `R` (`n x n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// Squared residual `||A·x - b||₂²` of the least-squares solution,
+    /// computed from the tail of `Qᵀ·b` without forming `x`.
+    pub fn residual_norm_squared(&self, b: &[f64]) -> f64 {
+        let (m, n) = self.qr.shape();
+        let y = self.apply_qt(b);
+        y[n..m].iter().map(|v| v * v).sum()
+    }
+}
+
+/// One-shot least-squares solve `min ||A·x - b||₂`.
+///
+/// # Errors
+///
+/// See [`Qr::factor`] and [`Qr::solve_least_squares`].
+pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::factor(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_a() {
+        let mut r = lcg(7);
+        let a = Matrix::from_fn(8, 5, |_, _| r());
+        let qr = Qr::factor(&a).unwrap();
+        let rec = qr.q_thin().matmul(&qr.r()).unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let mut r = lcg(13);
+        let a = Matrix::from_fn(10, 4, |_, _| r());
+        let q = Qr::factor(&a).unwrap().q_thin();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_least_squares(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let mut r = lcg(99);
+        let a = Matrix::from_fn(20, 6, |_, _| r());
+        let b: Vec<f64> = (0..20).map(|_| r()).collect();
+        let x_qr = solve_least_squares(&a, &b).unwrap();
+        // Normal equations via Cholesky.
+        let at = a.transpose();
+        let g = at.matmul(&a).unwrap();
+        let rhs = at.matvec(&b).unwrap();
+        let x_ne = crate::cholesky::solve_spd(&g, &rhs).unwrap();
+        for (p, q) in x_qr.iter().zip(&x_ne) {
+            assert!((p - q).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn residual_norm_matches_direct() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = [0.0, 1.0, 1.0];
+        let qr = Qr::factor(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let direct: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum();
+        assert!((qr.residual_norm_squared(&b) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let a = Matrix::zeros(2, 4);
+        assert!(Qr::factor(&a).is_err());
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+}

@@ -1,0 +1,230 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! Solver inner loops (ISTA/FISTA, ADMM, OMP) operate on plain slices for
+//! zero-overhead interop with [`crate::Matrix`] storage. These helpers keep
+//! that code readable without committing to a heavier `Vector` newtype.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm (largest absolute value).
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// `y += alpha * x` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place.
+pub fn scale(a: &mut [f64], s: f64) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+/// Elementwise sum, returning a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Elementwise difference `a - b`, returning a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Soft-thresholding (shrinkage) operator applied entrywise:
+/// `sign(v) * max(|v| - t, 0)`.
+///
+/// This is the proximal operator of `t * ||.||_1` and the core of
+/// ISTA/FISTA and ADMM L1 solvers.
+pub fn soft_threshold(a: &[f64], t: f64) -> Vec<f64> {
+    a.iter()
+        .map(|&v| {
+            if v > t {
+                v - t
+            } else if v < -t {
+                v + t
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// In-place soft thresholding; see [`soft_threshold`].
+pub fn soft_threshold_mut(a: &mut [f64], t: f64) {
+    for v in a.iter_mut() {
+        *v = if *v > t {
+            *v - t
+        } else if *v < -t {
+            *v + t
+        } else {
+            0.0
+        };
+    }
+}
+
+/// Indices of the `k` largest-magnitude entries (unsorted order).
+///
+/// If `k >= a.len()`, returns all indices.
+pub fn top_k_indices(a: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..a.len()).collect();
+    if k >= a.len() {
+        return idx;
+    }
+    idx.select_nth_unstable_by(k, |&i, &j| {
+        a[j].abs()
+            .partial_cmp(&a[i].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Number of entries with magnitude strictly above `tol`.
+pub fn count_above(a: &[f64], tol: f64) -> usize {
+    a.iter().filter(|v| v.abs() > tol).count()
+}
+
+/// Median of a slice (average of middle two for even lengths).
+///
+/// Returns `f64::NAN` for an empty slice.
+pub fn median(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = a.to_vec();
+    v.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Sample standard deviation (0.0 for fewer than two entries).
+pub fn std_dev(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    let var = a.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (a.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, -4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm2(&a), 5.0);
+        assert_eq!(norm1(&a), 7.0);
+        assert_eq!(norm_inf(&a), 4.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 5.0];
+        assert_eq!(add(&a, &b), vec![4.0, 7.0]);
+        assert_eq!(sub(&b, &a), vec![2.0, 3.0]);
+        let mut c = [1.0, -2.0];
+        scale(&mut c, -3.0);
+        assert_eq!(c, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn soft_threshold_shrinks_toward_zero() {
+        let v = [3.0, -0.5, 0.5, -3.0, 1.0];
+        let s = soft_threshold(&v, 1.0);
+        assert_eq!(s, vec![2.0, 0.0, 0.0, -2.0, 0.0]);
+        let mut w = v;
+        soft_threshold_mut(&mut w, 1.0);
+        assert_eq!(w.to_vec(), s);
+    }
+
+    #[test]
+    fn top_k_selects_largest_magnitudes() {
+        let v = [0.1, -5.0, 3.0, 0.0, 4.0];
+        let mut idx = top_k_indices(&v, 2);
+        idx.sort_unstable();
+        assert_eq!(idx, vec![1, 4]);
+        assert_eq!(top_k_indices(&v, 10).len(), 5);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn statistics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138089935299395).abs() < 1e-12);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        assert_eq!(count_above(&[0.1, -0.5, 2.0], 0.4), 2);
+    }
+}

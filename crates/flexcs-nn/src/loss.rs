@@ -1,0 +1,92 @@
+//! Softmax cross-entropy loss (the paper trains with "categorical
+//! cross-entropy as the loss function").
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax of a rank-1 tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let max = logits
+        .as_slice()
+        .iter()
+        .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f64> = logits.as_slice().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    Tensor::from_vec(logits.shape(), exps.into_iter().map(|e| e / sum).collect())
+}
+
+/// Softmax cross-entropy: returns `(loss, dL/dlogits)` for an integer
+/// target class.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn cross_entropy_with_logits(logits: &Tensor, target: usize) -> (f64, Tensor) {
+    assert!(target < logits.len(), "target {target} out of range");
+    let probs = softmax(logits);
+    let p_t = probs.as_slice()[target].max(1e-300);
+    let loss = -p_t.ln();
+    let mut grad = probs;
+    grad.as_mut_slice()[target] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let l = Tensor::from_vec(&[3], vec![1.0, 2.0, 0.5]);
+        let p = softmax(&l);
+        let sum: f64 = p.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p.as_slice()[1] > p.as_slice()[0]);
+        assert!(p.as_slice()[0] > p.as_slice()[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Tensor::from_vec(&[2], vec![1.0, 2.0]));
+        let b = softmax(&Tensor::from_vec(&[2], vec![1001.0, 1002.0]));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn loss_decreases_with_confidence() {
+        let bad = cross_entropy_with_logits(&Tensor::from_vec(&[3], vec![0.0, 0.0, 0.0]), 1).0;
+        let good = cross_entropy_with_logits(&Tensor::from_vec(&[3], vec![0.0, 5.0, 0.0]), 1).0;
+        assert!(good < bad);
+        assert!((bad - 3.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let l = Tensor::from_vec(&[4], vec![0.3, -0.7, 1.2, 0.1]);
+        let (_, grad) = cross_entropy_with_logits(&l, 2);
+        let h = 1e-7;
+        for i in 0..4 {
+            let mut lp = l.clone();
+            lp.as_mut_slice()[i] += h;
+            let mut lm = l.clone();
+            lm.as_mut_slice()[i] -= h;
+            let fp = cross_entropy_with_logits(&lp, 2).0;
+            let fm = cross_entropy_with_logits(&lm, 2).0;
+            let num = (fp - fm) / (2.0 * h);
+            assert!(
+                (num - grad.as_slice()[i]).abs() < 1e-6,
+                "grad[{i}]: {} vs {num}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let l = Tensor::from_vec(&[5], vec![1.0, 2.0, 3.0, -1.0, 0.0]);
+        let (_, grad) = cross_entropy_with_logits(&l, 0);
+        let sum: f64 = grad.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-12);
+    }
+}

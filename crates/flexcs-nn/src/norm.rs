@@ -1,0 +1,207 @@
+//! Per-channel instance normalization with learnable affine parameters.
+//!
+//! A BatchNorm stand-in that works in the trainer's sample-at-a-time
+//! regime: each channel of each sample is normalized by its own spatial
+//! statistics (`InstanceNorm`), then scaled/shifted by learnable
+//! `γ`/`β`. The backward pass propagates through the statistics exactly.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Instance normalization over `[C, H, W]` tensors.
+pub struct InstanceNorm2d {
+    channels: usize,
+    eps: f64,
+    gamma: Vec<f64>,
+    beta: Vec<f64>,
+    grad_gamma: Vec<f64>,
+    grad_beta: Vec<f64>,
+    /// Cache: normalized activations and per-channel 1/σ.
+    cache_xhat: Option<Tensor>,
+    cache_inv_std: Vec<f64>,
+}
+
+impl InstanceNorm2d {
+    /// Creates a normalization layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        InstanceNorm2d {
+            channels,
+            eps: 1e-5,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            cache_xhat: None,
+            cache_inv_std: vec![0.0; channels],
+        }
+    }
+}
+
+impl Layer for InstanceNorm2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        assert_eq!(c, self.channels, "instance norm channel mismatch");
+        let hw = (h * w) as f64;
+        let mut xhat = Tensor::zeros(&[c, h, w]);
+        let mut y = Tensor::zeros(&[c, h, w]);
+        for ci in 0..c {
+            let mut mean = 0.0;
+            for i in 0..h {
+                for j in 0..w {
+                    mean += x.at3(ci, i, j);
+                }
+            }
+            mean /= hw;
+            let mut var = 0.0;
+            for i in 0..h {
+                for j in 0..w {
+                    let d = x.at3(ci, i, j) - mean;
+                    var += d * d;
+                }
+            }
+            var /= hw;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            self.cache_inv_std[ci] = inv_std;
+            for i in 0..h {
+                for j in 0..w {
+                    let xh = (x.at3(ci, i, j) - mean) * inv_std;
+                    *xhat.at3_mut(ci, i, j) = xh;
+                    *y.at3_mut(ci, i, j) = self.gamma[ci] * xh + self.beta[ci];
+                }
+            }
+        }
+        self.cache_xhat = Some(xhat);
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let xhat = self.cache_xhat.as_ref().expect("forward before backward");
+        let (c, h, w) = (xhat.shape()[0], xhat.shape()[1], xhat.shape()[2]);
+        let hw = (h * w) as f64;
+        let mut gx = Tensor::zeros(&[c, h, w]);
+        for ci in 0..c {
+            let mut sum_g = 0.0;
+            let mut sum_gx = 0.0;
+            for i in 0..h {
+                for j in 0..w {
+                    let g = grad.at3(ci, i, j);
+                    sum_g += g;
+                    sum_gx += g * xhat.at3(ci, i, j);
+                }
+            }
+            self.grad_beta[ci] += sum_g;
+            self.grad_gamma[ci] += sum_gx;
+            let mean_g = sum_g / hw;
+            let mean_gx = sum_gx / hw;
+            let scale = self.gamma[ci] * self.cache_inv_std[ci];
+            for i in 0..h {
+                for j in 0..w {
+                    let g = grad.at3(ci, i, j);
+                    let xh = xhat.at3(ci, i, j);
+                    *gx.at3_mut(ci, i, j) = scale * (g - mean_g - xh * mean_gx);
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_beta.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "instancenorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_normalized_per_channel() {
+        let mut norm = InstanceNorm2d::new(2);
+        let x = Tensor::from_fn(&[2, 4, 4], |i| (i as f64) * 0.5 - 3.0);
+        let y = norm.forward(&x, true);
+        for c in 0..2 {
+            let vals: Vec<f64> = (0..16)
+                .map(|k| y.at3(c, k / 4, k % 4))
+                .collect();
+            let mean: f64 = vals.iter().sum::<f64>() / 16.0;
+            let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 16.0;
+            assert!(mean.abs() < 1e-10, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn affine_parameters_apply() {
+        let mut norm = InstanceNorm2d::new(1);
+        norm.visit_params(&mut |p, _| {
+            if p.len() == 1 {
+                p[0] = if p[0] == 1.0 { 2.0 } else { 5.0 };
+            }
+        });
+        let x = Tensor::from_fn(&[1, 2, 2], |i| i as f64);
+        let y = norm.forward(&x, true);
+        let mean: f64 = y.as_slice().iter().sum::<f64>() / 4.0;
+        // β shifts the (zero-mean) normalized output.
+        assert!((mean - 5.0).abs() < 1e-10, "mean {mean}");
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut norm = InstanceNorm2d::new(2);
+        let x = Tensor::from_fn(&[2, 3, 3], |i| ((i * 11 % 7) as f64) * 0.4 - 1.0);
+        // Weighted sum loss so the gradient isn't trivially zero (a
+        // plain sum has zero gradient through normalization).
+        let wts: Vec<f64> = (0..18).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let y = norm.forward(&x, true);
+        let loss = |y: &Tensor| -> f64 {
+            y.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum()
+        };
+        let _ = loss(&y);
+        let grad = Tensor::from_vec(&[2, 3, 3], wts.clone());
+        let gx = norm.backward(&grad);
+        let h = 1e-6;
+        for idx in [0usize, 4, 9, 13, 17] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += h;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= h;
+            let fp = loss(&norm.forward(&xp, true));
+            let fm = loss(&norm.forward(&xm, true));
+            let num = (fp - fm) / (2.0 * h);
+            assert!(
+                (num - gx.as_slice()[idx]).abs() < 1e-5,
+                "grad[{idx}]: {} vs {num}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_gradients_accumulate() {
+        let mut norm = InstanceNorm2d::new(1);
+        let x = Tensor::from_fn(&[1, 2, 2], |i| i as f64);
+        let g = Tensor::from_vec(&[1, 2, 2], vec![1.0; 4]);
+        norm.forward(&x, true);
+        norm.backward(&g);
+        let mut grads = Vec::new();
+        norm.visit_params(&mut |_, gr| grads.push(gr.to_vec()));
+        // dβ = Σg = 4; dγ = Σ g·x̂ = 0 for symmetric x̂.
+        assert!((grads[1][0] - 4.0).abs() < 1e-12);
+        assert!(grads[0][0].abs() < 1e-10);
+        norm.zero_grads();
+        let mut zeroed = Vec::new();
+        norm.visit_params(&mut |_, gr| zeroed.push(gr.to_vec()));
+        assert_eq!(zeroed[0][0], 0.0);
+        assert_eq!(zeroed[1][0], 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Minimal dense tensor for the from-scratch CNN.
+//!
+//! Row-major `f64` storage with shapes up to rank 3 in practice
+//! (`[channels, height, width]` for feature maps, `[n]` for logits).
+//! The network is small enough that clarity beats BLAS here.
+
+use std::fmt;
+
+/// A dense row-major tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(
+            !shape.is_empty() && shape.iter().all(|&d| d > 0),
+            "tensor shape must be non-empty and positive, got {shape:?}"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's volume.
+    pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Self {
+        let volume: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            volume,
+            "tensor data length {} does not match shape {shape:?}",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Creates a tensor by evaluating `f(flat_index)`.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f64) -> Self {
+        let volume: usize = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: (0..volume).map(|i| f(i)).collect(),
+        }
+    }
+
+    /// Shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty (cannot occur by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the flat data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes into the flat data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reshapes in place (volume must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a volume mismatch.
+    pub fn reshape(&mut self, shape: &[usize]) {
+        let volume: usize = shape.iter().product();
+        assert_eq!(volume, self.data.len(), "reshape volume mismatch");
+        self.shape = shape.to_vec();
+    }
+
+    /// 3-D access `(c, h, w)` for `[C, H, W]` tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-rank-3 tensors or out-of-range indices.
+    pub fn at3(&self, c: usize, h: usize, w: usize) -> f64 {
+        debug_assert_eq!(self.shape.len(), 3);
+        self.data[(c * self.shape[1] + h) * self.shape[2] + w]
+    }
+
+    /// Mutable 3-D access; see [`Tensor::at3`].
+    pub fn at3_mut(&mut self, c: usize, h: usize, w: usize) -> &mut f64 {
+        debug_assert_eq!(self.shape.len(), 3);
+        &mut self.data[(c * self.shape[1] + h) * self.shape[2] + w]
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl FnMut(f64) -> f64) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Adds another tensor in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "tensor add: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales all entries in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Index of the maximum entry (first on ties). Returns 0 for an
+    /// all-NaN tensor.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f64::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} values)", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-empty")]
+    fn zero_dim_rejected() {
+        Tensor::zeros(&[2, 0]);
+    }
+
+    #[test]
+    fn from_vec_checks_volume() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.as_slice()[3], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_wrong_len_panics() {
+        Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn at3_layout_is_chw() {
+        let t = Tensor::from_fn(&[2, 3, 4], |i| i as f64);
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(0, 1, 0), 4.0);
+        assert_eq!(t.at3(1, 0, 0), 12.0);
+        assert_eq!(t.at3(1, 2, 3), 23.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_fn(&[2, 6], |i| i as f64);
+        t.reshape(&[3, 4]);
+        assert_eq!(t.shape(), &[3, 4]);
+        assert_eq!(t.as_slice()[5], 5.0);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::from_vec(&[3], vec![1.0, -2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[2.0, -1.0, 4.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[1.0, -0.5, 2.0]);
+        assert_eq!(a.argmax(), 2);
+        let m = a.map(|v| v * v);
+        assert_eq!(m.as_slice(), &[1.0, 0.25, 4.0]);
+    }
+}

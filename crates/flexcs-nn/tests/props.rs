@@ -1,0 +1,134 @@
+//! Property-based tests for the neural-network substrate: gradient
+//! correctness on randomized configurations and training invariants.
+
+use flexcs_nn::{
+    cross_entropy_with_logits, softmax, Conv2d, Dense, GlobalAvgPool, Layer, MaxPool2d, Relu,
+    Tensor,
+};
+use proptest::prelude::*;
+
+/// Checks `∂(Σ output)/∂input` by central finite differences on a few
+/// coordinates.
+fn check_input_gradient(layer: &mut dyn Layer, x: &Tensor, probes: &[usize], tol: f64) {
+    let y = layer.forward(x, false);
+    let ones = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+    let gx = layer.backward(&ones);
+    let h = 1e-6;
+    for &i in probes {
+        let i = i % x.len();
+        let mut xp = x.clone();
+        xp.as_mut_slice()[i] += h;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[i] -= h;
+        let fp: f64 = layer.forward(&xp, false).as_slice().iter().sum();
+        let fm: f64 = layer.forward(&xm, false).as_slice().iter().sum();
+        let num = (fp - fm) / (2.0 * h);
+        assert!(
+            (num - gx.as_slice()[i]).abs() < tol,
+            "{} grad[{i}]: analytic {} vs numeric {num}",
+            layer.name(),
+            gx.as_slice()[i]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_gradients_correct_for_random_shapes(
+        in_ch in 1usize..3,
+        out_ch in 1usize..4,
+        hw in 3usize..7,
+        seed in 0u64..1000,
+    ) {
+        let mut conv = Conv2d::new(in_ch, out_ch, 3, seed);
+        let x = Tensor::from_fn(&[in_ch, hw, hw], |i| ((i as f64) * 0.7).sin());
+        check_input_gradient(&mut conv, &x, &[0, 3, 7, 11], 1e-5);
+    }
+
+    #[test]
+    fn dense_gradients_correct_for_random_shapes(
+        din in 1usize..12,
+        dout in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut dense = Dense::new(din, dout, seed);
+        let x = Tensor::from_fn(&[din], |i| (i as f64) * 0.4 - 1.0);
+        check_input_gradient(&mut dense, &x, &[0, 1, 2, 5], 1e-6);
+    }
+
+    #[test]
+    fn relu_idempotent_and_nonnegative(values in proptest::collection::vec(-5.0..5.0f64, 16)) {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(&[16], values);
+        let y = relu.forward(&x, false);
+        prop_assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+        let yy = relu.forward(&y, false);
+        prop_assert_eq!(yy.as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn maxpool_output_dominates_inputs(values in proptest::collection::vec(-5.0..5.0f64, 2 * 4 * 4)) {
+        let mut pool = MaxPool2d::new();
+        let x = Tensor::from_vec(&[2, 4, 4], values);
+        let y = pool.forward(&x, false);
+        // Every output equals the max of its window: y >= all window
+        // members, and is one of them.
+        for c in 0..2 {
+            for i in 0..2 {
+                for j in 0..2 {
+                    let out = y.at3(c, i, j);
+                    let mut found = false;
+                    for di in 0..2 {
+                        for dj in 0..2 {
+                            let v = x.at3(c, 2 * i + di, 2 * j + dj);
+                            prop_assert!(out >= v);
+                            if out == v {
+                                found = true;
+                            }
+                        }
+                    }
+                    prop_assert!(found);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gap_equals_mean(values in proptest::collection::vec(-5.0..5.0f64, 3 * 4 * 4)) {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(&[3, 4, 4], values.clone());
+        let y = gap.forward(&x, false);
+        for c in 0..3 {
+            let mean: f64 = values[c * 16..(c + 1) * 16].iter().sum::<f64>() / 16.0;
+            prop_assert!((y.as_slice()[c] - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(values in proptest::collection::vec(-20.0..20.0f64, 1..16)) {
+        let n = values.len();
+        let p = softmax(&Tensor::from_vec(&[n], values));
+        let sum: f64 = p.as_slice().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-10);
+        prop_assert!(p.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_consistent(
+        values in proptest::collection::vec(-10.0..10.0f64, 2..10),
+        target_raw in 0usize..10,
+    ) {
+        let n = values.len();
+        let target = target_raw % n;
+        let logits = Tensor::from_vec(&[n], values);
+        let (loss, grad) = cross_entropy_with_logits(&logits, target);
+        prop_assert!(loss >= -1e-12);
+        // Gradient components sum to zero and target component is
+        // negative (probability < 1 pushes the target logit up).
+        let gsum: f64 = grad.as_slice().iter().sum();
+        prop_assert!(gsum.abs() < 1e-10);
+        prop_assert!(grad.as_slice()[target] <= 0.0);
+    }
+}

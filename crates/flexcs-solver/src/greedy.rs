@@ -1,0 +1,424 @@
+//! Greedy sparse-recovery solvers: OMP, CoSaMP and Subspace Pursuit.
+//!
+//! These recover a K-sparse coefficient vector from `b = A·x` by
+//! iteratively identifying the support and refitting by least squares.
+//! They are the fast, easily-tuned baselines the flexcs decoder offers
+//! alongside the convex (L1) solvers the paper's Eq. 9 calls for.
+
+use crate::error::{Result, SolverError};
+use crate::op::{check_measurements, dense_submatrix, LinearOperator};
+use crate::report::{Recovery, SolveReport};
+use flexcs_linalg::vecops;
+use flexcs_linalg::Qr;
+
+/// Configuration shared by the greedy solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyConfig {
+    /// Target sparsity `K` (maximum support size).
+    pub sparsity: usize,
+    /// Stop when `‖r‖₂ ≤ residual_tol · ‖b‖₂`.
+    pub residual_tol: f64,
+    /// Iteration budget (OMP additionally never exceeds `K` iterations).
+    pub max_iterations: usize,
+}
+
+impl GreedyConfig {
+    /// Creates a configuration with the given sparsity and sensible
+    /// defaults (`residual_tol = 1e-6`, `max_iterations = 100`).
+    pub fn with_sparsity(sparsity: usize) -> Self {
+        GreedyConfig {
+            sparsity,
+            residual_tol: 1e-6,
+            max_iterations: 100,
+        }
+    }
+
+    fn validate(&self, op: &dyn LinearOperator) -> Result<()> {
+        if self.sparsity == 0 {
+            return Err(SolverError::InvalidParameter(
+                "sparsity must be positive".to_string(),
+            ));
+        }
+        if self.sparsity > op.rows() {
+            return Err(SolverError::InvalidParameter(format!(
+                "sparsity {} exceeds measurement count {}",
+                self.sparsity,
+                op.rows()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        GreedyConfig::with_sparsity(10)
+    }
+}
+
+fn scatter(n: usize, support: &[usize], values: &[f64]) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    for (&j, &v) in support.iter().zip(values) {
+        x[j] = v;
+    }
+    x
+}
+
+/// Least-squares refit on a support; returns coefficients and residual.
+fn refit(
+    op: &dyn LinearOperator,
+    support: &[usize],
+    b: &[f64],
+) -> Result<(Vec<f64>, Vec<f64>)> {
+    let sub = dense_submatrix(op, support);
+    let qr = Qr::factor(&sub)?;
+    let coef = qr.solve_least_squares(b)?;
+    let fit = sub.matvec(&coef)?;
+    let r = vecops::sub(b, &fit);
+    Ok((coef, r))
+}
+
+/// Orthogonal Matching Pursuit.
+///
+/// Adds one atom per iteration (the column most correlated with the
+/// residual) and refits by least squares on the accumulated support.
+///
+/// # Errors
+///
+/// Returns [`SolverError::DimensionMismatch`] for a wrong-length `b`,
+/// [`SolverError::InvalidParameter`] for an unusable configuration, and
+/// propagates rank-deficiency failures from the inner least squares.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_linalg::Matrix;
+/// use flexcs_solver::{omp, DenseOperator, GreedyConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // x = (0, 3, 0) measured by a well-conditioned 2x3 matrix.
+/// let a = Matrix::from_rows(&[&[1.0, 0.6, 0.2], &[0.1, 0.8, -0.5]])?;
+/// let op = DenseOperator::new(a);
+/// let b = [1.8, 2.4];
+/// let rec = omp(&op, &b, &GreedyConfig::with_sparsity(1))?;
+/// assert!((rec.x[1] - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn omp(op: &dyn LinearOperator, b: &[f64], config: &GreedyConfig) -> Result<Recovery> {
+    check_measurements(op, b)?;
+    config.validate(op)?;
+    let n = op.cols();
+    let b_norm = vecops::norm2(b);
+    if b_norm == 0.0 {
+        return Ok(Recovery::new(
+            vec![0.0; n],
+            SolveReport::new(0, 0.0, true, 0.0),
+        ));
+    }
+    let mut support: Vec<usize> = Vec::new();
+    let mut residual = b.to_vec();
+    let mut coef: Vec<f64> = Vec::new();
+    let mut iterations = 0;
+    let budget = config.sparsity.min(config.max_iterations);
+    for _ in 0..budget {
+        iterations += 1;
+        let corr = op.apply_transpose(&residual);
+        // Best new atom not already selected.
+        let mut best = None;
+        let mut best_mag = 0.0;
+        for (j, &c) in corr.iter().enumerate() {
+            if support.contains(&j) {
+                continue;
+            }
+            if c.abs() > best_mag {
+                best_mag = c.abs();
+                best = Some(j);
+            }
+        }
+        let Some(j) = best else { break };
+        if best_mag < 1e-14 * b_norm {
+            break;
+        }
+        support.push(j);
+        let (c, r) = refit(op, &support, b)?;
+        coef = c;
+        residual = r;
+        if vecops::norm2(&residual) <= config.residual_tol * b_norm {
+            break;
+        }
+    }
+    let res_norm = vecops::norm2(&residual);
+    let x = scatter(n, &support, &coef);
+    Ok(Recovery::new(
+        x.clone(),
+        SolveReport::new(
+            iterations,
+            res_norm,
+            res_norm <= config.residual_tol * b_norm,
+            vecops::norm1(&x),
+        ),
+    ))
+}
+
+/// CoSaMP (Compressive Sampling Matching Pursuit).
+///
+/// Each iteration merges the current support with the `2K` most
+/// correlated atoms, solves least squares on the merged set, and prunes
+/// back to the best `K` entries.
+///
+/// # Errors
+///
+/// See [`omp`].
+pub fn cosamp(op: &dyn LinearOperator, b: &[f64], config: &GreedyConfig) -> Result<Recovery> {
+    check_measurements(op, b)?;
+    config.validate(op)?;
+    let n = op.cols();
+    let k = config.sparsity;
+    let b_norm = vecops::norm2(b);
+    if b_norm == 0.0 {
+        return Ok(Recovery::new(
+            vec![0.0; n],
+            SolveReport::new(0, 0.0, true, 0.0),
+        ));
+    }
+    let mut x = vec![0.0; n];
+    let mut residual = b.to_vec();
+    let mut best_res = f64::INFINITY;
+    let mut iterations = 0;
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        let corr = op.apply_transpose(&residual);
+        let omega = vecops::top_k_indices(&corr, (2 * k).min(n));
+        // Merge with current support.
+        let mut merged: Vec<usize> = x
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(j, _)| j)
+            .collect();
+        for j in omega {
+            if !merged.contains(&j) {
+                merged.push(j);
+            }
+        }
+        // Keep the merged support solvable (<= m columns).
+        if merged.len() > op.rows() {
+            let corr_mag: Vec<f64> = merged.iter().map(|&j| corr[j].abs()).collect();
+            let keep = vecops::top_k_indices(&corr_mag, op.rows());
+            merged = keep.into_iter().map(|i| merged[i]).collect();
+        }
+        let (coef, _) = refit(op, &merged, b)?;
+        // Prune to the K largest coefficients.
+        let keep = vecops::top_k_indices(&coef, k);
+        let support: Vec<usize> = keep.iter().map(|&i| merged[i]).collect();
+        let values: Vec<f64> = keep.iter().map(|&i| coef[i]).collect();
+        // Final refit on the pruned support for an orthogonal residual.
+        let (coef2, r) = refit(op, &support, b)?;
+        let _ = values;
+        x = scatter(n, &support, &coef2);
+        let res_norm = vecops::norm2(&r);
+        residual = r;
+        if res_norm <= config.residual_tol * b_norm {
+            break;
+        }
+        if res_norm >= best_res * (1.0 - 1e-9) {
+            // No further progress.
+            break;
+        }
+        best_res = res_norm;
+    }
+    let res_norm = vecops::norm2(&residual);
+    Ok(Recovery::new(
+        x.clone(),
+        SolveReport::new(
+            iterations,
+            res_norm,
+            res_norm <= config.residual_tol * b_norm,
+            vecops::norm1(&x),
+        ),
+    ))
+}
+
+/// Subspace Pursuit.
+///
+/// Like CoSaMP but expands by only `K` candidate atoms per iteration and
+/// tracks the best support found; converges in few iterations on
+/// well-conditioned problems.
+///
+/// # Errors
+///
+/// See [`omp`].
+pub fn subspace_pursuit(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    config: &GreedyConfig,
+) -> Result<Recovery> {
+    check_measurements(op, b)?;
+    config.validate(op)?;
+    let n = op.cols();
+    let k = config.sparsity;
+    let b_norm = vecops::norm2(b);
+    if b_norm == 0.0 {
+        return Ok(Recovery::new(
+            vec![0.0; n],
+            SolveReport::new(0, 0.0, true, 0.0),
+        ));
+    }
+    // Initial support: top-K correlations with b.
+    let corr0 = op.apply_transpose(b);
+    let mut support = vecops::top_k_indices(&corr0, k.min(n));
+    let (mut coef, mut residual) = refit(op, &support, b)?;
+    let mut best_res = vecops::norm2(&residual);
+    let mut iterations = 1;
+    for _ in 0..config.max_iterations {
+        if best_res <= config.residual_tol * b_norm {
+            break;
+        }
+        iterations += 1;
+        let corr = op.apply_transpose(&residual);
+        let extra = vecops::top_k_indices(&corr, k.min(n));
+        let mut merged = support.clone();
+        for j in extra {
+            if !merged.contains(&j) {
+                merged.push(j);
+            }
+        }
+        if merged.len() > op.rows() {
+            merged.truncate(op.rows());
+        }
+        let (coef_merged, _) = refit(op, &merged, b)?;
+        let keep = vecops::top_k_indices(&coef_merged, k);
+        let new_support: Vec<usize> = keep.iter().map(|&i| merged[i]).collect();
+        let (new_coef, new_residual) = refit(op, &new_support, b)?;
+        let new_res = vecops::norm2(&new_residual);
+        if new_res >= best_res * (1.0 - 1e-12) {
+            break;
+        }
+        support = new_support;
+        coef = new_coef;
+        residual = new_residual;
+        best_res = new_res;
+    }
+    let x = scatter(n, &support, &coef);
+    Ok(Recovery::new(
+        x.clone(),
+        SolveReport::new(
+            iterations,
+            best_res,
+            best_res <= config.residual_tol * b_norm,
+            vecops::norm1(&x),
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{gaussian_operator, sparse_signal};
+    use crate::DenseOperator;
+    use flexcs_linalg::Matrix;
+
+    fn exact_recovery(
+        solver: fn(&dyn LinearOperator, &[f64], &GreedyConfig) -> Result<Recovery>,
+        seed: u64,
+    ) {
+        let (m, n, k) = (40, 100, 5);
+        let op = gaussian_operator(m, n, seed);
+        let x_true = sparse_signal(n, k, seed + 1);
+        let b = op.apply(&x_true);
+        let rec = solver(&op, &b, &GreedyConfig::with_sparsity(k)).unwrap();
+        for (a, t) in rec.x.iter().zip(&x_true) {
+            assert!((a - t).abs() < 1e-6, "recovery mismatch: {a} vs {t}");
+        }
+        assert!(rec.report.converged);
+    }
+
+    #[test]
+    fn omp_exact_recovery() {
+        exact_recovery(omp, 11);
+    }
+
+    #[test]
+    fn cosamp_exact_recovery() {
+        exact_recovery(cosamp, 22);
+    }
+
+    #[test]
+    fn subspace_pursuit_exact_recovery() {
+        exact_recovery(subspace_pursuit, 33);
+    }
+
+    #[test]
+    fn omp_support_size_bounded_by_k() {
+        let op = gaussian_operator(30, 80, 5);
+        let x_true = sparse_signal(80, 4, 6);
+        let b = op.apply(&x_true);
+        let rec = omp(&op, &b, &GreedyConfig::with_sparsity(4)).unwrap();
+        assert!(rec.support_size(1e-9) <= 4);
+    }
+
+    #[test]
+    fn zero_measurements_give_zero_solution() {
+        let op = gaussian_operator(10, 20, 1);
+        let b = vec![0.0; 10];
+        for solver in [omp, cosamp, subspace_pursuit] {
+            let rec = solver(&op, &b, &GreedyConfig::with_sparsity(3)).unwrap();
+            assert!(rec.x.iter().all(|&v| v == 0.0));
+            assert!(rec.report.converged);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let op = gaussian_operator(10, 20, 2);
+        let b = vec![1.0; 10];
+        let bad_k = GreedyConfig::with_sparsity(0);
+        assert!(omp(&op, &b, &bad_k).is_err());
+        let too_big = GreedyConfig::with_sparsity(11);
+        assert!(cosamp(&op, &b, &too_big).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_length() {
+        let op = gaussian_operator(10, 20, 3);
+        let b = vec![1.0; 9];
+        assert!(matches!(
+            subspace_pursuit(&op, &b, &GreedyConfig::with_sparsity(2)),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn noisy_recovery_degrades_gracefully() {
+        let (m, n, k) = (60, 120, 6);
+        let op = gaussian_operator(m, n, 77);
+        let x_true = sparse_signal(n, k, 78);
+        let mut b = op.apply(&x_true);
+        // Small additive noise.
+        for (i, v) in b.iter_mut().enumerate() {
+            *v += 1e-3 * ((i as f64) * 1.7).sin();
+        }
+        let mut cfg = GreedyConfig::with_sparsity(k);
+        cfg.residual_tol = 1e-2;
+        let rec = omp(&op, &b, &cfg).unwrap();
+        let err: f64 = rec
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, t)| (a - t) * (a - t))
+            .sum::<f64>()
+            .sqrt();
+        let signal: f64 = vecops::norm2(&x_true);
+        assert!(err / signal < 0.05, "relative error {} too big", err / signal);
+    }
+
+    #[test]
+    fn omp_identity_operator_copies_b() {
+        let op = DenseOperator::new(Matrix::identity(5));
+        let b = [0.0, 2.0, 0.0, -1.0, 0.0];
+        let rec = omp(&op, &b, &GreedyConfig::with_sparsity(2)).unwrap();
+        assert!((rec.x[1] - 2.0).abs() < 1e-12);
+        assert!((rec.x[3] + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,280 @@
+//! ISTA and FISTA proximal-gradient solvers for the LASSO problem
+//! `min_x  λ‖x‖₁ + ½‖A·x − b‖₂²`.
+//!
+//! FISTA is the flexcs decoder's default: it only needs operator
+//! applications (so the implicit subsampled-DCT operator stays implicit)
+//! and converges at the accelerated O(1/k²) rate.
+
+use crate::error::{Result, SolverError};
+use crate::op::{check_measurements, LinearOperator};
+use crate::report::{Recovery, SolveReport};
+use flexcs_linalg::vecops;
+
+/// Configuration for [`ista`] / [`fista`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IstaConfig {
+    /// L1 regularization weight λ.
+    pub lambda: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Stop when the relative solution change drops below this.
+    pub tol: f64,
+    /// Lipschitz constant `L ≥ ‖A‖₂²`; estimated by power iteration when
+    /// `None`.
+    pub lipschitz: Option<f64>,
+}
+
+impl IstaConfig {
+    /// Creates a configuration with the given λ and defaults
+    /// (`max_iterations = 500`, `tol = 1e-6`, auto Lipschitz).
+    pub fn with_lambda(lambda: f64) -> Self {
+        IstaConfig {
+            lambda,
+            max_iterations: 500,
+            tol: 1e-6,
+            lipschitz: None,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.lambda >= 0.0) {
+            return Err(SolverError::InvalidParameter(format!(
+                "lambda must be non-negative, got {}",
+                self.lambda
+            )));
+        }
+        if self.max_iterations == 0 {
+            return Err(SolverError::InvalidParameter(
+                "max_iterations must be positive".to_string(),
+            ));
+        }
+        if let Some(l) = self.lipschitz {
+            if !(l > 0.0) {
+                return Err(SolverError::InvalidParameter(format!(
+                    "lipschitz must be positive, got {l}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for IstaConfig {
+    fn default() -> Self {
+        IstaConfig::with_lambda(1e-3)
+    }
+}
+
+fn lasso_objective(op: &dyn LinearOperator, b: &[f64], x: &[f64], lambda: f64) -> (f64, f64) {
+    let ax = op.apply(x);
+    let r = vecops::sub(&ax, b);
+    let rn = vecops::norm2(&r);
+    (lambda * vecops::norm1(x) + 0.5 * rn * rn, rn)
+}
+
+fn run(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    config: &IstaConfig,
+    accelerated: bool,
+) -> Result<Recovery> {
+    check_measurements(op, b)?;
+    config.validate()?;
+    let n = op.cols();
+    let l = match config.lipschitz {
+        Some(l) => l,
+        None => {
+            let s = op.spectral_norm_estimate(30);
+            // Safety margin against power-iteration underestimation.
+            (s * s * 1.02).max(1e-12)
+        }
+    };
+    let step = 1.0 / l;
+    let thresh = config.lambda * step;
+
+    let mut x = vec![0.0; n];
+    let mut y = x.clone(); // Momentum point (equals x for plain ISTA).
+    let mut t = 1.0_f64;
+    let mut iterations = 0;
+    let mut converged = false;
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // Gradient step at y: y - step * Aᵀ(Ay - b).
+        let ay = op.apply(&y);
+        let r = vecops::sub(&ay, b);
+        let grad = op.apply_transpose(&r);
+        let mut x_next: Vec<f64> = y
+            .iter()
+            .zip(&grad)
+            .map(|(yi, gi)| yi - step * gi)
+            .collect();
+        vecops::soft_threshold_mut(&mut x_next, thresh);
+        if x_next.iter().any(|v| !v.is_finite()) {
+            return Err(SolverError::Diverged { iteration: iterations });
+        }
+        // Relative change stopping criterion.
+        let diff = vecops::sub(&x_next, &x);
+        let change = vecops::norm2(&diff);
+        let scale = vecops::norm2(&x_next).max(1e-12);
+        if accelerated {
+            let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+            let beta = (t - 1.0) / t_next;
+            y = x_next
+                .iter()
+                .zip(&x)
+                .map(|(xn, xo)| xn + beta * (xn - xo))
+                .collect();
+            t = t_next;
+        } else {
+            y = x_next.clone();
+        }
+        x = x_next;
+        if change <= config.tol * scale {
+            converged = true;
+            break;
+        }
+    }
+    let (objective, residual) = lasso_objective(op, b, &x, config.lambda);
+    Ok(Recovery::new(
+        x,
+        SolveReport::new(iterations, residual, converged, objective),
+    ))
+}
+
+/// Plain ISTA (proximal gradient) for the LASSO.
+///
+/// # Errors
+///
+/// Returns [`SolverError::DimensionMismatch`] for a wrong-length `b`,
+/// [`SolverError::InvalidParameter`] for an unusable configuration, and
+/// [`SolverError::Diverged`] if iterates become non-finite (only possible
+/// with a user-supplied too-small Lipschitz constant).
+pub fn ista(op: &dyn LinearOperator, b: &[f64], config: &IstaConfig) -> Result<Recovery> {
+    run(op, b, config, false)
+}
+
+/// FISTA (accelerated proximal gradient) for the LASSO.
+///
+/// # Errors
+///
+/// See [`ista`].
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_linalg::Matrix;
+/// use flexcs_solver::{fista, DenseOperator, IstaConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.5, 0.0], &[0.0, 0.4, 1.0]])?;
+/// let op = DenseOperator::new(a);
+/// let b = [2.0, 1.0]; // x = (2, 0, 1) fits exactly
+/// let rec = fista(&op, &b, &IstaConfig::with_lambda(1e-6))?;
+/// assert!(rec.report.residual_norm < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fista(op: &dyn LinearOperator, b: &[f64], config: &IstaConfig) -> Result<Recovery> {
+    run(op, b, config, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{gaussian_operator, sparse_signal};
+
+    #[test]
+    fn fista_recovers_sparse_signal() {
+        let (m, n, k) = (60, 128, 6);
+        let op = gaussian_operator(m, n, 5);
+        let x_true = sparse_signal(n, k, 6);
+        let b = op.apply(&x_true);
+        let mut cfg = IstaConfig::with_lambda(1e-4);
+        cfg.max_iterations = 3000;
+        cfg.tol = 1e-9;
+        let rec = fista(&op, &b, &cfg).unwrap();
+        let err = vecops::norm2(&vecops::sub(&rec.x, &x_true)) / vecops::norm2(&x_true);
+        assert!(err < 1e-2, "relative error {err}");
+    }
+
+    #[test]
+    fn fista_converges_faster_than_ista() {
+        let (m, n, k) = (40, 80, 4);
+        let op = gaussian_operator(m, n, 9);
+        let x_true = sparse_signal(n, k, 10);
+        let b = op.apply(&x_true);
+        let mut cfg = IstaConfig::with_lambda(1e-3);
+        cfg.max_iterations = 200;
+        cfg.tol = 0.0; // force full budget
+        let ri = ista(&op, &b, &cfg).unwrap();
+        let rf = fista(&op, &b, &cfg).unwrap();
+        assert!(
+            rf.report.objective <= ri.report.objective + 1e-12,
+            "fista objective {} vs ista {}",
+            rf.report.objective,
+            ri.report.objective
+        );
+    }
+
+    #[test]
+    fn large_lambda_gives_zero_solution() {
+        let op = gaussian_operator(20, 40, 3);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).sin()).collect();
+        // λ above ‖Aᵀb‖∞ forces x = 0.
+        let atb = op.apply_transpose(&b);
+        let lambda = vecops::norm_inf(&atb) * 1.5;
+        let rec = fista(&op, &b, &IstaConfig::with_lambda(lambda)).unwrap();
+        assert!(vecops::norm_inf(&rec.x) < 1e-10);
+        assert!(rec.report.converged);
+    }
+
+    #[test]
+    fn objective_decreases_with_smaller_lambda() {
+        let op = gaussian_operator(30, 60, 4);
+        let x_true = sparse_signal(60, 4, 42);
+        let b = op.apply(&x_true);
+        let mut c1 = IstaConfig::with_lambda(1e-2);
+        c1.max_iterations = 1000;
+        let mut c2 = IstaConfig::with_lambda(1e-4);
+        c2.max_iterations = 1000;
+        let r1 = fista(&op, &b, &c1).unwrap();
+        let r2 = fista(&op, &b, &c2).unwrap();
+        assert!(r2.report.residual_norm <= r1.report.residual_norm + 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let op = gaussian_operator(10, 20, 1);
+        let b = vec![0.0; 10];
+        let mut cfg = IstaConfig::with_lambda(-1.0);
+        assert!(fista(&op, &b, &cfg).is_err());
+        cfg.lambda = 1.0;
+        cfg.max_iterations = 0;
+        assert!(ista(&op, &b, &cfg).is_err());
+        cfg.max_iterations = 10;
+        cfg.lipschitz = Some(-2.0);
+        assert!(fista(&op, &b, &cfg).is_err());
+    }
+
+    #[test]
+    fn explicit_lipschitz_accepted() {
+        let op = gaussian_operator(15, 30, 8);
+        let x_true = sparse_signal(30, 2, 9);
+        let b = op.apply(&x_true);
+        let mut cfg = IstaConfig::with_lambda(1e-4);
+        cfg.lipschitz = Some(op.spectral_norm_estimate(50).powi(2) * 1.1);
+        cfg.max_iterations = 2000;
+        let rec = fista(&op, &b, &cfg).unwrap();
+        let err = vecops::norm2(&vecops::sub(&rec.x, &x_true));
+        assert!(err < 0.05 * vecops::norm2(&x_true));
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let op = gaussian_operator(10, 20, 2);
+        assert!(matches!(
+            fista(&op, &[1.0; 9], &IstaConfig::default()),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,275 @@
+//! Linear-operator abstraction for measurement matrices.
+//!
+//! CS decoders only need matrix-vector products with `A = Φ·Ψ` and its
+//! transpose. Representing `A` as a trait lets the flexcs pipeline plug in
+//! the *implicit* subsampled-DCT operator (O(N^1.5) separable transforms)
+//! while the greedy solvers and tests can use a dense matrix.
+
+use crate::error::{Result, SolverError};
+use flexcs_linalg::Matrix;
+
+/// A real linear operator `A : R^n -> R^m`.
+///
+/// Implementations must guarantee that [`apply_transpose`] is the exact
+/// adjoint of [`apply`]; solvers rely on `⟨A x, y⟩ = ⟨x, Aᵀ y⟩`.
+///
+/// [`apply`]: LinearOperator::apply
+/// [`apply_transpose`]: LinearOperator::apply_transpose
+pub trait LinearOperator {
+    /// Output dimension `m` (number of measurements).
+    fn rows(&self) -> usize;
+
+    /// Input dimension `n` (signal length).
+    fn cols(&self) -> usize;
+
+    /// Computes `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != self.cols()`; solvers
+    /// always pass correctly sized inputs.
+    fn apply(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Computes `Aᵀ·y`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `y.len() != self.rows()`.
+    fn apply_transpose(&self, y: &[f64]) -> Vec<f64>;
+
+    /// Materializes column `j` (defaults to `A·e_j`).
+    fn column(&self, j: usize) -> Vec<f64> {
+        let mut e = vec![0.0; self.cols()];
+        e[j] = 1.0;
+        self.apply(&e)
+    }
+
+    /// Materializes the dense `m x n` matrix row by row via the adjoint.
+    ///
+    /// Cost is `m` adjoint applications; intended for the dense-only
+    /// solvers (IRLS, ADMM with cached factorization, LP) and for tests.
+    fn to_dense(&self) -> Matrix {
+        let m = self.rows();
+        let n = self.cols();
+        let mut a = Matrix::zeros(m, n);
+        let mut e = vec![0.0; m];
+        for i in 0..m {
+            e[i] = 1.0;
+            let row = self.apply_transpose(&e);
+            e[i] = 0.0;
+            a.row_mut(i).copy_from_slice(&row);
+        }
+        a
+    }
+
+    /// Estimates the spectral norm `‖A‖₂` by power iteration on `AᵀA`.
+    ///
+    /// ISTA/FISTA use `1/‖A‖₂²` as a safe step size.
+    fn spectral_norm_estimate(&self, iterations: usize) -> f64 {
+        let n = self.cols();
+        if n == 0 || self.rows() == 0 {
+            return 0.0;
+        }
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| 1.0 + 0.01 * ((i as f64) * 0.73).sin())
+            .collect();
+        let mut norm = 0.0;
+        for _ in 0..iterations.max(1) {
+            let ax = self.apply(&x);
+            let atax = self.apply_transpose(&ax);
+            let s = flexcs_linalg::vecops::norm2(&atax);
+            if s == 0.0 {
+                return 0.0;
+            }
+            norm = s.sqrt();
+            for (xi, v) in x.iter_mut().zip(&atax) {
+                *xi = v / s;
+            }
+        }
+        norm
+    }
+}
+
+/// Validates that a measurement vector matches the operator's output
+/// dimension.
+///
+/// # Errors
+///
+/// Returns [`SolverError::DimensionMismatch`] on disagreement.
+pub fn check_measurements(op: &dyn LinearOperator, b: &[f64]) -> Result<()> {
+    if b.len() != op.rows() {
+        return Err(SolverError::DimensionMismatch {
+            expected: op.rows(),
+            got: b.len(),
+        });
+    }
+    Ok(())
+}
+
+/// A dense-matrix operator.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_linalg::Matrix;
+/// use flexcs_solver::{DenseOperator, LinearOperator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, -1.0]])?;
+/// let op = DenseOperator::new(a);
+/// assert_eq!(op.apply(&[1.0, 1.0, 1.0]), vec![3.0, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseOperator {
+    a: Matrix,
+}
+
+impl DenseOperator {
+    /// Wraps a dense matrix.
+    pub fn new(a: Matrix) -> Self {
+        DenseOperator { a }
+    }
+
+    /// Borrows the underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Consumes the operator, returning the matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.a
+    }
+}
+
+impl From<Matrix> for DenseOperator {
+    fn from(a: Matrix) -> Self {
+        DenseOperator::new(a)
+    }
+}
+
+impl LinearOperator for DenseOperator {
+    fn rows(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.a.cols()
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.a.matvec(x).expect("caller passes cols()-length input")
+    }
+
+    fn apply_transpose(&self, y: &[f64]) -> Vec<f64> {
+        self.a
+            .matvec_transpose(y)
+            .expect("caller passes rows()-length input")
+    }
+
+    fn to_dense(&self) -> Matrix {
+        self.a.clone()
+    }
+}
+
+/// Extracts the dense sub-matrix of `op` restricted to `support` columns.
+///
+/// Used by the greedy solvers for least-squares refits.
+pub fn dense_submatrix(op: &dyn LinearOperator, support: &[usize]) -> Matrix {
+    let m = op.rows();
+    let mut sub = Matrix::zeros(m, support.len());
+    for (sj, &j) in support.iter().enumerate() {
+        let col = op.column(j);
+        for i in 0..m {
+            sub[(i, sj)] = col[i];
+        }
+    }
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_op() -> DenseOperator {
+        DenseOperator::new(
+            Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, -1.0]]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn apply_and_adjoint_are_consistent() {
+        let op = sample_op();
+        let x = [1.0, -1.0, 2.0];
+        let y = [0.5, 2.0];
+        let ax = op.apply(&x);
+        let aty = op.apply_transpose(&y);
+        let lhs = flexcs_linalg::vecops::dot(&ax, &y);
+        let rhs = flexcs_linalg::vecops::dot(&x, &aty);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let op = sample_op();
+        assert_eq!(op.column(1), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let op = sample_op();
+        let d = op.to_dense();
+        assert_eq!(&d, op.matrix());
+    }
+
+    #[test]
+    fn default_to_dense_via_adjoint() {
+        // Wrap in a newtype that hides the dense shortcut.
+        struct Opaque(DenseOperator);
+        impl LinearOperator for Opaque {
+            fn rows(&self) -> usize {
+                self.0.rows()
+            }
+            fn cols(&self) -> usize {
+                self.0.cols()
+            }
+            fn apply(&self, x: &[f64]) -> Vec<f64> {
+                self.0.apply(x)
+            }
+            fn apply_transpose(&self, y: &[f64]) -> Vec<f64> {
+                self.0.apply_transpose(y)
+            }
+        }
+        let op = Opaque(sample_op());
+        assert_eq!(&op.to_dense(), op.0.matrix());
+    }
+
+    #[test]
+    fn spectral_norm_close_to_exact() {
+        let op = sample_op();
+        let est = op.spectral_norm_estimate(60);
+        let exact = flexcs_linalg::spectral_norm_estimate(op.matrix(), 200);
+        assert!((est - exact).abs() / exact < 1e-6);
+    }
+
+    #[test]
+    fn check_measurements_rejects_mismatch() {
+        let op = sample_op();
+        assert!(check_measurements(&op, &[1.0, 2.0]).is_ok());
+        assert!(matches!(
+            check_measurements(&op, &[1.0]),
+            Err(SolverError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn dense_submatrix_selects_columns() {
+        let op = sample_op();
+        let sub = dense_submatrix(&op, &[2, 0]);
+        assert_eq!(
+            sub,
+            Matrix::from_rows(&[&[0.0, 1.0], &[-1.0, 0.0]]).unwrap()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Common solver output types.
+
+/// Diagnostics shared by every recovery solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Final residual norm `‖A·x − b‖₂`.
+    pub residual_norm: f64,
+    /// Whether the solver met its stopping tolerance (as opposed to
+    /// exhausting its iteration budget).
+    pub converged: bool,
+    /// Final objective value (solver-specific; e.g. `λ‖x‖₁ + ½‖Ax−b‖₂²`
+    /// for LASSO solvers, `‖x‖₁` for basis pursuit).
+    pub objective: f64,
+}
+
+impl SolveReport {
+    /// Creates a report.
+    pub fn new(iterations: usize, residual_norm: f64, converged: bool, objective: f64) -> Self {
+        SolveReport {
+            iterations,
+            residual_norm,
+            converged,
+            objective,
+        }
+    }
+}
+
+/// A recovered coefficient vector plus its diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// Recovered sparse coefficient vector `x` (length `n`).
+    pub x: Vec<f64>,
+    /// Solver diagnostics.
+    pub report: SolveReport,
+}
+
+impl Recovery {
+    /// Creates a recovery result.
+    pub fn new(x: Vec<f64>, report: SolveReport) -> Self {
+        Recovery { x, report }
+    }
+
+    /// Number of nonzero entries above `tol` in magnitude.
+    pub fn support_size(&self, tol: f64) -> usize {
+        flexcs_linalg::vecops::count_above(&self.x, tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_size_counts_above_tolerance() {
+        let r = Recovery::new(
+            vec![0.0, 1e-12, 0.5, -2.0],
+            SolveReport::new(3, 1e-9, true, 2.5),
+        );
+        assert_eq!(r.support_size(1e-8), 2);
+        assert_eq!(r.report.iterations, 3);
+        assert!(r.report.converged);
+    }
+}

@@ -1,0 +1,197 @@
+//! Unified solver selection.
+//!
+//! The flexcs decoder lets callers pick any recovery algorithm through a
+//! single enum — the knob the `solver_ablation` bench sweeps.
+
+use crate::admm::{admm_basis_pursuit, admm_bpdn, AdmmConfig};
+use crate::error::Result;
+use crate::greedy::{cosamp, omp, subspace_pursuit, GreedyConfig};
+use crate::irls::{irls, IrlsConfig};
+use crate::ista::{fista, ista, IstaConfig};
+use crate::lp::{lp_basis_pursuit, LpConfig};
+use crate::op::LinearOperator;
+use crate::report::Recovery;
+use crate::reweighted::{reweighted_l1, ReweightedConfig};
+use std::fmt;
+
+/// A sparse-recovery algorithm plus its configuration.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_linalg::Matrix;
+/// use flexcs_solver::{DenseOperator, IstaConfig, SparseSolver};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.2], &[0.1, 1.0]])?;
+/// let op = DenseOperator::new(a);
+/// let solver = SparseSolver::Fista(IstaConfig::with_lambda(1e-6));
+/// let rec = solver.solve(&op, &[1.0, 0.1])?;
+/// assert!((rec.x[0] - 1.0).abs() < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseSolver {
+    /// Orthogonal Matching Pursuit.
+    Omp(GreedyConfig),
+    /// CoSaMP.
+    Cosamp(GreedyConfig),
+    /// Subspace Pursuit.
+    SubspacePursuit(GreedyConfig),
+    /// Plain ISTA (LASSO).
+    Ista(IstaConfig),
+    /// FISTA (accelerated LASSO) — the pipeline default.
+    Fista(IstaConfig),
+    /// ADMM basis-pursuit denoising (LASSO form).
+    AdmmBpdn(AdmmConfig),
+    /// ADMM exact basis pursuit (`A·x = b` enforced).
+    AdmmBasisPursuit(AdmmConfig),
+    /// IRLS basis pursuit.
+    Irls(IrlsConfig),
+    /// Interior-point LP basis pursuit (the paper's Eq. 9 reformulation).
+    LpBasisPursuit(LpConfig),
+    /// Iteratively reweighted L1 (Candès–Wakin–Boyd) over FISTA.
+    ReweightedL1(ReweightedConfig),
+}
+
+impl SparseSolver {
+    /// Runs the selected solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the selected solver's errors; see the individual solver
+    /// functions.
+    pub fn solve(&self, op: &dyn LinearOperator, b: &[f64]) -> Result<Recovery> {
+        match self {
+            SparseSolver::Omp(c) => omp(op, b, c),
+            SparseSolver::Cosamp(c) => cosamp(op, b, c),
+            SparseSolver::SubspacePursuit(c) => subspace_pursuit(op, b, c),
+            SparseSolver::Ista(c) => ista(op, b, c),
+            SparseSolver::Fista(c) => fista(op, b, c),
+            SparseSolver::AdmmBpdn(c) => admm_bpdn(op, b, c),
+            SparseSolver::AdmmBasisPursuit(c) => admm_basis_pursuit(op, b, c),
+            SparseSolver::Irls(c) => irls(op, b, c),
+            SparseSolver::LpBasisPursuit(c) => lp_basis_pursuit(op, b, c),
+            SparseSolver::ReweightedL1(c) => reweighted_l1(op, b, c),
+        }
+    }
+
+    /// Short machine-friendly name (used by the bench harness tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SparseSolver::Omp(_) => "omp",
+            SparseSolver::Cosamp(_) => "cosamp",
+            SparseSolver::SubspacePursuit(_) => "sp",
+            SparseSolver::Ista(_) => "ista",
+            SparseSolver::Fista(_) => "fista",
+            SparseSolver::AdmmBpdn(_) => "admm-bpdn",
+            SparseSolver::AdmmBasisPursuit(_) => "admm-bp",
+            SparseSolver::Irls(_) => "irls",
+            SparseSolver::LpBasisPursuit(_) => "lp-bp",
+            SparseSolver::ReweightedL1(_) => "rw-l1",
+        }
+    }
+
+    /// `true` for solvers that materialize the dense measurement matrix
+    /// (IRLS, ADMM, LP); implicit-operator pipelines may prefer the
+    /// others at large `N`.
+    pub fn requires_dense(&self) -> bool {
+        matches!(
+            self,
+            SparseSolver::AdmmBpdn(_)
+                | SparseSolver::AdmmBasisPursuit(_)
+                | SparseSolver::Irls(_)
+                | SparseSolver::LpBasisPursuit(_)
+        )
+    }
+}
+
+impl Default for SparseSolver {
+    /// FISTA with `λ = 1e-3`, the flexcs pipeline default.
+    fn default() -> Self {
+        SparseSolver::Fista(IstaConfig::with_lambda(1e-3))
+    }
+}
+
+impl fmt::Display for SparseSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{gaussian_operator, sparse_signal};
+    use flexcs_linalg::vecops;
+
+    #[test]
+    fn every_solver_recovers_the_same_signal() {
+        let (m, n, k) = (40, 80, 4);
+        let op = gaussian_operator(m, n, 161);
+        let x_true = sparse_signal(n, k, 162);
+        let b = op.apply(&x_true);
+        let mut fista_cfg = IstaConfig::with_lambda(1e-5);
+        fista_cfg.max_iterations = 4000;
+        fista_cfg.tol = 1e-10;
+        let mut admm_cfg = AdmmConfig::with_lambda(1e-4);
+        admm_cfg.max_iterations = 12000;
+        admm_cfg.tol = 1e-11;
+        let mut bp_cfg = AdmmConfig::default();
+        bp_cfg.max_iterations = 3000;
+        bp_cfg.rho = 5.0;
+        let mut rw_cfg = ReweightedConfig::default();
+        rw_cfg.inner.lambda = 1e-5;
+        rw_cfg.inner.max_iterations = 2000;
+        let solvers = [
+            SparseSolver::Omp(GreedyConfig::with_sparsity(k)),
+            SparseSolver::Cosamp(GreedyConfig::with_sparsity(k)),
+            SparseSolver::SubspacePursuit(GreedyConfig::with_sparsity(k)),
+            SparseSolver::Fista(fista_cfg),
+            SparseSolver::AdmmBpdn(admm_cfg),
+            SparseSolver::AdmmBasisPursuit(bp_cfg),
+            SparseSolver::Irls(IrlsConfig::default()),
+            SparseSolver::LpBasisPursuit(LpConfig::default()),
+            SparseSolver::ReweightedL1(rw_cfg),
+        ];
+        for solver in &solvers {
+            let rec = solver.solve(&op, &b).unwrap();
+            let err = vecops::norm2(&vecops::sub(&rec.x, &x_true)) / vecops::norm2(&x_true);
+            assert!(err < 0.05, "{} relative error {err}", solver.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names = [
+            SparseSolver::Omp(GreedyConfig::default()).name(),
+            SparseSolver::Cosamp(GreedyConfig::default()).name(),
+            SparseSolver::SubspacePursuit(GreedyConfig::default()).name(),
+            SparseSolver::Ista(IstaConfig::default()).name(),
+            SparseSolver::Fista(IstaConfig::default()).name(),
+            SparseSolver::AdmmBpdn(AdmmConfig::default()).name(),
+            SparseSolver::AdmmBasisPursuit(AdmmConfig::default()).name(),
+            SparseSolver::Irls(IrlsConfig::default()).name(),
+            SparseSolver::LpBasisPursuit(LpConfig::default()).name(),
+            SparseSolver::ReweightedL1(ReweightedConfig::default()).name(),
+        ];
+        let mut set = std::collections::HashSet::new();
+        for n in names {
+            assert!(set.insert(n), "duplicate solver name {n}");
+        }
+    }
+
+    #[test]
+    fn dense_requirement_flags() {
+        assert!(!SparseSolver::default().requires_dense());
+        assert!(SparseSolver::LpBasisPursuit(LpConfig::default()).requires_dense());
+        assert!(SparseSolver::Irls(IrlsConfig::default()).requires_dense());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let s = SparseSolver::default();
+        assert_eq!(format!("{s}"), s.name());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the sparse-recovery solvers.
+
+use flexcs_linalg::{vecops, Matrix};
+use flexcs_solver::{
+    admm_basis_pursuit, fista, irls, lp_basis_pursuit, omp, AdmmConfig, DenseOperator,
+    GreedyConfig, IrlsConfig, IstaConfig, LinearOperator, LpConfig,
+};
+use proptest::prelude::*;
+
+/// Deterministic Gaussian operator from a seed (normalized columns in
+/// expectation).
+fn gaussian_op(m: usize, n: usize, seed: u64) -> DenseOperator {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let scale = 1.0 / (m as f64).sqrt();
+    DenseOperator::new(Matrix::from_fn(m, n, |_, _| {
+        let u1 = next().max(1e-300);
+        let u2 = next();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * scale
+    }))
+}
+
+/// K-sparse ground truth with magnitudes >= 1 at seeded positions.
+fn sparse_truth(n: usize, k: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut x = vec![0.0; n];
+    let mut placed = 0;
+    while placed < k {
+        let idx = (next() * n as f64) as usize % n;
+        if x[idx] == 0.0 {
+            x[idx] = if next() < 0.5 { -1.0 } else { 1.0 } * (1.0 + next());
+            placed += 1;
+        }
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn omp_converged_implies_exact_recovery(seed in 0u64..500, k in 1usize..6) {
+        // Random Gaussian ensembles occasionally defeat greedy atom
+        // selection (a weak column plus a correlated impostor), in which
+        // case OMP reports non-convergence. The sound property is the
+        // implication: a converged report means the truth was found —
+        // a wrong support fitting b exactly has probability zero.
+        let (m, n) = (12 * k + 12, 24 * k + 20);
+        let op = gaussian_op(m, n, seed);
+        let x = sparse_truth(n, k, seed + 1);
+        let b = op.apply(&x);
+        let rec = omp(&op, &b, &GreedyConfig::with_sparsity(k)).unwrap();
+        if rec.report.converged {
+            let err = vecops::norm2(&vecops::sub(&rec.x, &x));
+            prop_assert!(err < 1e-6 * vecops::norm2(&x), "err {err}");
+        }
+    }
+
+    #[test]
+    fn fista_objective_never_worse_than_zero_vector(seed in 0u64..500) {
+        let op = gaussian_op(20, 50, seed);
+        let x = sparse_truth(50, 4, seed + 2);
+        let b = op.apply(&x);
+        let cfg = IstaConfig::with_lambda(1e-2);
+        let rec = fista(&op, &b, &cfg).unwrap();
+        // Objective at 0 is ½‖b‖²; the solver must do at least as well.
+        let zero_obj = 0.5 * vecops::dot(&b, &b);
+        prop_assert!(rec.report.objective <= zero_obj + 1e-9);
+    }
+
+    #[test]
+    fn fista_solution_sparser_with_larger_lambda(seed in 0u64..200) {
+        let op = gaussian_op(24, 60, seed);
+        let x = sparse_truth(60, 5, seed + 3);
+        let b = op.apply(&x);
+        let mut small = IstaConfig::with_lambda(1e-4);
+        small.max_iterations = 600;
+        let mut large = IstaConfig::with_lambda(5e-1);
+        large.max_iterations = 600;
+        let rec_small = fista(&op, &b, &small).unwrap();
+        let rec_large = fista(&op, &b, &large).unwrap();
+        prop_assert!(
+            rec_large.support_size(1e-8) <= rec_small.support_size(1e-8)
+        );
+    }
+
+    #[test]
+    fn basis_pursuit_feasible_and_l1_optimal_vs_truth(seed in 0u64..200) {
+        let (m, n, k) = (30, 60, 3);
+        let op = gaussian_op(m, n, seed);
+        let x = sparse_truth(n, k, seed + 4);
+        let b = op.apply(&x);
+        let mut cfg = AdmmConfig::default();
+        cfg.rho = 5.0;
+        cfg.max_iterations = 2000;
+        let rec = admm_basis_pursuit(&op, &b, &cfg).unwrap();
+        // Feasibility.
+        prop_assert!(rec.report.residual_norm < 1e-4 * (1.0 + vecops::norm2(&b)));
+        // L1 optimality relative to the (feasible) truth.
+        prop_assert!(vecops::norm1(&rec.x) <= vecops::norm1(&x) * (1.0 + 1e-3));
+    }
+
+    #[test]
+    fn irls_and_lp_agree(seed in 0u64..100) {
+        let (m, n, k) = (24, 48, 3);
+        let op = gaussian_op(m, n, seed);
+        let x = sparse_truth(n, k, seed + 5);
+        let b = op.apply(&x);
+        let r1 = irls(&op, &b, &IrlsConfig::default()).unwrap();
+        let r2 = lp_basis_pursuit(&op, &b, &LpConfig::default()).unwrap();
+        // IRLS is a smoothed approximation; sub-percent agreement with
+        // the exact LP is the expected regime.
+        let diff = vecops::norm2(&vecops::sub(&r1.x, &r2.x));
+        prop_assert!(diff < 2e-2 * (1.0 + vecops::norm2(&x)), "diff {diff}");
+    }
+
+    #[test]
+    fn operator_scaling_scales_recovery(seed in 0u64..200, alpha in 0.1..5.0f64) {
+        // Solving with measurements α·b recovers α·x for basis pursuit
+        // (positive homogeneity of the L1 problem).
+        let (m, n, k) = (20, 40, 3);
+        let op = gaussian_op(m, n, seed);
+        let x = sparse_truth(n, k, seed + 6);
+        let b = op.apply(&x);
+        let scaled: Vec<f64> = b.iter().map(|v| v * alpha).collect();
+        let r1 = irls(&op, &b, &IrlsConfig::default()).unwrap();
+        let r2 = irls(&op, &scaled, &IrlsConfig::default()).unwrap();
+        // IRLS's absolute epsilon floor and finite iteration budget
+        // break exact homogeneity, so require agreement to ~2 % at the
+        // whole-vector level.
+        let scaled_x: Vec<f64> = r1.x.iter().map(|v| v * alpha).collect();
+        let diff = vecops::norm2(&vecops::sub(&scaled_x, &r2.x));
+        let scale = alpha * vecops::norm2(&r1.x);
+        prop_assert!(diff < 2e-2 * scale.max(1e-9), "diff {diff} at scale {scale}");
+    }
+}

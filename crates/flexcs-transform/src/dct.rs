@@ -1,0 +1,415 @@
+//! Orthonormal DCT-II / DCT-III (inverse) transforms, 1-D and 2-D.
+//!
+//! The paper expresses sensor frames in the 2-D DCT basis (Eqs. 3–7) and
+//! reconstructs with the IDCT. We provide a plan-based implementation
+//! (precomputed cosine matrix, exact for every size) plus a fast
+//! Lee-recursion path for power-of-two lengths used by the benchmark
+//! harness.
+
+use crate::error::{Result, TransformError};
+use flexcs_linalg::Matrix;
+use std::f64::consts::PI;
+
+/// A precomputed orthonormal DCT-II plan for a fixed length.
+///
+/// The plan stores the `n x n` cosine matrix `C` with
+/// `C[k][t] = a_k · cos(π (2t + 1) k / (2n))`, `a_0 = √(1/n)`,
+/// `a_k = √(2/n)`. Forward transform is `C·x`; the inverse is `Cᵀ·x`
+/// because `C` is orthonormal.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_transform::DctPlan;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plan = DctPlan::new(8)?;
+/// let x = vec![1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0];
+/// let coeffs = plan.forward(&x)?;
+/// let back = plan.inverse(&coeffs)?;
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DctPlan {
+    n: usize,
+    /// Row-major `n x n` forward DCT-II matrix.
+    c: Matrix,
+}
+
+impl DctPlan {
+    /// Builds a plan for length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] if `n == 0`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(TransformError::InvalidLength {
+                len: 0,
+                reason: "dct plan length must be positive",
+            });
+        }
+        let nf = n as f64;
+        let a0 = (1.0 / nf).sqrt();
+        let ak = (2.0 / nf).sqrt();
+        let c = Matrix::from_fn(n, n, |k, t| {
+            let scale = if k == 0 { a0 } else { ak };
+            scale * (PI * (2.0 * t as f64 + 1.0) * k as f64 / (2.0 * nf)).cos()
+        });
+        Ok(DctPlan { n, c })
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the plan length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Borrows the orthonormal cosine matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Forward orthonormal DCT-II.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] when `x.len()` differs
+    /// from the plan length.
+    pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.check(x)?;
+        Ok(self.c.matvec(x).expect("plan matrix is n x n"))
+    }
+
+    /// Inverse transform (orthonormal DCT-III).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] when `x.len()` differs
+    /// from the plan length.
+    pub fn inverse(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.check(x)?;
+        Ok(self.c.matvec_transpose(x).expect("plan matrix is n x n"))
+    }
+
+    fn check(&self, x: &[f64]) -> Result<()> {
+        if x.len() != self.n {
+            return Err(TransformError::InvalidLength {
+                len: x.len(),
+                reason: "input length differs from plan length",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A 2-D separable orthonormal DCT for `rows x cols` frames.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_transform::Dct2d;
+/// use flexcs_linalg::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dct = Dct2d::new(4, 6)?;
+/// let img = Matrix::from_fn(4, 6, |i, j| (i + j) as f64);
+/// let coeffs = dct.forward(&img)?;
+/// let back = dct.inverse(&coeffs)?;
+/// assert!(back.max_abs_diff(&img)? < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dct2d {
+    row_plan: DctPlan,
+    col_plan: DctPlan,
+}
+
+impl Dct2d {
+    /// Builds a 2-D plan for `rows x cols` frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] if either dimension is
+    /// zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self> {
+        Ok(Dct2d {
+            row_plan: DctPlan::new(cols)?,
+            col_plan: DctPlan::new(rows)?,
+        })
+    }
+
+    /// Frame shape `(rows, cols)` accepted by this plan.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.col_plan.len(), self.row_plan.len())
+    }
+
+    /// Forward 2-D DCT-II of a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::ShapeMismatch`] when the frame shape
+    /// differs from the plan shape.
+    pub fn forward(&self, frame: &Matrix) -> Result<Matrix> {
+        self.check(frame)?;
+        // Rows then columns; separability makes the order irrelevant.
+        let (rows, cols) = frame.shape();
+        let mut tmp = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let t = self.row_plan.forward(frame.row(i))?;
+            tmp.row_mut(i).copy_from_slice(&t);
+        }
+        let mut out = Matrix::zeros(rows, cols);
+        for j in 0..cols {
+            let col: Vec<f64> = tmp.col(j);
+            let t = self.col_plan.forward(&col)?;
+            for i in 0..rows {
+                out[(i, j)] = t[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse 2-D DCT (orthonormal DCT-III) of a coefficient frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::ShapeMismatch`] when the coefficient
+    /// shape differs from the plan shape.
+    pub fn inverse(&self, coeffs: &Matrix) -> Result<Matrix> {
+        self.check(coeffs)?;
+        let (rows, cols) = coeffs.shape();
+        let mut tmp = Matrix::zeros(rows, cols);
+        for j in 0..cols {
+            let col: Vec<f64> = coeffs.col(j);
+            let t = self.col_plan.inverse(&col)?;
+            for i in 0..rows {
+                tmp[(i, j)] = t[i];
+            }
+        }
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let t = self.row_plan.inverse(tmp.row(i))?;
+            out.row_mut(i).copy_from_slice(&t);
+        }
+        Ok(out)
+    }
+
+    fn check(&self, frame: &Matrix) -> Result<()> {
+        if frame.shape() != self.shape() {
+            return Err(TransformError::ShapeMismatch {
+                expected: self.shape(),
+                got: frame.shape(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Unscaled DCT-II by Lee's recursive algorithm, valid for power-of-two
+/// lengths. Computes `X_k = Σ_t x_t · cos(π (2t + 1) k / (2n))` in
+/// O(n log n).
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless `x.len()` is a
+/// positive power of two.
+pub fn fast_dct2_unscaled(x: &[f64]) -> Result<Vec<f64>> {
+    let n = x.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(TransformError::InvalidLength {
+            len: n,
+            reason: "fast dct requires a positive power-of-two length",
+        });
+    }
+    let mut v = x.to_vec();
+    lee_forward(&mut v);
+    Ok(v)
+}
+
+fn lee_forward(v: &mut [f64]) {
+    let n = v.len();
+    if n == 1 {
+        return;
+    }
+    let half = n / 2;
+    let mut alpha = vec![0.0; half];
+    let mut beta = vec![0.0; half];
+    for i in 0..half {
+        let x = v[i];
+        let y = v[n - 1 - i];
+        alpha[i] = x + y;
+        beta[i] = (x - y) / (((i as f64 + 0.5) * PI / n as f64).cos() * 2.0);
+    }
+    lee_forward(&mut alpha);
+    lee_forward(&mut beta);
+    for i in 0..half - 1 {
+        v[i * 2] = alpha[i];
+        v[i * 2 + 1] = beta[i] + beta[i + 1];
+    }
+    v[n - 2] = alpha[half - 1];
+    v[n - 1] = beta[half - 1];
+}
+
+/// Orthonormal DCT-II for power-of-two lengths, via the fast Lee
+/// recursion; numerically equivalent to [`DctPlan::forward`].
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless `x.len()` is a
+/// positive power of two.
+pub fn fast_dct2_orthonormal(x: &[f64]) -> Result<Vec<f64>> {
+    let n = x.len() as f64;
+    let mut v = fast_dct2_unscaled(x)?;
+    let a0 = (1.0 / n).sqrt();
+    let ak = (2.0 / n).sqrt();
+    if let Some(first) = v.first_mut() {
+        *first *= a0;
+    }
+    for item in v.iter_mut().skip(1) {
+        *item *= ak;
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dct2_unscaled(x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                x.iter()
+                    .enumerate()
+                    .map(|(t, &v)| v * (PI * (2.0 * t as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos())
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_rejects_zero_length() {
+        assert!(DctPlan::new(0).is_err());
+    }
+
+    #[test]
+    fn plan_matrix_is_orthonormal() {
+        let plan = DctPlan::new(16).unwrap();
+        let c = plan.matrix();
+        let prod = c.matmul(&c.transpose()).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(16)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        let plan = DctPlan::new(11).unwrap();
+        let x: Vec<f64> = (0..11).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y = plan.forward(&x).unwrap();
+        let back = plan.inverse(&y).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let plan = DctPlan::new(9).unwrap();
+        let x: Vec<f64> = (0..9).map(|i| i as f64 - 4.0).collect();
+        let y = plan.forward(&x).unwrap();
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        assert!((ex - ey).abs() < 1e-10);
+    }
+
+    #[test]
+    fn constant_signal_has_single_dc_coefficient() {
+        let plan = DctPlan::new(8).unwrap();
+        let y = plan.forward(&[2.0; 8]).unwrap();
+        assert!((y[0] - 2.0 * 8.0_f64.sqrt()).abs() < 1e-12);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let plan = DctPlan::new(4).unwrap();
+        assert!(plan.forward(&[1.0; 5]).is_err());
+        assert!(plan.inverse(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn dct2d_roundtrip_rect() {
+        let d = Dct2d::new(5, 7).unwrap();
+        let img = Matrix::from_fn(5, 7, |i, j| ((i * 3 + j) as f64 * 0.7).cos());
+        let c = d.forward(&img).unwrap();
+        let back = d.inverse(&c).unwrap();
+        assert!(back.max_abs_diff(&img).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn dct2d_energy_preserved() {
+        let d = Dct2d::new(6, 6).unwrap();
+        let img = Matrix::from_fn(6, 6, |i, j| (i as f64 - j as f64) * 0.5);
+        let c = d.forward(&img).unwrap();
+        assert!((img.norm_fro() - c.norm_fro()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dct2d_shape_mismatch_rejected() {
+        let d = Dct2d::new(4, 4).unwrap();
+        assert!(d.forward(&Matrix::zeros(4, 5)).is_err());
+        assert!(matches!(
+            d.inverse(&Matrix::zeros(3, 4)),
+            Err(TransformError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dct2d_of_constant_is_dc_only() {
+        let d = Dct2d::new(4, 4).unwrap();
+        let img = Matrix::filled(4, 4, 1.0);
+        let c = d.forward(&img).unwrap();
+        assert!((c[(0, 0)] - 4.0).abs() < 1e-12);
+        assert!(c.norm_l1() - c[(0, 0)].abs() < 1e-10);
+    }
+
+    #[test]
+    fn fast_matches_naive_unscaled() {
+        for &n in &[2usize, 4, 8, 16, 32, 64] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.13).sin()).collect();
+            let fast = fast_dct2_unscaled(&x).unwrap();
+            let naive = naive_dct2_unscaled(&x);
+            for (a, b) in fast.iter().zip(&naive) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_orthonormal_matches_plan() {
+        let n = 32;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+        let fast = fast_dct2_orthonormal(&x).unwrap();
+        let plan = DctPlan::new(n).unwrap().forward(&x).unwrap();
+        for (a, b) in fast.iter().zip(&plan) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fast_rejects_non_power_of_two() {
+        assert!(fast_dct2_unscaled(&[1.0; 12]).is_err());
+        assert!(fast_dct2_unscaled(&[]).is_err());
+    }
+}

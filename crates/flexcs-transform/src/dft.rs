@@ -1,0 +1,182 @@
+//! Orthonormal real discrete Fourier basis.
+//!
+//! The paper's Sec. 2 lists the "discrete Fourier transform" among the
+//! suitable sparsifying transforms. For real-valued sensor frames the
+//! natural form is the *real* Fourier basis — cosine/sine pairs — which
+//! is a genuine orthonormal `n x n` real matrix (unlike the complex
+//! DFT), so it slots into the same recovery machinery as the DCT.
+
+use crate::error::{Result, TransformError};
+use flexcs_linalg::Matrix;
+use std::f64::consts::TAU;
+
+/// A precomputed orthonormal real-Fourier plan for a fixed length.
+///
+/// Basis functions (rows of the analysis matrix), for even `n`:
+/// `1/√n`, then `√(2/n)·cos(2πkt/n)` and `√(2/n)·sin(2πkt/n)` for
+/// `k = 1 … n/2 − 1`, and finally `cos(πt)/√n` (the Nyquist row). Odd
+/// lengths omit the Nyquist row and run `k` to `(n−1)/2`.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_transform::RealFourierPlan;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plan = RealFourierPlan::new(16)?;
+/// let x: Vec<f64> = (0..16).map(|t| (t as f64 * 0.3).sin()).collect();
+/// let back = plan.inverse(&plan.forward(&x)?)?;
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealFourierPlan {
+    n: usize,
+    basis: Matrix,
+}
+
+impl RealFourierPlan {
+    /// Builds a plan for length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] if `n == 0`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(TransformError::InvalidLength {
+                len: 0,
+                reason: "real fourier plan length must be positive",
+            });
+        }
+        let nf = n as f64;
+        let mut basis = Matrix::zeros(n, n);
+        let mut row = 0;
+        // DC.
+        for t in 0..n {
+            basis[(row, t)] = (1.0 / nf).sqrt();
+        }
+        row += 1;
+        let k_max = if n % 2 == 0 { n / 2 - 1 } else { (n - 1) / 2 };
+        for k in 1..=k_max {
+            let scale = (2.0 / nf).sqrt();
+            for t in 0..n {
+                basis[(row, t)] = scale * (TAU * k as f64 * t as f64 / nf).cos();
+            }
+            row += 1;
+            for t in 0..n {
+                basis[(row, t)] = scale * (TAU * k as f64 * t as f64 / nf).sin();
+            }
+            row += 1;
+        }
+        if n % 2 == 0 && n > 1 {
+            // Nyquist: alternating ±1/√n.
+            for t in 0..n {
+                basis[(row, t)] = if t % 2 == 0 { 1.0 } else { -1.0 } / nf.sqrt();
+            }
+            row += 1;
+        }
+        debug_assert_eq!(row, n);
+        Ok(RealFourierPlan { n, basis })
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the plan is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Borrows the orthonormal analysis matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.basis
+    }
+
+    /// Forward transform (analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] for a wrong-length
+    /// input.
+    pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n {
+            return Err(TransformError::InvalidLength {
+                len: x.len(),
+                reason: "input length differs from plan length",
+            });
+        }
+        Ok(self.basis.matvec(x).expect("plan is n x n"))
+    }
+
+    /// Inverse transform (synthesis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] for a wrong-length
+    /// input.
+    pub fn inverse(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n {
+            return Err(TransformError::InvalidLength {
+                len: x.len(),
+                reason: "input length differs from plan length",
+            });
+        }
+        Ok(self.basis.matvec_transpose(x).expect("plan is n x n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_is_orthonormal_even_and_odd() {
+        for n in [8usize, 9, 16, 15] {
+            let plan = RealFourierPlan::new(n).unwrap();
+            let b = plan.matrix();
+            let g = b.matmul(&b.transpose()).unwrap();
+            assert!(
+                g.max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-12,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_two_coefficients() {
+        let n = 32;
+        let plan = RealFourierPlan::new(n).unwrap();
+        let x: Vec<f64> = (0..n).map(|t| (TAU * 3.0 * t as f64 / n as f64).cos()).collect();
+        let c = plan.forward(&x).unwrap();
+        let significant = c.iter().filter(|v| v.abs() > 1e-9).count();
+        assert_eq!(significant, 1, "a bin-aligned cosine hits one basis row");
+    }
+
+    #[test]
+    fn roundtrip_and_parseval() {
+        let n = 21;
+        let plan = RealFourierPlan::new(n).unwrap();
+        let x: Vec<f64> = (0..n).map(|t| ((t * t) as f64 * 0.17).sin()).collect();
+        let c = plan.forward(&x).unwrap();
+        let back = plan.inverse(&c).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ec: f64 = c.iter().map(|v| v * v).sum();
+        assert!((ex - ec).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(RealFourierPlan::new(0).is_err());
+        let plan = RealFourierPlan::new(4).unwrap();
+        assert!(plan.forward(&[1.0; 3]).is_err());
+        assert!(plan.inverse(&[1.0; 5]).is_err());
+    }
+}

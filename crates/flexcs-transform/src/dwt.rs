@@ -1,0 +1,299 @@
+//! Orthonormal Haar discrete wavelet transform, 1-D and 2-D.
+//!
+//! The paper notes (Sec. 2) that "other suitable transformations, such as
+//! discrete Fourier transform and discrete wavelet transform, can be
+//! applied as well"; the Haar DWT lets the pipeline and the ablation
+//! benches exercise an alternative sparsity basis.
+
+use crate::error::{Result, TransformError};
+use flexcs_linalg::Matrix;
+
+const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// One level of the orthonormal Haar transform:
+/// `(approx, detail) = ((a+b)/√2, (a-b)/√2)` over adjacent pairs, packed
+/// approximations first.
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless the length is even and
+/// positive.
+pub fn haar_forward_level(x: &[f64]) -> Result<Vec<f64>> {
+    let n = x.len();
+    if n == 0 || n % 2 != 0 {
+        return Err(TransformError::InvalidLength {
+            len: n,
+            reason: "haar level requires positive even length",
+        });
+    }
+    let half = n / 2;
+    let mut out = vec![0.0; n];
+    for i in 0..half {
+        out[i] = (x[2 * i] + x[2 * i + 1]) * INV_SQRT2;
+        out[half + i] = (x[2 * i] - x[2 * i + 1]) * INV_SQRT2;
+    }
+    Ok(out)
+}
+
+/// Inverse of [`haar_forward_level`].
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless the length is even and
+/// positive.
+pub fn haar_inverse_level(x: &[f64]) -> Result<Vec<f64>> {
+    let n = x.len();
+    if n == 0 || n % 2 != 0 {
+        return Err(TransformError::InvalidLength {
+            len: n,
+            reason: "haar level requires positive even length",
+        });
+    }
+    let half = n / 2;
+    let mut out = vec![0.0; n];
+    for i in 0..half {
+        out[2 * i] = (x[i] + x[half + i]) * INV_SQRT2;
+        out[2 * i + 1] = (x[i] - x[half + i]) * INV_SQRT2;
+    }
+    Ok(out)
+}
+
+/// Full multi-level Haar DWT for power-of-two lengths: repeatedly
+/// transforms the approximation band down to a single coefficient.
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless the length is a
+/// positive power of two.
+pub fn haar_forward(x: &[f64]) -> Result<Vec<f64>> {
+    let n = x.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(TransformError::InvalidLength {
+            len: n,
+            reason: "full haar requires a positive power-of-two length",
+        });
+    }
+    let mut out = x.to_vec();
+    let mut len = n;
+    while len >= 2 {
+        let level = haar_forward_level(&out[..len])?;
+        out[..len].copy_from_slice(&level);
+        len /= 2;
+    }
+    Ok(out)
+}
+
+/// Inverse of [`haar_forward`].
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless the length is a
+/// positive power of two.
+pub fn haar_inverse(x: &[f64]) -> Result<Vec<f64>> {
+    let n = x.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(TransformError::InvalidLength {
+            len: n,
+            reason: "full haar requires a positive power-of-two length",
+        });
+    }
+    let mut out = x.to_vec();
+    let mut len = 2;
+    while len <= n {
+        let level = haar_inverse_level(&out[..len])?;
+        out[..len].copy_from_slice(&level);
+        len *= 2;
+    }
+    Ok(out)
+}
+
+/// Single-level 2-D Haar transform (rows then columns), producing the
+/// standard LL/LH/HL/HH quadrant layout.
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless both dimensions are
+/// even and positive.
+pub fn haar2d_forward_level(frame: &Matrix) -> Result<Matrix> {
+    let (rows, cols) = frame.shape();
+    let mut tmp = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        let t = haar_forward_level(frame.row(i))?;
+        tmp.row_mut(i).copy_from_slice(&t);
+    }
+    let mut out = Matrix::zeros(rows, cols);
+    for j in 0..cols {
+        let col = tmp.col(j);
+        let t = haar_forward_level(&col)?;
+        for i in 0..rows {
+            out[(i, j)] = t[i];
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`haar2d_forward_level`].
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless both dimensions are
+/// even and positive.
+pub fn haar2d_inverse_level(frame: &Matrix) -> Result<Matrix> {
+    let (rows, cols) = frame.shape();
+    let mut tmp = Matrix::zeros(rows, cols);
+    for j in 0..cols {
+        let col = frame.col(j);
+        let t = haar_inverse_level(&col)?;
+        for i in 0..rows {
+            tmp[(i, j)] = t[i];
+        }
+    }
+    let mut out = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        let t = haar_inverse_level(tmp.row(i))?;
+        out.row_mut(i).copy_from_slice(&t);
+    }
+    Ok(out)
+}
+
+/// Full (multi-level, standard construction) 2-D Haar transform for
+/// power-of-two dimensions: the complete 1-D transform is applied to
+/// every row, then to every column. The result is an orthonormal basis
+/// change — the alternative sparsity basis `Ψ` the paper alludes to.
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless both dimensions are
+/// positive powers of two.
+pub fn haar2d_full_forward(frame: &Matrix) -> Result<Matrix> {
+    let (rows, cols) = frame.shape();
+    let mut tmp = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        let t = haar_forward(frame.row(i))?;
+        tmp.row_mut(i).copy_from_slice(&t);
+    }
+    let mut out = Matrix::zeros(rows, cols);
+    for j in 0..cols {
+        let col = tmp.col(j);
+        let t = haar_forward(&col)?;
+        for i in 0..rows {
+            out[(i, j)] = t[i];
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`haar2d_full_forward`].
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless both dimensions are
+/// positive powers of two.
+pub fn haar2d_full_inverse(coeffs: &Matrix) -> Result<Matrix> {
+    let (rows, cols) = coeffs.shape();
+    let mut tmp = Matrix::zeros(rows, cols);
+    for j in 0..cols {
+        let col = coeffs.col(j);
+        let t = haar_inverse(&col)?;
+        for i in 0..rows {
+            tmp[(i, j)] = t[i];
+        }
+    }
+    let mut out = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        let t = haar_inverse(tmp.row(i))?;
+        out.row_mut(i).copy_from_slice(&t);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_roundtrip() {
+        let x = [4.0, 2.0, -1.0, 3.0];
+        let y = haar_forward_level(&x).unwrap();
+        let back = haar_inverse_level(&y).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn level_energy_preserved() {
+        let x = [1.0, -2.0, 3.0, 0.5, 7.0, -1.0];
+        let y = haar_forward_level(&x).unwrap();
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        assert!((ex - ey).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_roundtrip_power_of_two() {
+        let x: Vec<f64> = (0..16).map(|i| ((i * i) as f64 * 0.1).sin()).collect();
+        let y = haar_forward(&x).unwrap();
+        let back = haar_inverse(&y).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_signal_concentrates_in_dc() {
+        let y = haar_forward(&[3.0; 8]).unwrap();
+        assert!((y[0] - 3.0 * 8.0_f64.sqrt()).abs() < 1e-12);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(haar_forward_level(&[1.0; 3]).is_err());
+        assert!(haar_forward(&[1.0; 12]).is_err());
+        assert!(haar_inverse(&[]).is_err());
+    }
+
+    #[test]
+    fn haar2d_roundtrip() {
+        let frame = Matrix::from_fn(4, 6, |i, j| (i as f64) * 2.0 - (j as f64));
+        let y = haar2d_forward_level(&frame).unwrap();
+        let back = haar2d_inverse_level(&y).unwrap();
+        assert!(back.max_abs_diff(&frame).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn haar2d_full_roundtrip() {
+        let frame = Matrix::from_fn(8, 16, |i, j| ((i * 16 + j) as f64 * 0.13).sin());
+        let c = haar2d_full_forward(&frame).unwrap();
+        let back = haar2d_full_inverse(&c).unwrap();
+        assert!(back.max_abs_diff(&frame).unwrap() < 1e-12);
+        // Orthonormal: energy preserved.
+        assert!((c.norm_fro() - frame.norm_fro()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn haar2d_full_constant_concentrates_in_one_coefficient() {
+        let frame = Matrix::filled(8, 8, 1.0);
+        let c = haar2d_full_forward(&frame).unwrap();
+        assert!((c[(0, 0)] - 8.0).abs() < 1e-12);
+        assert!(c.norm_l1() - c[(0, 0)].abs() < 1e-10);
+    }
+
+    #[test]
+    fn haar2d_full_rejects_non_power_of_two() {
+        assert!(haar2d_full_forward(&Matrix::zeros(6, 8)).is_err());
+    }
+
+    #[test]
+    fn haar2d_ll_quadrant_holds_mean_energy() {
+        let frame = Matrix::filled(4, 4, 1.0);
+        let y = haar2d_forward_level(&frame).unwrap();
+        // A constant image transforms into LL-only content.
+        assert!((y[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!(y[(2, 2)].abs() < 1e-12);
+        assert!(y[(0, 2)].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! Sparsity statistics of transform-domain signals (paper Sec. 2, Fig. 2).
+//!
+//! The paper's core observation is that body-sensing signals keep only
+//! ~50 % significant DCT coefficients (threshold `1e-4 · max`), so
+//! `M ≈ K·log(N/K) ≈ N/2` compressed measurements suffice (Eq. 1). This
+//! module computes exactly those statistics.
+
+use crate::error::{Result, TransformError};
+use flexcs_linalg::Matrix;
+
+/// Relative threshold the paper uses for "significant" coefficients
+/// (`coefficients ≥ 1e-4 · max(coefficients)`).
+pub const PAPER_SIGNIFICANCE_THRESHOLD: f64 = 1e-4;
+
+/// Sorted coefficient magnitudes in non-increasing order — the series
+/// plotted in the paper's Fig. 2a.
+pub fn sorted_magnitudes(coeffs: &Matrix) -> Vec<f64> {
+    let mut mags: Vec<f64> = coeffs.iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    mags
+}
+
+/// Number of significant coefficients under a relative threshold: entries
+/// with `|c| >= rel_tol · max|c|` (Fig. 2b uses `rel_tol = 1e-4`).
+///
+/// Returns 0 for an all-zero input.
+pub fn significant_count(coeffs: &Matrix, rel_tol: f64) -> usize {
+    let max = coeffs.norm_max();
+    if max == 0.0 {
+        return 0;
+    }
+    let tol = rel_tol * max;
+    coeffs.iter().filter(|v| v.abs() >= tol).count()
+}
+
+/// Fraction of significant coefficients (the paper's "~50 % sparsity").
+pub fn significant_fraction(coeffs: &Matrix, rel_tol: f64) -> f64 {
+    let n = coeffs.rows() * coeffs.cols();
+    if n == 0 {
+        return 0.0;
+    }
+    significant_count(coeffs, rel_tol) as f64 / n as f64
+}
+
+/// Best K-term approximation: keeps the `k` largest-magnitude entries and
+/// zeroes the rest. This is `x_K` in the paper's error bound (Eq. 2).
+pub fn best_k_approximation(coeffs: &Matrix, k: usize) -> Matrix {
+    let flat = coeffs.to_flat();
+    let keep = flexcs_linalg::vecops::top_k_indices(&flat, k);
+    let mut mask = vec![false; flat.len()];
+    for &i in &keep {
+        mask[i] = true;
+    }
+    let cols = coeffs.cols();
+    Matrix::from_fn(coeffs.rows(), cols, |i, j| {
+        if mask[i * cols + j] {
+            coeffs[(i, j)]
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Smallest `K` such that the top-K coefficients capture at least
+/// `energy_fraction` of the total energy.
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidArgument`] unless
+/// `0 < energy_fraction <= 1`.
+pub fn sparsity_for_energy(coeffs: &Matrix, energy_fraction: f64) -> Result<usize> {
+    if !(energy_fraction > 0.0 && energy_fraction <= 1.0) {
+        return Err(TransformError::InvalidArgument(format!(
+            "energy fraction must be in (0, 1], got {energy_fraction}"
+        )));
+    }
+    let mags = sorted_magnitudes(coeffs);
+    let total: f64 = mags.iter().map(|v| v * v).sum();
+    if total == 0.0 {
+        return Ok(0);
+    }
+    let mut acc = 0.0;
+    for (i, m) in mags.iter().enumerate() {
+        acc += m * m;
+        if acc >= energy_fraction * total {
+            return Ok(i + 1);
+        }
+    }
+    Ok(mags.len())
+}
+
+/// The paper's Eq. 1 measurement estimate `M ≈ K·log₂(N/K)`.
+///
+/// With the paper's observed `K ≈ N/2` this evaluates to `N/2`, matching
+/// the claim that ~50 % sampling suffices. Returns `N` (no compression
+/// possible) when `k >= n`, and 0 when `k == 0`.
+pub fn required_measurements(k: usize, n: usize) -> usize {
+    if k == 0 || n == 0 {
+        return 0;
+    }
+    if k >= n {
+        return n;
+    }
+    let m = (k as f64) * ((n as f64) / (k as f64)).log2();
+    (m.ceil() as usize).min(n)
+}
+
+/// Relative L2 error of the best K-term approximation,
+/// `||x - x_K||₂ / ||x||₂` — the decay curve behind Fig. 2a.
+pub fn k_term_relative_error(coeffs: &Matrix, k: usize) -> f64 {
+    let total = coeffs.norm_fro();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mags = sorted_magnitudes(coeffs);
+    let tail: f64 = mags.iter().skip(k).map(|v| v * v).sum();
+    tail.sqrt() / total
+}
+
+/// Summary statistics for one transform-domain frame, as reported per
+/// dataset in the paper's Sec. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityReport {
+    /// Total number of coefficients `N`.
+    pub n: usize,
+    /// Significant coefficients at the paper threshold.
+    pub significant: usize,
+    /// `significant / n`.
+    pub fraction: f64,
+    /// Eq. 1 estimate `K·log₂(N/K)`.
+    pub required_measurements: usize,
+    /// `required_measurements / n` — the sampling rate the signal demands.
+    pub measurement_rate: f64,
+}
+
+/// Builds a [`SparsityReport`] at the paper's `1e-4` relative threshold.
+pub fn analyze(coeffs: &Matrix) -> SparsityReport {
+    let n = coeffs.rows() * coeffs.cols();
+    let significant = significant_count(coeffs, PAPER_SIGNIFICANCE_THRESHOLD);
+    let required = required_measurements(significant, n);
+    SparsityReport {
+        n,
+        significant,
+        fraction: if n == 0 { 0.0 } else { significant as f64 / n as f64 },
+        required_measurements: required,
+        measurement_rate: if n == 0 { 0.0 } else { required as f64 / n as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coeffs() -> Matrix {
+        Matrix::from_rows(&[&[10.0, -5.0, 0.0], &[1e-6, 2.0, -1e-7]]).unwrap()
+    }
+
+    #[test]
+    fn sorted_magnitudes_nonincreasing() {
+        let mags = sorted_magnitudes(&coeffs());
+        assert_eq!(mags[0], 10.0);
+        assert_eq!(mags[1], 5.0);
+        for w in mags.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn significant_count_uses_relative_threshold() {
+        // max = 10, tol = 1e-3 => entries >= 0.01: {10, 5, 2}
+        assert_eq!(significant_count(&coeffs(), 1e-3), 3);
+        // tol small enough to include 1e-6 but not 0 or 1e-7.
+        assert_eq!(significant_count(&coeffs(), 1e-8), 5);
+        assert_eq!(significant_count(&Matrix::zeros(3, 3), 1e-4), 0);
+    }
+
+    #[test]
+    fn significant_fraction_in_unit_interval() {
+        let f = significant_fraction(&coeffs(), 1e-3);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_k_keeps_largest() {
+        let a = best_k_approximation(&coeffs(), 2);
+        assert_eq!(a[(0, 0)], 10.0);
+        assert_eq!(a[(0, 1)], -5.0);
+        assert_eq!(a[(1, 1)], 0.0);
+        assert_eq!(a[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn best_k_with_k_ge_n_is_identity() {
+        let c = coeffs();
+        assert_eq!(best_k_approximation(&c, 100), c);
+    }
+
+    #[test]
+    fn sparsity_for_energy_monotone() {
+        let c = coeffs();
+        let k50 = sparsity_for_energy(&c, 0.5).unwrap();
+        let k99 = sparsity_for_energy(&c, 0.99).unwrap();
+        assert!(k50 <= k99);
+        assert_eq!(sparsity_for_energy(&Matrix::zeros(2, 2), 0.9).unwrap(), 0);
+        assert!(sparsity_for_energy(&c, 0.0).is_err());
+        assert!(sparsity_for_energy(&c, 1.5).is_err());
+    }
+
+    #[test]
+    fn eq1_matches_paper_claim_at_half_sparsity() {
+        // K = N/2 => M = K log2(2) = N/2.
+        let n = 1024;
+        assert_eq!(required_measurements(n / 2, n), n / 2);
+    }
+
+    #[test]
+    fn eq1_edge_cases() {
+        assert_eq!(required_measurements(0, 100), 0);
+        assert_eq!(required_measurements(100, 100), 100);
+        assert_eq!(required_measurements(200, 100), 100);
+        assert_eq!(required_measurements(5, 0), 0);
+        // Result never exceeds N.
+        assert!(required_measurements(60, 64) <= 64);
+    }
+
+    #[test]
+    fn k_term_error_decreases_with_k() {
+        let c = coeffs();
+        let e1 = k_term_relative_error(&c, 1);
+        let e2 = k_term_relative_error(&c, 2);
+        let e_all = k_term_relative_error(&c, 6);
+        assert!(e1 >= e2);
+        assert!(e_all < 1e-12);
+        assert_eq!(k_term_relative_error(&Matrix::zeros(2, 2), 1), 0.0);
+    }
+
+    #[test]
+    fn analyze_builds_consistent_report() {
+        let r = analyze(&coeffs());
+        assert_eq!(r.n, 6);
+        assert_eq!(r.significant, significant_count(&coeffs(), 1e-4));
+        assert!((r.fraction * 6.0 - r.significant as f64).abs() < 1e-12);
+        assert!(r.measurement_rate <= 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Zig-zag scan ordering for 2-D transform coefficients.
+//!
+//! DCT energy concentrates in the low-frequency corner; the zig-zag order
+//! linearizes coefficients roughly by increasing frequency, which is how
+//! the Fig. 2a "sorted coefficient" intuition maps onto frame layout and
+//! how best-K masks can be chosen deterministically.
+
+use flexcs_linalg::Matrix;
+
+/// Returns the zig-zag visit order of a `rows x cols` grid as `(row, col)`
+/// pairs, starting at `(0, 0)` and traversing anti-diagonals alternately
+/// up and down (JPEG convention).
+pub fn zigzag_order(rows: usize, cols: usize) -> Vec<(usize, usize)> {
+    let mut order = Vec::with_capacity(rows * cols);
+    if rows == 0 || cols == 0 {
+        return order;
+    }
+    for s in 0..(rows + cols - 1) {
+        if s % 2 == 0 {
+            // Upward: start low-left of the diagonal, move to top-right.
+            let i0 = s.min(rows - 1);
+            let mut i = i0 as isize;
+            let mut j = (s - i0) as isize;
+            while i >= 0 && (j as usize) < cols {
+                order.push((i as usize, j as usize));
+                i -= 1;
+                j += 1;
+            }
+        } else {
+            // Downward: start top-right of the diagonal, move to low-left.
+            let j0 = s.min(cols - 1);
+            let mut j = j0 as isize;
+            let mut i = (s - j0) as isize;
+            while j >= 0 && (i as usize) < rows {
+                order.push((i as usize, j as usize));
+                i += 1;
+                j -= 1;
+            }
+        }
+    }
+    order
+}
+
+/// Flattens a frame in zig-zag order.
+pub fn zigzag_scan(frame: &Matrix) -> Vec<f64> {
+    zigzag_order(frame.rows(), frame.cols())
+        .into_iter()
+        .map(|(i, j)| frame[(i, j)])
+        .collect()
+}
+
+/// Rebuilds a frame from its zig-zag flattening.
+///
+/// # Panics
+///
+/// Panics if `values.len() != rows·cols`.
+pub fn zigzag_unscan(values: &[f64], rows: usize, cols: usize) -> Matrix {
+    assert_eq!(
+        values.len(),
+        rows * cols,
+        "zigzag_unscan: need rows*cols values"
+    );
+    let mut m = Matrix::zeros(rows, cols);
+    for ((i, j), &v) in zigzag_order(rows, cols).iter().zip(values) {
+        m[(*i, *j)] = v;
+    }
+    m
+}
+
+/// Keeps the first `k` coefficients in zig-zag order and zeroes the rest —
+/// a deterministic low-frequency-K mask (contrast with magnitude-based
+/// [`crate::best_k_approximation`]).
+pub fn keep_low_frequency(frame: &Matrix, k: usize) -> Matrix {
+    let mut out = Matrix::zeros(frame.rows(), frame.cols());
+    for (idx, (i, j)) in zigzag_order(frame.rows(), frame.cols()).into_iter().enumerate() {
+        if idx >= k {
+            break;
+        }
+        out[(i, j)] = frame[(i, j)];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_4x4_matches_jpeg() {
+        let o = zigzag_order(4, 4);
+        let expect = [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (2, 0),
+            (1, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (2, 1),
+            (3, 0),
+            (3, 1),
+            (2, 2),
+            (1, 3),
+            (2, 3),
+            (3, 2),
+            (3, 3),
+        ];
+        assert_eq!(o, expect);
+    }
+
+    #[test]
+    fn order_visits_every_cell_once() {
+        for (r, c) in [(3, 5), (5, 3), (1, 4), (4, 1), (6, 6)] {
+            let o = zigzag_order(r, c);
+            assert_eq!(o.len(), r * c);
+            let mut seen = vec![false; r * c];
+            for (i, j) in o {
+                assert!(i < r && j < c);
+                assert!(!seen[i * c + j], "cell ({i},{j}) visited twice");
+                seen[i * c + j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn scan_unscan_roundtrip() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let v = zigzag_scan(&m);
+        let back = zigzag_unscan(&v, 3, 4);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn keep_low_frequency_zeroes_tail() {
+        let m = Matrix::filled(4, 4, 1.0);
+        let kept = keep_low_frequency(&m, 3);
+        assert_eq!(kept.sum(), 3.0);
+        assert_eq!(kept[(0, 0)], 1.0);
+        assert_eq!(kept[(0, 1)], 1.0);
+        assert_eq!(kept[(1, 0)], 1.0);
+        assert_eq!(kept[(3, 3)], 0.0);
+    }
+
+    #[test]
+    fn empty_grid() {
+        assert!(zigzag_order(0, 5).is_empty());
+        assert!(zigzag_order(5, 0).is_empty());
+    }
+}

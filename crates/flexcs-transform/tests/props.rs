@@ -1,0 +1,138 @@
+//! Property-based tests for the transform layer.
+
+use flexcs_linalg::Matrix;
+use flexcs_transform::{
+    dwt, fast_dct2_orthonormal, psi_matrix, sparsity, zigzag, Dct2d, DctPlan,
+};
+use proptest::prelude::*;
+
+fn frame_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-8.0..8.0f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dct1d_roundtrip(v in proptest::collection::vec(-5.0..5.0f64, 1..40)) {
+        let plan = DctPlan::new(v.len()).unwrap();
+        let back = plan.inverse(&plan.forward(&v).unwrap()).unwrap();
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dct1d_linear(u in proptest::collection::vec(-5.0..5.0f64, 12), v in proptest::collection::vec(-5.0..5.0f64, 12), alpha in -3.0..3.0f64) {
+        let plan = DctPlan::new(12).unwrap();
+        let mix: Vec<f64> = u.iter().zip(&v).map(|(a, b)| a + alpha * b).collect();
+        let lhs = plan.forward(&mix).unwrap();
+        let fu = plan.forward(&u).unwrap();
+        let fv = plan.forward(&v).unwrap();
+        for i in 0..12 {
+            prop_assert!((lhs[i] - (fu[i] + alpha * fv[i])).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fast_dct_agrees_with_plan(v in proptest::collection::vec(-5.0..5.0f64, 64)) {
+        let fast = fast_dct2_orthonormal(&v).unwrap();
+        let plan = DctPlan::new(64).unwrap().forward(&v).unwrap();
+        for (a, b) in fast.iter().zip(&plan) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct2d_parseval(frame in frame_strategy(6, 9)) {
+        let plan = Dct2d::new(6, 9).unwrap();
+        let coeffs = plan.forward(&frame).unwrap();
+        prop_assert!((coeffs.norm_fro() - frame.norm_fro()).abs() < 1e-9 * (1.0 + frame.norm_fro()));
+    }
+
+    #[test]
+    fn psi_matvec_equals_idct(frame in frame_strategy(4, 5)) {
+        let psi = psi_matrix(4, 5).unwrap();
+        let plan = Dct2d::new(4, 5).unwrap();
+        let via_matrix = psi.matvec(&frame.to_flat()).unwrap();
+        let via_plan = plan.inverse(&frame).unwrap().to_flat();
+        for (a, b) in via_matrix.iter().zip(&via_plan) {
+            prop_assert!((a - b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn haar_roundtrip_and_parseval(v in proptest::collection::vec(-5.0..5.0f64, 32)) {
+        let y = dwt::haar_forward(&v).unwrap();
+        let back = dwt::haar_inverse(&y).unwrap();
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+        let e_in: f64 = v.iter().map(|x| x * x).sum();
+        let e_out: f64 = y.iter().map(|x| x * x).sum();
+        prop_assert!((e_in - e_out).abs() < 1e-9 * (1.0 + e_in));
+    }
+
+    #[test]
+    fn haar2d_roundtrip(frame in frame_strategy(8, 8)) {
+        let y = dwt::haar2d_forward_level(&frame).unwrap();
+        let back = dwt::haar2d_inverse_level(&y).unwrap();
+        prop_assert!(back.max_abs_diff(&frame).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn best_k_keeps_energy_order(frame in frame_strategy(5, 5), k in 1usize..25) {
+        let kept = sparsity::best_k_approximation(&frame, k);
+        // Energy of kept is the max over any k-subset: compare against
+        // keeping the first k entries.
+        let naive = {
+            let mut m = frame.clone();
+            let mut count = 0;
+            for i in 0..5 {
+                for j in 0..5 {
+                    if count >= k {
+                        m[(i, j)] = 0.0;
+                    }
+                    count += 1;
+                }
+            }
+            m
+        };
+        prop_assert!(kept.norm_fro() >= naive.norm_fro() - 1e-12);
+    }
+
+    #[test]
+    fn significant_count_monotone_in_tolerance(frame in frame_strategy(6, 6)) {
+        let strict = sparsity::significant_count(&frame, 1e-1);
+        let loose = sparsity::significant_count(&frame, 1e-6);
+        prop_assert!(strict <= loose);
+    }
+
+    #[test]
+    fn required_measurements_bounds(k in 0usize..200, n in 1usize..200) {
+        let m = sparsity::required_measurements(k, n);
+        prop_assert!(m <= n);
+        if k > 0 && k < n {
+            prop_assert!(m >= 1);
+        }
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation(rows in 1usize..8, cols in 1usize..8) {
+        let order = zigzag::zigzag_order(rows, cols);
+        prop_assert_eq!(order.len(), rows * cols);
+        let mut seen = vec![false; rows * cols];
+        for (i, j) in order {
+            prop_assert!(!seen[i * cols + j]);
+            seen[i * cols + j] = true;
+        }
+    }
+
+    #[test]
+    fn zigzag_scan_roundtrip(frame in frame_strategy(4, 6)) {
+        let v = zigzag::zigzag_scan(&frame);
+        let back = zigzag::zigzag_unscan(&v, 4, 6);
+        prop_assert_eq!(back, frame);
+    }
+}

@@ -1,0 +1,224 @@
+//! `flexcs` command-line interface.
+//!
+//! A thin front end over the library for quick exploration without
+//! writing Rust:
+//!
+//! ```text
+//! flexcs experiment [--sampling 0.5] [--errors 0.1] [--size 32]
+//!                   [--strategy exclude|oblivious|median|rpca]
+//!                   [--noise 0.0] [--seed 2020]
+//! flexcs sparsity   [--signal temperature|pressure|ultrasound] [--seed 2020]
+//! flexcs pixel      [--tmin 20] [--tmax 100] [--points 9]
+//! flexcs comm       [--size 32] [--seed 2020]
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! binary dependency-free.
+
+use flexcs::circuit::{linearity_fit, pixel_temperature_sweep, PixelBias, PtSensorModel};
+use flexcs::core::{
+    comm_cost_for_sparsity, run_experiment, ExperimentConfig, SamplingStrategy,
+};
+use flexcs::datasets::{
+    tactile_frame, thermal_frame, ultrasound_frame, TactileConfig, ThermalConfig,
+    UltrasoundConfig,
+};
+use flexcs::transform::{sparsity, Dct2d};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{key}`"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for --{name}")),
+    }
+}
+
+fn cmd_experiment(flags: &HashMap<String, String>) -> Result<(), String> {
+    let sampling: f64 = get(flags, "sampling", 0.5)?;
+    let errors: f64 = get(flags, "errors", 0.1)?;
+    let size: usize = get(flags, "size", 32)?;
+    let seed: u64 = get(flags, "seed", 2020)?;
+    let noise: f64 = get(flags, "noise", 0.0)?;
+    let strategy = match flags.get("strategy").map(String::as_str).unwrap_or("exclude") {
+        "exclude" => SamplingStrategy::exclude_tested(),
+        "oblivious" => SamplingStrategy::Oblivious,
+        "median" => SamplingStrategy::ResampleMedian { rounds: 10 },
+        "rpca" => SamplingStrategy::RpcaFilter { threshold: 0.3 },
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+    let frame = thermal_frame(
+        &ThermalConfig {
+            rows: size,
+            cols: size,
+            ..ThermalConfig::default()
+        },
+        seed,
+    );
+    let config = ExperimentConfig {
+        sampling_fraction: sampling,
+        error_fraction: errors,
+        strategy,
+        measurement_noise: noise,
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let outcome = run_experiment(&frame, &config).map_err(|e| e.to_string())?;
+    println!("thermal {size}x{size}, sampling {:.0}%, errors {:.0}%, noise {noise}, seed {seed}",
+        sampling * 100.0, errors * 100.0);
+    println!("  corrupted pixels : {}", outcome.corrupted_count);
+    println!("  rmse w/o cs      : {:.4}", outcome.rmse_raw);
+    println!("  rmse w/ cs       : {:.4}", outcome.rmse_cs);
+    Ok(())
+}
+
+fn cmd_sparsity(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = get(flags, "seed", 2020)?;
+    let signal = flags
+        .get("signal")
+        .map(String::as_str)
+        .unwrap_or("temperature");
+    let frame = match signal {
+        "temperature" => thermal_frame(
+            &ThermalConfig {
+                noise_std: 0.005,
+                ..ThermalConfig::default()
+            },
+            seed,
+        ),
+        "pressure" => tactile_frame(
+            &TactileConfig {
+                rows: 41,
+                cols: 41,
+                noise_std: 2e-4,
+                ..TactileConfig::default()
+            },
+            (seed % 26) as usize,
+            seed,
+        ),
+        "ultrasound" => ultrasound_frame(
+            &UltrasoundConfig {
+                noise_std: 2e-4,
+                ..UltrasoundConfig::default()
+            },
+            seed,
+        ),
+        other => return Err(format!("unknown signal `{other}`")),
+    };
+    let (rows, cols) = frame.shape();
+    let coeffs = Dct2d::new(rows, cols)
+        .and_then(|p| p.forward(&frame))
+        .map_err(|e| e.to_string())?;
+    let report = sparsity::analyze(&coeffs);
+    println!("{signal} frame {rows}x{cols}, seed {seed}");
+    println!("  significant coefficients : {} of {} ({:.1}%)",
+        report.significant, report.n, report.fraction * 100.0);
+    println!("  Eq.1 measurements M      : {} (M/N = {:.2})",
+        report.required_measurements, report.measurement_rate);
+    Ok(())
+}
+
+fn cmd_pixel(flags: &HashMap<String, String>) -> Result<(), String> {
+    let tmin: f64 = get(flags, "tmin", 20.0)?;
+    let tmax: f64 = get(flags, "tmax", 100.0)?;
+    let points: usize = get(flags, "points", 9)?;
+    let sweep = pixel_temperature_sweep(
+        &PtSensorModel::default(),
+        &PixelBias::default(),
+        tmin,
+        tmax,
+        points,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("Pt pixel sweep (VWL = 1 V, VBL = 0 V):");
+    for (t, i) in &sweep {
+        println!("  {t:>6.1} degC -> {:>8.4} uA", i * 1e6);
+    }
+    let (slope, _, r2) = linearity_fit(&sweep);
+    println!("  fit: {:.2} nA/degC, r^2 = {r2:.5}", slope * 1e9);
+    Ok(())
+}
+
+fn cmd_comm(flags: &HashMap<String, String>) -> Result<(), String> {
+    let size: usize = get(flags, "size", 32)?;
+    let seed: u64 = get(flags, "seed", 2020)?;
+    let frame = thermal_frame(
+        &ThermalConfig {
+            rows: size,
+            cols: size,
+            noise_std: 0.005,
+            ..ThermalConfig::default()
+        },
+        seed,
+    );
+    let coeffs = Dct2d::new(size, size)
+        .and_then(|p| p.forward(&frame))
+        .map_err(|e| e.to_string())?;
+    let report = sparsity::analyze(&coeffs);
+    let cost = comm_cost_for_sparsity(size, size, report.significant);
+    println!("{size}x{size} thermal frame, seed {seed}");
+    println!("  K = {} -> M = {} (cost ratio {:.2}), {} scan cycles",
+        report.significant, cost.m, cost.cost_ratio, cost.scan_cycles);
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: flexcs <command> [--flag value]...\n\
+     commands:\n\
+       experiment  run the Fig. 7 robustness experiment on a thermal frame\n\
+                   [--sampling 0.5] [--errors 0.1] [--size 32] [--noise 0.0]\n\
+                   [--strategy exclude|oblivious|median|rpca] [--seed 2020]\n\
+       sparsity    Fig. 2 DCT sparsity statistics\n\
+                   [--signal temperature|pressure|ultrasound] [--seed 2020]\n\
+       pixel       Fig. 5b temperature-pixel sweep\n\
+                   [--tmin 20] [--tmax 100] [--points 9]\n\
+       comm        Sec. 4.1 communication cost at measured sparsity\n\
+                   [--size 32] [--seed 2020]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = parse_flags(rest).and_then(|flags| match command.as_str() {
+        "experiment" => cmd_experiment(&flags),
+        "sparsity" => cmd_sparsity(&flags),
+        "pixel" => cmd_pixel(&flags),
+        "comm" => cmd_comm(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

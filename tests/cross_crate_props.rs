@@ -1,0 +1,128 @@
+//! Property-based tests over cross-crate invariants.
+
+use flexcs::core::{rmse, SamplingPlan, SparseErrorModel, SubsampledDctOperator};
+use flexcs::linalg::{vecops, Matrix, Svd};
+use flexcs::solver::LinearOperator;
+use flexcs::transform::{sparsity, Dct2d};
+use proptest::prelude::*;
+
+/// Strategy: a small frame with bounded values.
+fn frame_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0..5.0f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized vec"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dct_roundtrip_any_frame(frame in frame_strategy(6, 7)) {
+        let plan = Dct2d::new(6, 7).unwrap();
+        let back = plan.inverse(&plan.forward(&frame).unwrap()).unwrap();
+        prop_assert!(back.max_abs_diff(&frame).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn dct_preserves_energy(frame in frame_strategy(5, 5)) {
+        let plan = Dct2d::new(5, 5).unwrap();
+        let coeffs = plan.forward(&frame).unwrap();
+        prop_assert!((coeffs.norm_fro() - frame.norm_fro()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_k_error_is_monotone(frame in frame_strategy(4, 8), k in 1usize..16) {
+        let plan = Dct2d::new(4, 8).unwrap();
+        let coeffs = plan.forward(&frame).unwrap();
+        let e_k = sparsity::k_term_relative_error(&coeffs, k);
+        let e_k1 = sparsity::k_term_relative_error(&coeffs, k + 1);
+        prop_assert!(e_k1 <= e_k + 1e-12);
+    }
+
+    #[test]
+    fn svd_reconstructs_any_matrix(frame in frame_strategy(5, 7)) {
+        let svd = Svd::compute(&frame).unwrap();
+        prop_assert!(svd.reconstruct().max_abs_diff(&frame).unwrap() < 1e-8);
+        // Sorted singular values.
+        for w in svd.sigma().windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn operator_adjoint_identity(
+        frame in frame_strategy(6, 6),
+        seed in 0u64..1000,
+    ) {
+        let plan = SamplingPlan::random_subset(36, 20, &[], seed).unwrap();
+        let op = SubsampledDctOperator::new(6, 6, plan.selected().to_vec()).unwrap();
+        let x = frame.to_flat();
+        let y: Vec<f64> = (0..20).map(|i| ((i * 7) as f64 * 0.3).sin()).collect();
+        let lhs = vecops::dot(&op.apply(&x), &y);
+        let rhs = vecops::dot(&x, &op.apply_transpose(&y));
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corruption_changes_only_selected_pixels(
+        frame in frame_strategy(8, 8),
+        fraction in 0.0..0.5f64,
+        seed in 0u64..1000,
+    ) {
+        // Normalize first so stuck values 0/1 are meaningful.
+        let norm = flexcs::datasets::normalize_unit(&frame);
+        let model = SparseErrorModel::new(fraction).unwrap();
+        let (bad, idx) = model.corrupt(&norm, seed);
+        let expected = ((64.0 * fraction).round()) as usize;
+        prop_assert_eq!(idx.len(), expected);
+        for i in 0..8 {
+            for j in 0..8 {
+                let flat = i * 8 + j;
+                if idx.contains(&flat) {
+                    prop_assert!(bad[(i, j)] == 0.0 || bad[(i, j)] == 1.0);
+                } else {
+                    prop_assert_eq!(bad[(i, j)], norm[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rmse_is_a_metric_on_frames(
+        a in frame_strategy(4, 4),
+        b in frame_strategy(4, 4),
+    ) {
+        prop_assert_eq!(rmse(&a, &a), 0.0);
+        let d_ab = rmse(&a, &b);
+        let d_ba = rmse(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!(d_ab >= 0.0);
+    }
+
+    #[test]
+    fn sampling_plan_measure_gathers_exactly(
+        frame in frame_strategy(5, 5),
+        seed in 0u64..1000,
+        m in 1usize..25,
+    ) {
+        let plan = SamplingPlan::random_subset(25, m, &[], seed).unwrap();
+        let flat = frame.to_flat();
+        let y = plan.measure(&flat);
+        prop_assert_eq!(y.len(), m);
+        for (k, &i) in plan.selected().iter().enumerate() {
+            prop_assert_eq!(y[k], flat[i]);
+        }
+    }
+
+    #[test]
+    fn full_sampling_reconstruction_is_exact(frame in frame_strategy(5, 5)) {
+        // With all pixels measured, even plain least-squares-free FISTA
+        // recovery returns the frame (identity system in an orthonormal
+        // basis).
+        let plan = SamplingPlan::random_subset(25, 25, &[], 0).unwrap();
+        let y = plan.measure(&frame.to_flat());
+        let rec = flexcs::core::Decoder::default()
+            .reconstruct(5, 5, plan.selected(), &y)
+            .unwrap();
+        prop_assert!(rmse(&rec.frame, &frame) < 0.05);
+    }
+}
