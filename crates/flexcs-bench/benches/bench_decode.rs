@@ -1,0 +1,106 @@
+//! Criterion benchmarks for the fast-transform decode path: fast vs
+//! dense DCT kernels, the blocked matmul, and the resample-median
+//! recovery loop whose rounds fan out under the `parallel` feature.
+//!
+//! `scripts/bench_baseline.sh` records the headline numbers (via the
+//! `decode_baseline` binary) into `BENCH_decode.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexcs_core::{Decoder, SamplingPlan, SamplingStrategy};
+use flexcs_linalg::Matrix;
+use flexcs_transform::Dct2d;
+use std::hint::black_box;
+
+fn test_frame(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        0.5 + 0.3 * ((i as f64) * 0.4).sin() + 0.2 * ((j as f64) * 0.3).cos()
+    })
+}
+
+/// Fast (Lee) vs dense 2-D DCT plans on the decoder's hot shape.
+fn bench_dct2d_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode/dct2d");
+    for &n in &[32usize, 64] {
+        let frame = test_frame(n);
+        let fast = Dct2d::new(n, n).unwrap();
+        let dense = Dct2d::with_dense(n, n).unwrap();
+        assert!(fast.is_fast() && !dense.is_fast());
+        for (name, plan) in [("fast", &fast), ("dense", &dense)] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let coeffs = plan.forward(black_box(&frame)).unwrap();
+                    plan.inverse(black_box(&coeffs)).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The blocked ikj matmul kernel on decoder-relevant shapes.
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode/matmul");
+    for &n in &[128usize, 256] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j) as f64 * 0.013).sin());
+        let b_m = Matrix::from_fn(n, n, |i, j| ((i + j * 5) as f64 * 0.017).cos());
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
+            b.iter(|| black_box(&a).matmul(black_box(&b_m)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("transpose_b", n), &n, |b, _| {
+            b.iter(|| black_box(&a).matmul_transpose_b(black_box(&b_m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// One full CS reconstruction (FISTA over the implicit operator).
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode/reconstruct");
+    group.sample_size(20);
+    let n = 16usize;
+    let frame = test_frame(n);
+    let plan = SamplingPlan::random_subset(n * n, n * n / 2, &[], 7).unwrap();
+    let y = plan.measure(&frame.to_flat());
+    let decoder = Decoder::default();
+    group.bench_function("fista_16x16", |b| {
+        b.iter(|| {
+            decoder
+                .reconstruct(n, n, plan.selected(), black_box(&y))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// The resample-median recovery loop — rounds fan out across threads
+/// when the `parallel` feature (default) is enabled.
+fn bench_resample_median(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode/resample_median");
+    group.sample_size(10);
+    let n = 16usize;
+    let frame = test_frame(n);
+    let decoder = Decoder::default();
+    let strategy = SamplingStrategy::ResampleMedian { rounds: 10 };
+    let label = if flexcs_core::parallel_enabled() {
+        "10_rounds_16x16_parallel"
+    } else {
+        "10_rounds_16x16_serial"
+    };
+    group.bench_function(label, |b| {
+        b.iter(|| {
+            strategy
+                .reconstruct(black_box(&frame), n * n / 2, &decoder, 5)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dct2d_kernels,
+    bench_matmul,
+    bench_reconstruct,
+    bench_resample_median
+);
+criterion_main!(benches);

@@ -10,9 +10,13 @@ fn bench_dct_1d(c: &mut Criterion) {
     let mut group = c.benchmark_group("dct1d");
     for &n in &[32usize, 128, 512] {
         let plan = DctPlan::new(n).unwrap();
+        let dense = DctPlan::with_dense(n).unwrap();
         let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
         group.bench_with_input(BenchmarkId::new("plan", n), &n, |b, _| {
             b.iter(|| plan.forward(black_box(&x)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("plan_dense", n), &n, |b, _| {
+            b.iter(|| dense.forward(black_box(&x)).unwrap())
         });
         if n.is_power_of_two() {
             group.bench_with_input(BenchmarkId::new("fast_lee", n), &n, |b, _| {

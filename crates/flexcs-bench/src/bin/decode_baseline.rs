@@ -1,0 +1,109 @@
+//! Emits the decode-path performance baseline as JSON (std timing, no
+//! criterion) so `scripts/bench_baseline.sh` can record it in
+//! `BENCH_decode.json`.
+//!
+//! Measured:
+//! - 2-D DCT 64x64 forward+inverse, fast (Lee) vs dense plans
+//! - 1-D DCT n=512, fast vs dense plans
+//! - blocked matmul 256x256 (GFLOP/s)
+//! - resample-median 10 rounds on a 32x32 frame (parallel feature state
+//!   and detected hardware threads are recorded alongside)
+
+use flexcs_core::{Decoder, SamplingStrategy};
+use flexcs_linalg::Matrix;
+use flexcs_transform::{Dct2d, DctPlan};
+use std::time::Instant;
+
+/// Median-of-reps wall time for `f`, in seconds.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[reps / 2]
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // 2-D DCT, 64x64 forward+inverse.
+    let n2 = 64usize;
+    let frame = Matrix::from_fn(n2, n2, |i, j| {
+        0.5 + 0.3 * ((i as f64) * 0.4).sin() + 0.2 * ((j as f64) * 0.3).cos()
+    });
+    let fast2 = Dct2d::new(n2, n2).unwrap();
+    let dense2 = Dct2d::with_dense(n2, n2).unwrap();
+    let roundtrip = |plan: &Dct2d| {
+        let c = plan.forward(&frame).unwrap();
+        plan.inverse(&c).unwrap()
+    };
+    // Warm the plan scratch before timing.
+    roundtrip(&fast2);
+    roundtrip(&dense2);
+    let dct2d_fast = time_median(50, || {
+        roundtrip(&fast2);
+    });
+    let dct2d_dense = time_median(50, || {
+        roundtrip(&dense2);
+    });
+
+    // 1-D DCT, n = 512 forward.
+    let n1 = 512usize;
+    let x: Vec<f64> = (0..n1).map(|i| ((i as f64) * 0.37).sin()).collect();
+    let fast1 = DctPlan::new(n1).unwrap();
+    let dense1 = DctPlan::with_dense(n1).unwrap();
+    let _ = (fast1.forward(&x).unwrap(), dense1.forward(&x).unwrap());
+    let dct1d_fast = time_median(50, || {
+        fast1.forward(&x).unwrap();
+    });
+    let dct1d_dense = time_median(50, || {
+        dense1.forward(&x).unwrap();
+    });
+
+    // Blocked matmul, 256x256.
+    let nm = 256usize;
+    let a = Matrix::from_fn(nm, nm, |i, j| ((i * 7 + j) as f64 * 0.013).sin());
+    let b = Matrix::from_fn(nm, nm, |i, j| ((i + j * 5) as f64 * 0.017).cos());
+    let _ = a.matmul(&b).unwrap();
+    let matmul_s = time_median(9, || {
+        a.matmul(&b).unwrap();
+    });
+    let gflops = 2.0 * (nm as f64).powi(3) / matmul_s / 1e9;
+
+    // Resample-median, 10 rounds on a 32x32 frame.
+    let frame32 = Matrix::from_fn(32, 32, |i, j| {
+        0.5 + 0.3 * ((i as f64) * 0.4).sin() + 0.2 * ((j as f64) * 0.3).cos()
+    });
+    let decoder = Decoder::default();
+    let strategy = SamplingStrategy::ResampleMedian { rounds: 10 };
+    let _ = strategy.reconstruct(&frame32, 500, &decoder, 5).unwrap();
+    let resample_s = time_median(5, || {
+        strategy.reconstruct(&frame32, 500, &decoder, 5).unwrap();
+    });
+
+    println!("{{");
+    println!("  \"hardware_threads\": {threads},");
+    println!(
+        "  \"parallel_feature\": {},",
+        flexcs_core::parallel_enabled()
+    );
+    println!("  \"dct2d_64_fwd_inv_fast_us\": {:.1},", dct2d_fast * 1e6);
+    println!("  \"dct2d_64_fwd_inv_dense_us\": {:.1},", dct2d_dense * 1e6);
+    println!("  \"dct2d_64_speedup\": {:.2},", dct2d_dense / dct2d_fast);
+    println!("  \"dct1d_512_fwd_fast_us\": {:.1},", dct1d_fast * 1e6);
+    println!("  \"dct1d_512_fwd_dense_us\": {:.1},", dct1d_dense * 1e6);
+    println!("  \"dct1d_512_speedup\": {:.2},", dct1d_dense / dct1d_fast);
+    println!("  \"matmul_256_ms\": {:.2},", matmul_s * 1e3);
+    println!("  \"matmul_256_gflops\": {:.2},", gflops);
+    println!(
+        "  \"resample_median_10r_32x32_ms\": {:.1}",
+        resample_s * 1e3
+    );
+    println!("}}");
+}

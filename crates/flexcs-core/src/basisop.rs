@@ -8,8 +8,9 @@
 
 use crate::error::{CoreError, Result};
 use flexcs_linalg::Matrix;
-use flexcs_solver::LinearOperator;
+use flexcs_solver::{power_iteration_norm, LinearOperator, NormCache};
 use flexcs_transform::{devectorize, haar2d_full_forward, haar2d_full_inverse, Dct2d};
+use std::sync::Arc;
 
 /// Sparsity basis the decoder works in.
 ///
@@ -58,9 +59,10 @@ impl BasisKind {
 pub struct SubsampledDctOperator {
     rows: usize,
     cols: usize,
-    plan: Dct2d,
+    plan: Arc<Dct2d>,
     selected: Vec<usize>,
     basis: BasisKind,
+    norm_cache: NormCache,
 }
 
 impl SubsampledDctOperator {
@@ -87,6 +89,29 @@ impl SubsampledDctOperator {
         selected: Vec<usize>,
         basis: BasisKind,
     ) -> Result<Self> {
+        let plan = Arc::new(Dct2d::new(rows, cols)?);
+        Self::with_plan(rows, cols, selected, basis, plan)
+    }
+
+    /// Creates the operator around an existing (shared) 2-D DCT plan.
+    ///
+    /// Building a plan precomputes twiddle tables, so callers decoding
+    /// many sampling patterns of the same frame shape — the decoder's
+    /// resample-median rounds, batch runs — share one plan instead of
+    /// rebuilding it per operator. The plan's internal scratch is
+    /// contention-safe, so one `Arc` may serve concurrent operators.
+    ///
+    /// # Errors
+    ///
+    /// As [`SubsampledDctOperator::with_basis`]; additionally the plan
+    /// shape must match `rows x cols`.
+    pub fn with_plan(
+        rows: usize,
+        cols: usize,
+        selected: Vec<usize>,
+        basis: BasisKind,
+        plan: Arc<Dct2d>,
+    ) -> Result<Self> {
         if rows == 0 || cols == 0 {
             return Err(CoreError::InvalidConfig(
                 "operator needs positive dimensions".to_string(),
@@ -102,18 +127,30 @@ impl SubsampledDctOperator {
                 "haar basis requires power-of-two dimensions, got {rows}x{cols}"
             )));
         }
+        if plan.shape() != (rows, cols) {
+            return Err(CoreError::InvalidConfig(format!(
+                "plan shape {:?} does not match frame {rows}x{cols}",
+                plan.shape()
+            )));
+        }
         Ok(SubsampledDctOperator {
             rows,
             cols,
-            plan: Dct2d::new(rows, cols)?,
+            plan,
             selected,
             basis,
+            norm_cache: NormCache::new(),
         })
     }
 
     /// Basis in use.
     pub fn basis(&self) -> BasisKind {
         self.basis
+    }
+
+    /// The shared 2-D DCT plan.
+    pub fn plan(&self) -> &Arc<Dct2d> {
+        &self.plan
     }
 
     /// Frame shape.
@@ -151,6 +188,13 @@ impl LinearOperator for SubsampledDctOperator {
             frame[(i / self.cols, i % self.cols)] = v;
         }
         self.basis.analyze(&frame, &self.plan).to_flat()
+    }
+
+    fn spectral_norm_estimate(&self, iterations: usize) -> f64 {
+        // Each power iteration costs two 2-D transforms; ISTA asks for
+        // the Lipschitz constant on every solve, so cache it.
+        self.norm_cache
+            .get_or_compute(iterations, || power_iteration_norm(self, iterations))
     }
 }
 
@@ -198,6 +242,45 @@ mod tests {
         let op = SubsampledDctOperator::new(8, 8, (0..32).collect()).unwrap();
         let norm = op.spectral_norm_estimate(40);
         assert!(norm <= 1.0 + 1e-9, "norm {norm}");
+    }
+
+    #[test]
+    fn shared_plan_operators_match_owned_plan() {
+        let (rows, cols) = (6, 4);
+        let plan = Arc::new(Dct2d::new(rows, cols).unwrap());
+        let x: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i as f64) * 0.29).sin())
+            .collect();
+        for selected in [vec![0, 3, 9, 17, 23], (0..rows * cols).step_by(2).collect()] {
+            let shared = SubsampledDctOperator::with_plan(
+                rows,
+                cols,
+                selected.clone(),
+                BasisKind::Dct,
+                Arc::clone(&plan),
+            )
+            .unwrap();
+            let owned = SubsampledDctOperator::new(rows, cols, selected).unwrap();
+            assert_eq!(shared.apply(&x), owned.apply(&x));
+            assert!(
+                Arc::ptr_eq(shared.plan(), &plan),
+                "plan is shared, not cloned"
+            );
+        }
+    }
+
+    #[test]
+    fn with_plan_rejects_shape_mismatch() {
+        let plan = Arc::new(Dct2d::new(4, 4).unwrap());
+        assert!(SubsampledDctOperator::with_plan(4, 5, vec![0], BasisKind::Dct, plan).is_err());
+    }
+
+    #[test]
+    fn spectral_norm_is_cached_across_calls() {
+        let op = SubsampledDctOperator::new(8, 8, (0..32).collect()).unwrap();
+        let first = op.spectral_norm_estimate(40);
+        assert_eq!(op.spectral_norm_estimate(40).to_bits(), first.to_bits());
+        assert_eq!(op.spectral_norm_estimate(10).to_bits(), first.to_bits());
     }
 
     #[test]

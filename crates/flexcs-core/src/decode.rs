@@ -9,6 +9,7 @@ use crate::error::Result;
 use flexcs_linalg::Matrix;
 use flexcs_solver::{IstaConfig, LinearOperator, SolveReport, SparseSolver};
 use flexcs_transform::{devectorize, haar2d_full_inverse, Dct2d};
+use std::sync::{Arc, Mutex};
 
 /// A configured CS decoder.
 ///
@@ -34,10 +35,29 @@ use flexcs_transform::{devectorize, haar2d_full_inverse, Dct2d};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Decoder {
     solver: SparseSolver,
     basis: BasisKind,
+    /// Most-recently-used 2-D DCT plan, keyed by its shape. Repeated
+    /// reconstructions of same-shaped frames (the common case: every
+    /// resample round and batch frame) skip the twiddle-table rebuild.
+    plan_cache: Mutex<Option<Arc<Dct2d>>>,
+}
+
+impl Clone for Decoder {
+    fn clone(&self) -> Self {
+        Decoder {
+            solver: self.solver.clone(),
+            basis: self.basis,
+            plan_cache: Mutex::new(
+                self.plan_cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+            ),
+        }
+    }
 }
 
 /// A reconstruction: the frame, its DCT coefficients and solver
@@ -58,6 +78,7 @@ impl Decoder {
         Decoder {
             solver,
             basis: BasisKind::Dct,
+            plan_cache: Mutex::new(None),
         }
     }
 
@@ -91,14 +112,15 @@ impl Decoder {
         selected: &[usize],
         y: &[f64],
     ) -> Result<Reconstruction> {
-        let op = SubsampledDctOperator::with_basis(rows, cols, selected.to_vec(), self.basis)?;
+        let plan = self.plan_for(rows, cols)?;
+        let op = SubsampledDctOperator::with_plan(rows, cols, selected.to_vec(), self.basis, plan)?;
         // Scale λ for LASSO-type solvers relative to the measurement
         // correlations so behaviour is signal-amplitude invariant.
         let solver = self.scaled_solver(&op, y);
         let recovery = solver.solve(&op, y)?;
         let coefficients = devectorize(&recovery.x, rows, cols)?;
         let frame = match self.basis {
-            BasisKind::Dct => Dct2d::new(rows, cols)?.inverse(&coefficients)?,
+            BasisKind::Dct => op.plan().inverse(&coefficients)?,
             BasisKind::Haar => haar2d_full_inverse(&coefficients)?,
         };
         Ok(Reconstruction {
@@ -106,6 +128,22 @@ impl Decoder {
             coefficients,
             report: recovery.report,
         })
+    }
+
+    /// Returns the cached plan when its shape matches, otherwise builds
+    /// and caches a fresh one. Shared plans are safe across threads —
+    /// `Dct2d` falls back to transient scratch under contention — so
+    /// parallel resample rounds all borrow the same tables.
+    fn plan_for(&self, rows: usize, cols: usize) -> Result<Arc<Dct2d>> {
+        let mut cache = self.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(plan) = cache.as_ref() {
+            if plan.shape() == (rows, cols) {
+                return Ok(Arc::clone(plan));
+            }
+        }
+        let plan = Arc::new(Dct2d::new(rows, cols)?);
+        *cache = Some(Arc::clone(&plan));
+        Ok(plan)
     }
 
     fn scaled_solver(&self, op: &SubsampledDctOperator, y: &[f64]) -> SparseSolver {
@@ -145,10 +183,7 @@ impl Default for Decoder {
         let mut cfg = IstaConfig::with_lambda(2e-3);
         cfg.max_iterations = 400;
         cfg.tol = 1e-7;
-        Decoder {
-            solver: SparseSolver::Fista(cfg),
-            basis: BasisKind::Dct,
-        }
+        Decoder::new(SparseSolver::Fista(cfg))
     }
 }
 

@@ -51,6 +51,7 @@ mod encoder;
 mod error;
 mod inject;
 mod metrics;
+mod par;
 mod pipeline;
 mod rpca;
 mod sampling;
@@ -63,6 +64,7 @@ pub use encoder::{Acquisition, CircuitEncoder};
 pub use error::{CoreError, Result};
 pub use inject::{detect_extremes, SparseErrorModel};
 pub use metrics::{mae, psnr_unit, relative_error, rmse};
+pub use par::parallel_enabled;
 pub use pipeline::{run_experiment, run_experiment_batch, ExperimentConfig, ExperimentOutcome};
 pub use rpca::{
     outlier_indices, persistent_outliers, rpca, rpca_multiframe, transient_outliers, RpcaConfig,

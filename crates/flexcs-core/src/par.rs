@@ -1,0 +1,30 @@
+//! Internal fan-out shim: routes index-parallel loops through
+//! `flexcs-parallel` when the `parallel` feature is enabled and runs
+//! them serially otherwise.
+//!
+//! Every call site derives its per-index state (RNG seed, config clone)
+//! from the index alone and gets results back in index order, so both
+//! build modes produce bit-identical output.
+
+#[cfg(feature = "parallel")]
+pub(crate) fn maybe_par_map_indices<R, F>(count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    flexcs_parallel::par_map_indices(count, f)
+}
+
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn maybe_par_map_indices<R, F>(count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    (0..count).map(f).collect()
+}
+
+/// `true` when this build fans work out across threads.
+pub fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel")
+}

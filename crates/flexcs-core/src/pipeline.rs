@@ -142,12 +142,17 @@ pub fn run_experiment_batch(
             "experiment batch needs at least one frame".to_string(),
         ));
     }
-    let mut sum_cs = 0.0;
-    let mut sum_raw = 0.0;
-    for (k, frame) in frames.iter().enumerate() {
+    // Frame k's config depends only on k, so frames fan out across
+    // threads with results identical to the serial loop.
+    let outcomes = crate::par::maybe_par_map_indices(frames.len(), |k| {
         let mut cfg = config.clone();
         cfg.seed = config.seed.wrapping_add(k as u64 * 1013);
-        let outcome = run_experiment(frame, &cfg)?;
+        run_experiment(&frames[k], &cfg)
+    });
+    let mut sum_cs = 0.0;
+    let mut sum_raw = 0.0;
+    for outcome in outcomes {
+        let outcome = outcome?;
         sum_cs += outcome.rmse_cs;
         sum_raw += outcome.rmse_raw;
     }

@@ -208,15 +208,21 @@ pub fn persistent_outliers(
         ));
     };
     let n = first.rows() * first.cols();
-    let mut hits = vec![0usize; n];
     for frame in frames {
         if frame.shape() != first.shape() {
             return Err(CoreError::InvalidConfig(
                 "persistent_outliers: frames differ in shape".to_string(),
             ));
         }
-        let dec = rpca(frame, config)?;
-        for idx in outlier_indices(&dec, threshold_factor) {
+    }
+    // Each frame's RPCA is independent; fan out and merge hit counts
+    // afterwards (order-insensitive, so results match the serial loop).
+    let per_frame = crate::par::maybe_par_map_indices(frames.len(), |k| {
+        rpca(&frames[k], config).map(|dec| outlier_indices(&dec, threshold_factor))
+    });
+    let mut hits = vec![0usize; n];
+    for flagged in per_frame {
+        for idx in flagged? {
             hits[idx] += 1;
         }
     }

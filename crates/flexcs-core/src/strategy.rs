@@ -111,12 +111,17 @@ impl SamplingStrategy {
             }
             SamplingStrategy::ResampleMedian { rounds } => {
                 let rounds = (*rounds).max(1);
-                let mut stacks: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); n];
-                for r in 0..rounds {
+                // Each round is seeded from its index alone, so the
+                // fan-out is bit-identical to the serial loop.
+                let recs = crate::par::maybe_par_map_indices(rounds, |r| -> Result<Matrix> {
                     let plan =
                         SamplingPlan::random_subset(n, m, &[], seed.wrapping_add(r as u64 * 77))?;
                     let y = plan.measure(&flat);
-                    let rec = decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame;
+                    Ok(decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame)
+                });
+                let mut stacks: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); n];
+                for rec in recs {
+                    let rec = rec?;
                     for (stack, &v) in stacks.iter_mut().zip(rec.as_slice()) {
                         stack.push(v);
                     }

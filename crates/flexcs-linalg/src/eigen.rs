@@ -138,7 +138,7 @@ impl SymmetricEigen {
     pub fn reconstruct(&self) -> Matrix {
         let n = self.values.len();
         let ql = Matrix::from_fn(n, n, |i, j| self.q[(i, j)] * self.values[j]);
-        ql.matmul(&self.q.transpose()).expect("consistent shapes")
+        ql.matmul_transpose_b(&self.q).expect("consistent shapes")
     }
 
     /// Condition number `|λ_max| / |λ_min|` (infinite when the smallest

@@ -190,7 +190,7 @@ impl Svd {
         let us = Matrix::from_fn(self.u.rows(), self.sigma.len(), |i, j| {
             self.u[(i, j)] * self.sigma[j]
         });
-        us.matmul(&self.v.transpose())
+        us.matmul_transpose_b(&self.v)
             .expect("svd factors have consistent shapes")
     }
 

@@ -1,0 +1,186 @@
+//! # flexcs-parallel
+//!
+//! Deterministic parallel map primitives for the flexcs recovery
+//! pipeline, built only on `std::thread::scope` — no external runtime.
+//!
+//! The pipeline's fan-out points (resample-median rounds, batch frames,
+//! per-frame RPCA) all share one shape: `count` independent jobs, each
+//! fully determined by its index (the caller derives a per-index RNG
+//! seed), whose results must come back **in index order** so parallel
+//! execution is bit-identical to the serial loop. [`par_map_indices`]
+//! provides exactly that contract: work is distributed dynamically over
+//! a small thread pool, but results are reassembled by index, so the
+//! output is independent of scheduling.
+//!
+//! ## Example
+//!
+//! ```
+//! let squares = flexcs_parallel::par_map_indices(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads used by the `par_map` family: the machine's
+/// available parallelism, or 1 when that cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `0..count` on a scoped thread pool, returning results
+/// in index order.
+///
+/// Equivalent to `(0..count).map(f).collect()` whenever `f` is a pure
+/// function of its index: job scheduling is dynamic, but reassembly is
+/// by index, so the output vector is deterministic. Falls back to the
+/// serial loop when `count < 2` or only one hardware thread is
+/// available.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_map_indices<R, F>(count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indices_with(default_threads(), count, f)
+}
+
+/// [`par_map_indices`] with an explicit worker-thread cap.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_map_indices_with<R, F>(threads: usize, count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(count).max(1);
+    if threads == 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let r = f(i);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        // A missing slot means a worker died mid-job; the scope exit
+        // below re-raises its panic before this unwrap is observable,
+        // except under `catch_unwind`, where the expect is accurate.
+        slots
+            .into_iter()
+            .map(|o| o.expect("parallel worker completed every index"))
+            .collect()
+    })
+}
+
+/// Maps `f` over a slice on a scoped thread pool, returning results in
+/// input order. Deterministic under the same contract as
+/// [`par_map_indices`].
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indices(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map_indices(0, |_| unreachable!());
+        assert!(out.is_empty());
+        let none: Vec<i32> = par_map(&[] as &[i32], |_| unreachable!());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn results_are_in_index_order() {
+        // Force a real pool: on single-core hosts the default would
+        // silently take the serial fallback.
+        let out = par_map_indices_with(8, 257, |i| i * 3 + 1);
+        assert_eq!(out, (0..257).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_map_on_slices() {
+        let items: Vec<f64> = (0..100).map(|i| i as f64 * 0.37).collect();
+        let par = par_map(&items, |x| x.sin() * 2.0);
+        let ser: Vec<f64> = items.iter().map(|x| x.sin() * 2.0).collect();
+        assert_eq!(par, ser, "bit-identical to the serial loop");
+    }
+
+    #[test]
+    fn single_thread_cap_runs_serially() {
+        let out = par_map_indices_with(1, 10, |i| i + 5);
+        assert_eq!(out, (5..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        let out = par_map_indices_with(64, 3, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uneven_work_is_still_ordered() {
+        // Later indices finish first; reassembly must stay by index.
+        let out = par_map_indices(16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            par_map_indices(8, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+}

@@ -60,7 +60,10 @@ pub use greedy::{cosamp, omp, subspace_pursuit, GreedyConfig};
 pub use irls::{irls, IrlsConfig};
 pub use ista::{fista, ista, IstaConfig};
 pub use lp::{lp_basis_pursuit, LpConfig};
-pub use op::{check_measurements, dense_submatrix, DenseOperator, LinearOperator};
+pub use op::{
+    check_measurements, dense_submatrix, power_iteration_norm, DenseOperator, LinearOperator,
+    NormCache,
+};
 pub use report::{Recovery, SolveReport};
 pub use reweighted::{reweighted_l1, ReweightedConfig};
 pub use select::SparseSolver;

@@ -7,6 +7,7 @@
 
 use crate::error::{Result, SolverError};
 use flexcs_linalg::Matrix;
+use std::sync::Mutex;
 
 /// A real linear operator `A : R^n -> R^m`.
 ///
@@ -39,9 +40,24 @@ pub trait LinearOperator {
 
     /// Materializes column `j` (defaults to `A·e_j`).
     fn column(&self, j: usize) -> Vec<f64> {
-        let mut e = vec![0.0; self.cols()];
-        e[j] = 1.0;
-        self.apply(&e)
+        let mut basis = Vec::new();
+        let mut out = Vec::new();
+        self.column_into(j, &mut basis, &mut out);
+        out
+    }
+
+    /// Materializes column `j` into `out`, reusing `basis` as the
+    /// unit-vector scratch so a loop over many columns does not zero a
+    /// fresh `cols()`-length buffer per call.
+    ///
+    /// `basis` must be empty or all zeros on entry (any previous
+    /// `column_into` call leaves it that way); it is resized to
+    /// `cols()` and restored to all zeros before returning.
+    fn column_into(&self, j: usize, basis: &mut Vec<f64>, out: &mut Vec<f64>) {
+        basis.resize(self.cols(), 0.0);
+        basis[j] = 1.0;
+        *out = self.apply(basis);
+        basis[j] = 0.0;
     }
 
     /// Materializes the dense `m x n` matrix row by row via the adjoint.
@@ -64,29 +80,82 @@ pub trait LinearOperator {
 
     /// Estimates the spectral norm `‖A‖₂` by power iteration on `AᵀA`.
     ///
-    /// ISTA/FISTA use `1/‖A‖₂²` as a safe step size.
+    /// ISTA/FISTA use `1/‖A‖₂²` as a safe step size. Operators that are
+    /// solved repeatedly should override this to consult a [`NormCache`]
+    /// (as [`DenseOperator`] does) so each ISTA run after the first gets
+    /// the Lipschitz constant for free.
     fn spectral_norm_estimate(&self, iterations: usize) -> f64 {
-        let n = self.cols();
-        if n == 0 || self.rows() == 0 {
+        power_iteration_norm(self, iterations)
+    }
+}
+
+/// Power iteration on `AᵀA`: the uncached computation behind
+/// [`LinearOperator::spectral_norm_estimate`].
+///
+/// Exposed so operators overriding the trait method with a cache can
+/// still reach the reference algorithm without recursing.
+pub fn power_iteration_norm<O: LinearOperator + ?Sized>(op: &O, iterations: usize) -> f64 {
+    let n = op.cols();
+    if n == 0 || op.rows() == 0 {
+        return 0.0;
+    }
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| 1.0 + 0.01 * ((i as f64) * 0.73).sin())
+        .collect();
+    let mut norm = 0.0;
+    for _ in 0..iterations.max(1) {
+        let ax = op.apply(&x);
+        let atax = op.apply_transpose(&ax);
+        let s = flexcs_linalg::vecops::norm2(&atax);
+        if s == 0.0 {
             return 0.0;
         }
-        let mut x: Vec<f64> = (0..n)
-            .map(|i| 1.0 + 0.01 * ((i as f64) * 0.73).sin())
-            .collect();
-        let mut norm = 0.0;
-        for _ in 0..iterations.max(1) {
-            let ax = self.apply(&x);
-            let atax = self.apply_transpose(&ax);
-            let s = flexcs_linalg::vecops::norm2(&atax);
-            if s == 0.0 {
-                return 0.0;
-            }
-            norm = s.sqrt();
-            for (xi, v) in x.iter_mut().zip(&atax) {
-                *xi = v / s;
+        norm = s.sqrt();
+        for (xi, v) in x.iter_mut().zip(&atax) {
+            *xi = v / s;
+        }
+    }
+    norm
+}
+
+/// Interior-mutable cache for spectral-norm estimates.
+///
+/// Stores the estimate together with the iteration count that produced
+/// it; a request for at most that many iterations is served from the
+/// cache, a request for more recomputes and replaces it. Cloning copies
+/// the cached value (it describes the same operator).
+#[derive(Debug, Default)]
+pub struct NormCache {
+    cell: Mutex<Option<(usize, f64)>>,
+}
+
+impl NormCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        NormCache::default()
+    }
+
+    /// Returns the cached estimate when it was computed with at least
+    /// `iterations` power iterations, otherwise runs `compute` and
+    /// caches its result under `iterations`.
+    pub fn get_or_compute(&self, iterations: usize, compute: impl FnOnce() -> f64) -> f64 {
+        let mut cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((cached_iters, value)) = *cell {
+            if cached_iters >= iterations {
+                return value;
             }
         }
-        norm
+        let value = compute();
+        *cell = Some((iterations, value));
+        value
+    }
+}
+
+impl Clone for NormCache {
+    fn clone(&self) -> Self {
+        NormCache {
+            cell: Mutex::new(*self.cell.lock().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 }
 
@@ -124,12 +193,16 @@ pub fn check_measurements(op: &dyn LinearOperator, b: &[f64]) -> Result<()> {
 #[derive(Debug, Clone)]
 pub struct DenseOperator {
     a: Matrix,
+    norm_cache: NormCache,
 }
 
 impl DenseOperator {
     /// Wraps a dense matrix.
     pub fn new(a: Matrix) -> Self {
-        DenseOperator { a }
+        DenseOperator {
+            a,
+            norm_cache: NormCache::new(),
+        }
     }
 
     /// Borrows the underlying matrix.
@@ -168,8 +241,18 @@ impl LinearOperator for DenseOperator {
             .expect("caller passes rows()-length input")
     }
 
+    fn column_into(&self, j: usize, _basis: &mut Vec<f64>, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.a.rows()).map(|i| self.a[(i, j)]));
+    }
+
     fn to_dense(&self) -> Matrix {
         self.a.clone()
+    }
+
+    fn spectral_norm_estimate(&self, iterations: usize) -> f64 {
+        self.norm_cache
+            .get_or_compute(iterations, || power_iteration_norm(self, iterations))
     }
 }
 
@@ -179,8 +262,10 @@ impl LinearOperator for DenseOperator {
 pub fn dense_submatrix(op: &dyn LinearOperator, support: &[usize]) -> Matrix {
     let m = op.rows();
     let mut sub = Matrix::zeros(m, support.len());
+    let mut basis = Vec::new();
+    let mut col = Vec::new();
     for (sj, &j) in support.iter().enumerate() {
-        let col = op.column(j);
+        op.column_into(j, &mut basis, &mut col);
         for i in 0..m {
             sub[(i, sj)] = col[i];
         }
@@ -214,6 +299,38 @@ mod tests {
     fn column_extraction() {
         let op = sample_op();
         assert_eq!(op.column(1), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn column_into_reuses_scratch_across_calls() {
+        // Exercise the default (apply-based) implementation through a
+        // wrapper that hides DenseOperator's direct-copy override.
+        struct Opaque(DenseOperator);
+        impl LinearOperator for Opaque {
+            fn rows(&self) -> usize {
+                self.0.rows()
+            }
+            fn cols(&self) -> usize {
+                self.0.cols()
+            }
+            fn apply(&self, x: &[f64]) -> Vec<f64> {
+                self.0.apply(x)
+            }
+            fn apply_transpose(&self, y: &[f64]) -> Vec<f64> {
+                self.0.apply_transpose(y)
+            }
+        }
+        let op = Opaque(sample_op());
+        let mut basis = Vec::new();
+        let mut out = Vec::new();
+        for j in 0..op.cols() {
+            op.column_into(j, &mut basis, &mut out);
+            assert_eq!(out, op.0.column(j), "column {j}");
+        }
+        assert!(
+            basis.iter().all(|&v| v == 0.0),
+            "scratch must be zeroed between calls"
+        );
     }
 
     #[test]
@@ -251,6 +368,39 @@ mod tests {
         let est = op.spectral_norm_estimate(60);
         let exact = flexcs_linalg::spectral_norm_estimate(op.matrix(), 200);
         assert!((est - exact).abs() / exact < 1e-6);
+    }
+
+    #[test]
+    fn spectral_norm_cache_serves_and_upgrades() {
+        let op = sample_op();
+        let est60 = op.spectral_norm_estimate(60);
+        // Fewer iterations than cached: served verbatim from the cache.
+        assert_eq!(op.spectral_norm_estimate(10).to_bits(), est60.to_bits());
+        // More iterations: recomputed, still the converged value.
+        let est200 = op.spectral_norm_estimate(200);
+        let exact = flexcs_linalg::spectral_norm_estimate(op.matrix(), 200);
+        assert!((est200 - exact).abs() / exact < 1e-9);
+        // Clones carry the cached value along.
+        let copy = op.clone();
+        assert_eq!(copy.spectral_norm_estimate(1).to_bits(), est200.to_bits());
+    }
+
+    #[test]
+    fn norm_cache_recomputes_only_on_upgrade() {
+        let cache = NormCache::new();
+        let mut calls = 0;
+        let run = |iters: usize, cache: &NormCache, calls: &mut usize| {
+            cache.get_or_compute(iters, || {
+                *calls += 1;
+                7.25
+            })
+        };
+        assert_eq!(run(30, &cache, &mut calls), 7.25);
+        assert_eq!(run(30, &cache, &mut calls), 7.25);
+        assert_eq!(run(5, &cache, &mut calls), 7.25);
+        assert_eq!(calls, 1, "served from cache");
+        run(31, &cache, &mut calls);
+        assert_eq!(calls, 2, "upgrade recomputes");
     }
 
     #[test]

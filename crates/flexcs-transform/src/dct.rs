@@ -1,21 +1,34 @@
 //! Orthonormal DCT-II / DCT-III (inverse) transforms, 1-D and 2-D.
 //!
 //! The paper expresses sensor frames in the 2-D DCT basis (Eqs. 3–7) and
-//! reconstructs with the IDCT. We provide a plan-based implementation
-//! (precomputed cosine matrix, exact for every size) plus a fast
-//! Lee-recursion path for power-of-two lengths used by the benchmark
-//! harness.
+//! reconstructs with the IDCT. [`DctPlan`] dispatches between two
+//! kernels: an O(n log n) in-place Lee recursion for power-of-two
+//! lengths (forward DCT-II and a matching exact inverse DCT-III) and a
+//! precomputed dense cosine matrix for every other size. [`Dct2d`]
+//! applies the 1-D plans separably and keeps per-plan scratch storage so
+//! repeated frames do not reallocate.
 
 use crate::error::{Result, TransformError};
 use flexcs_linalg::Matrix;
 use std::f64::consts::PI;
+use std::sync::{Mutex, OnceLock};
+
+/// Which kernel a [`DctPlan`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DctKernel {
+    /// O(n log n) Lee recursion (power-of-two lengths).
+    Fast,
+    /// Dense n x n cosine-matrix product (any length).
+    Dense,
+}
 
 /// A precomputed orthonormal DCT-II plan for a fixed length.
 ///
-/// The plan stores the `n x n` cosine matrix `C` with
-/// `C[k][t] = a_k · cos(π (2t + 1) k / (2n))`, `a_0 = √(1/n)`,
-/// `a_k = √(2/n)`. Forward transform is `C·x`; the inverse is `Cᵀ·x`
-/// because `C` is orthonormal.
+/// The transform computed is `y_k = a_k · Σ_t x_t cos(π (2t + 1) k /
+/// (2n))` with `a_0 = √(1/n)`, `a_k = √(2/n)`; the inverse is the
+/// orthonormal DCT-III (the transpose, since the map is orthonormal).
+/// Power-of-two lengths run the O(n log n) Lee recursion; other lengths
+/// fall back to a dense cosine matrix. Both kernels agree to ~1e-12.
 ///
 /// # Examples
 ///
@@ -33,15 +46,72 @@ use std::f64::consts::PI;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DctPlan {
     n: usize,
-    /// Row-major `n x n` forward DCT-II matrix.
-    c: Matrix,
+    kernel: DctKernel,
+    /// Dense n x n forward DCT-II matrix; eager for the dense kernel,
+    /// built on demand (via [`DctPlan::matrix`]) for the fast kernel.
+    dense: OnceLock<Matrix>,
+    /// Twiddle factors per recursion level: `levels[l][i] =
+    /// cos((i + 0.5)·π / m)` for `m = n >> l`. Empty for the dense kernel.
+    levels: Vec<Vec<f64>>,
+    /// Reciprocal twiddles `0.5 / levels[l][i]`, so the forward butterfly
+    /// multiplies instead of divides (divides dominate the lane cost).
+    inv_levels: Vec<Vec<f64>>,
+    /// Reusable fast-path workspace (length n once warmed).
+    scratch: Mutex<Vec<f64>>,
+    a0: f64,
+    ak: f64,
+    inv_a0: f64,
+    inv_ak: f64,
+}
+
+impl Clone for DctPlan {
+    fn clone(&self) -> Self {
+        DctPlan {
+            n: self.n,
+            kernel: self.kernel,
+            dense: self.dense.clone(),
+            levels: self.levels.clone(),
+            inv_levels: self.inv_levels.clone(),
+            scratch: Mutex::new(Vec::new()),
+            a0: self.a0,
+            ak: self.ak,
+            inv_a0: self.inv_a0,
+            inv_ak: self.inv_ak,
+        }
+    }
+}
+
+fn cosine_matrix(n: usize) -> Matrix {
+    let nf = n as f64;
+    let a0 = (1.0 / nf).sqrt();
+    let ak = (2.0 / nf).sqrt();
+    Matrix::from_fn(n, n, |k, t| {
+        let scale = if k == 0 { a0 } else { ak };
+        scale * (PI * (2.0 * t as f64 + 1.0) * k as f64 / (2.0 * nf)).cos()
+    })
+}
+
+fn twiddle_levels(n: usize) -> Vec<Vec<f64>> {
+    let mut levels = Vec::new();
+    let mut m = n;
+    while m >= 2 {
+        let mf = m as f64;
+        levels.push(
+            (0..m / 2)
+                .map(|i| ((i as f64 + 0.5) * PI / mf).cos())
+                .collect(),
+        );
+        m /= 2;
+    }
+    levels
 }
 
 impl DctPlan {
-    /// Builds a plan for length `n`.
+    /// Builds a plan for length `n`, choosing the fast Lee kernel for
+    /// power-of-two lengths and the dense kernel otherwise.
     ///
     /// # Errors
     ///
@@ -54,13 +124,56 @@ impl DctPlan {
             });
         }
         let nf = n as f64;
+        let kernel = if n.is_power_of_two() {
+            DctKernel::Fast
+        } else {
+            DctKernel::Dense
+        };
+        let levels = if kernel == DctKernel::Fast {
+            twiddle_levels(n)
+        } else {
+            Vec::new()
+        };
+        let inv_levels = levels
+            .iter()
+            .map(|l| l.iter().map(|c| 0.5 / c).collect())
+            .collect();
         let a0 = (1.0 / nf).sqrt();
         let ak = (2.0 / nf).sqrt();
-        let c = Matrix::from_fn(n, n, |k, t| {
-            let scale = if k == 0 { a0 } else { ak };
-            scale * (PI * (2.0 * t as f64 + 1.0) * k as f64 / (2.0 * nf)).cos()
-        });
-        Ok(DctPlan { n, c })
+        let plan = DctPlan {
+            n,
+            kernel,
+            dense: OnceLock::new(),
+            levels,
+            inv_levels,
+            scratch: Mutex::new(Vec::new()),
+            a0,
+            ak,
+            inv_a0: 1.0 / a0,
+            inv_ak: 1.0 / ak,
+        };
+        if kernel == DctKernel::Dense {
+            let _ = plan.dense.set(cosine_matrix(n));
+        }
+        Ok(plan)
+    }
+
+    /// Builds a plan that always uses the dense cosine-matrix kernel,
+    /// even for power-of-two lengths. Reference path for validating the
+    /// fast kernel and for benchmarking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] if `n == 0`.
+    pub fn with_dense(n: usize) -> Result<Self> {
+        let mut plan = DctPlan::new(n)?;
+        if plan.kernel == DctKernel::Fast {
+            plan.kernel = DctKernel::Dense;
+            plan.levels = Vec::new();
+            plan.inv_levels = Vec::new();
+            let _ = plan.dense.set(cosine_matrix(n));
+        }
+        Ok(plan)
     }
 
     /// Transform length.
@@ -73,9 +186,15 @@ impl DctPlan {
         self.n == 0
     }
 
-    /// Borrows the orthonormal cosine matrix.
+    /// `true` when this plan runs the O(n log n) Lee kernel.
+    pub fn is_fast(&self) -> bool {
+        self.kernel == DctKernel::Fast
+    }
+
+    /// Borrows the orthonormal cosine matrix (built on demand for
+    /// fast-kernel plans).
     pub fn matrix(&self) -> &Matrix {
-        &self.c
+        self.dense.get_or_init(|| cosine_matrix(self.n))
     }
 
     /// Forward orthonormal DCT-II.
@@ -85,8 +204,10 @@ impl DctPlan {
     /// Returns [`TransformError::InvalidLength`] when `x.len()` differs
     /// from the plan length.
     pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>> {
-        self.check(x)?;
-        Ok(self.c.matvec(x).expect("plan matrix is n x n"))
+        self.check(x.len())?;
+        let mut out = vec![0.0; self.n];
+        self.forward_unchecked(x, &mut out);
+        Ok(out)
     }
 
     /// Inverse transform (orthonormal DCT-III).
@@ -96,14 +217,84 @@ impl DctPlan {
     /// Returns [`TransformError::InvalidLength`] when `x.len()` differs
     /// from the plan length.
     pub fn inverse(&self, x: &[f64]) -> Result<Vec<f64>> {
-        self.check(x)?;
-        Ok(self.c.matvec_transpose(x).expect("plan matrix is n x n"))
+        self.check(x.len())?;
+        let mut out = vec![0.0; self.n];
+        self.inverse_unchecked(x, &mut out);
+        Ok(out)
     }
 
-    fn check(&self, x: &[f64]) -> Result<()> {
-        if x.len() != self.n {
+    /// Forward transform into a caller-provided buffer (no allocation on
+    /// the fast path once the plan scratch is warm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] when either slice
+    /// length differs from the plan length.
+    pub fn forward_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        self.check(x.len())?;
+        self.check(out.len())?;
+        self.forward_unchecked(x, out);
+        Ok(())
+    }
+
+    /// Inverse transform into a caller-provided buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] when either slice
+    /// length differs from the plan length.
+    pub fn inverse_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        self.check(x.len())?;
+        self.check(out.len())?;
+        self.inverse_unchecked(x, out);
+        Ok(())
+    }
+
+    fn forward_unchecked(&self, x: &[f64], out: &mut [f64]) {
+        match self.kernel {
+            DctKernel::Fast => {
+                out.copy_from_slice(x);
+                self.with_scratch(|s| lee_forward(out, s, &self.inv_levels));
+                out[0] *= self.a0;
+                for v in out.iter_mut().skip(1) {
+                    *v *= self.ak;
+                }
+            }
+            DctKernel::Dense => dense_matvec(self.matrix(), x, out),
+        }
+    }
+
+    fn inverse_unchecked(&self, x: &[f64], out: &mut [f64]) {
+        match self.kernel {
+            DctKernel::Fast => {
+                out.copy_from_slice(x);
+                out[0] *= self.inv_a0;
+                for v in out.iter_mut().skip(1) {
+                    *v *= self.inv_ak;
+                }
+                self.with_scratch(|s| lee_inverse(out, s, &self.levels));
+            }
+            DctKernel::Dense => dense_matvec_transpose(self.matrix(), x, out),
+        }
+    }
+
+    /// Runs `f` with the plan scratch buffer (resized to n). Falls back
+    /// to a fresh buffer when another thread holds the lock, so shared
+    /// plans never serialize concurrent transforms.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut [f64]) -> R) -> R {
+        match self.scratch.try_lock() {
+            Ok(mut guard) => {
+                guard.resize(self.n, 0.0);
+                f(&mut guard)
+            }
+            Err(_) => f(&mut vec![0.0; self.n]),
+        }
+    }
+
+    fn check(&self, len: usize) -> Result<()> {
+        if len != self.n {
             return Err(TransformError::InvalidLength {
-                len: x.len(),
+                len,
                 reason: "input length differs from plan length",
             });
         }
@@ -111,7 +302,284 @@ impl DctPlan {
     }
 }
 
+fn dense_matvec(c: &Matrix, x: &[f64], out: &mut [f64]) {
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = c.row(k).iter().zip(x).map(|(a, b)| a * b).sum();
+    }
+}
+
+fn dense_matvec_transpose(c: &Matrix, x: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        for (o, &a) in out.iter_mut().zip(c.row(i)) {
+            *o += a * xi;
+        }
+    }
+}
+
+/// In-place unscaled DCT-II by Lee's recursion. `v` holds the input and
+/// receives the output; `s` is a same-length workspace; `inv_levels` are
+/// the per-level reciprocal twiddles (`0.5 / cos`), so the butterfly is
+/// all multiplies.
+fn lee_forward(v: &mut [f64], s: &mut [f64], inv_levels: &[Vec<f64>]) {
+    let n = v.len();
+    if n == 1 {
+        return;
+    }
+    if n == 2 {
+        // Unrolled base case: skips two n=1 recursion frames per pair.
+        let (x, y) = (v[0], v[1]);
+        v[0] = x + y;
+        v[1] = (x - y) * inv_levels[0][0];
+        return;
+    }
+    let half = n / 2;
+    let recip = &inv_levels[0];
+    let (alpha, beta) = s.split_at_mut(half);
+    for i in 0..half {
+        let x = v[i];
+        let y = v[n - 1 - i];
+        alpha[i] = x + y;
+        beta[i] = (x - y) * recip[i];
+    }
+    {
+        // The input halves of `v` are dead now — reuse them as the
+        // recursion's workspace so the whole transform is allocation-free.
+        let (va, vb) = v.split_at_mut(half);
+        lee_forward(alpha, va, &inv_levels[1..]);
+        lee_forward(beta, vb, &inv_levels[1..]);
+    }
+    for i in 0..half - 1 {
+        v[i * 2] = alpha[i];
+        v[i * 2 + 1] = beta[i] + beta[i + 1];
+    }
+    v[n - 2] = alpha[half - 1];
+    v[n - 1] = beta[half - 1];
+}
+
+/// Exact inverse of [`lee_forward`] (an unscaled DCT-III up to the
+/// DCT-II normalization): undoes the interleave, inverts the half-size
+/// transforms, and reconstructs the butterfly.
+fn lee_inverse(v: &mut [f64], s: &mut [f64], levels: &[Vec<f64>]) {
+    let n = v.len();
+    if n == 1 {
+        return;
+    }
+    if n == 2 {
+        let (a, b) = (v[0], v[1]);
+        let diff = 2.0 * levels[0][0] * b;
+        v[0] = 0.5 * (a + diff);
+        v[1] = 0.5 * (a - diff);
+        return;
+    }
+    let half = n / 2;
+    let cosines = &levels[0];
+    let (alpha, beta) = s.split_at_mut(half);
+    for i in 0..half {
+        alpha[i] = v[i * 2];
+    }
+    beta[half - 1] = v[n - 1];
+    for i in (0..half - 1).rev() {
+        beta[i] = v[i * 2 + 1] - beta[i + 1];
+    }
+    {
+        let (va, vb) = v.split_at_mut(half);
+        lee_inverse(alpha, va, &levels[1..]);
+        lee_inverse(beta, vb, &levels[1..]);
+    }
+    for i in 0..half {
+        let diff = 2.0 * cosines[i] * beta[i];
+        v[i] = 0.5 * (alpha[i] + diff);
+        v[n - 1 - i] = 0.5 * (alpha[i] - diff);
+    }
+}
+
+/// Multi-lane Lee forward recursion: treats the row-major `n x w` buffer
+/// `v` as `w` independent length-`n` lanes (one per column) and applies
+/// the butterfly to whole rows at a time. This keeps the column pass of
+/// the 2-D transform on contiguous memory — no per-column gather — and
+/// lets the compiler vectorize each row operation across lanes.
+fn lee_forward_cols(v: &mut [f64], s: &mut [f64], w: usize, inv_levels: &[Vec<f64>]) {
+    let n = v.len() / w;
+    if n == 1 {
+        return;
+    }
+    if n == 2 {
+        let r = inv_levels[0][0];
+        let (top, bot) = v.split_at_mut(w);
+        for j in 0..w {
+            let (x, y) = (top[j], bot[j]);
+            top[j] = x + y;
+            bot[j] = (x - y) * r;
+        }
+        return;
+    }
+    if n == 4 {
+        // Fused bottom two levels: one read and one write per lane
+        // element, all intermediates in registers.
+        let (r0, r1) = (inv_levels[0][0], inv_levels[0][1]);
+        let r2 = inv_levels[1][0];
+        let (v01, v23) = v.split_at_mut(2 * w);
+        let (v0, v1) = v01.split_at_mut(w);
+        let (v2, v3) = v23.split_at_mut(w);
+        for j in 0..w {
+            let a0 = v0[j] + v3[j];
+            let a1 = v1[j] + v2[j];
+            let b0 = (v0[j] - v3[j]) * r0;
+            let b1 = (v1[j] - v2[j]) * r1;
+            let bt1 = (b0 - b1) * r2;
+            v0[j] = a0 + a1;
+            v1[j] = b0 + b1 + bt1;
+            v2[j] = (a0 - a1) * r2;
+            v3[j] = bt1;
+        }
+        return;
+    }
+    let half = n / 2;
+    let recip = &inv_levels[0];
+    let (alpha, beta) = s.split_at_mut(half * w);
+    for i in 0..half {
+        let inv = recip[i];
+        let (arow, brow) = (
+            &mut alpha[i * w..(i + 1) * w],
+            &mut beta[i * w..(i + 1) * w],
+        );
+        let x = &v[i * w..(i + 1) * w];
+        let y = &v[(n - 1 - i) * w..(n - i) * w];
+        for j in 0..w {
+            arow[j] = x[j] + y[j];
+            brow[j] = (x[j] - y[j]) * inv;
+        }
+    }
+    {
+        let (va, vb) = v.split_at_mut(half * w);
+        lee_forward_cols(alpha, va, w, &inv_levels[1..]);
+        lee_forward_cols(beta, vb, w, &inv_levels[1..]);
+    }
+    for i in 0..half - 1 {
+        v[i * 2 * w..(i * 2 + 1) * w].copy_from_slice(&alpha[i * w..(i + 1) * w]);
+        let dst = &mut v[(i * 2 + 1) * w..(i * 2 + 2) * w];
+        let (b0, b1) = (&beta[i * w..(i + 1) * w], &beta[(i + 1) * w..(i + 2) * w]);
+        for j in 0..w {
+            dst[j] = b0[j] + b1[j];
+        }
+    }
+    v[(n - 2) * w..(n - 1) * w].copy_from_slice(&alpha[(half - 1) * w..half * w]);
+    v[(n - 1) * w..n * w].copy_from_slice(&beta[(half - 1) * w..half * w]);
+}
+
+/// Multi-lane inverse of [`lee_forward_cols`].
+fn lee_inverse_cols(v: &mut [f64], s: &mut [f64], w: usize, levels: &[Vec<f64>]) {
+    let n = v.len() / w;
+    if n == 1 {
+        return;
+    }
+    if n == 2 {
+        let c = levels[0][0];
+        let (top, bot) = v.split_at_mut(w);
+        for j in 0..w {
+            let diff = 2.0 * c * bot[j];
+            let a = top[j];
+            top[j] = 0.5 * (a + diff);
+            bot[j] = 0.5 * (a - diff);
+        }
+        return;
+    }
+    if n == 4 {
+        // Fused inverse of the two bottom levels (see the forward case).
+        let (c0, c1) = (levels[0][0], levels[0][1]);
+        let d = 2.0 * levels[1][0];
+        let (v01, v23) = v.split_at_mut(2 * w);
+        let (v0, v1) = v01.split_at_mut(w);
+        let (v2, v3) = v23.split_at_mut(w);
+        for j in 0..w {
+            let at0 = 0.5 * (v0[j] + d * v2[j]);
+            let at1 = 0.5 * (v0[j] - d * v2[j]);
+            let b0 = v1[j] - v3[j];
+            let bt0 = 0.5 * (b0 + d * v3[j]);
+            let bt1 = 0.5 * (b0 - d * v3[j]);
+            let diff0 = 2.0 * c0 * bt0;
+            let diff1 = 2.0 * c1 * bt1;
+            v0[j] = 0.5 * (at0 + diff0);
+            v1[j] = 0.5 * (at1 + diff1);
+            v2[j] = 0.5 * (at1 - diff1);
+            v3[j] = 0.5 * (at0 - diff0);
+        }
+        return;
+    }
+    let half = n / 2;
+    let cosines = &levels[0];
+    let (alpha, beta) = s.split_at_mut(half * w);
+    for i in 0..half {
+        alpha[i * w..(i + 1) * w].copy_from_slice(&v[i * 2 * w..(i * 2 + 1) * w]);
+    }
+    beta[(half - 1) * w..half * w].copy_from_slice(&v[(n - 1) * w..n * w]);
+    for i in (0..half - 1).rev() {
+        let (head, tail) = beta.split_at_mut((i + 1) * w);
+        let dst = &mut head[i * w..];
+        let next = &tail[..w];
+        let src = &v[(i * 2 + 1) * w..(i * 2 + 2) * w];
+        for j in 0..w {
+            dst[j] = src[j] - next[j];
+        }
+    }
+    {
+        let (va, vb) = v.split_at_mut(half * w);
+        lee_inverse_cols(alpha, va, w, &levels[1..]);
+        lee_inverse_cols(beta, vb, w, &levels[1..]);
+    }
+    for i in 0..half {
+        let twice_cos = 2.0 * cosines[i];
+        let (arow, brow) = (&alpha[i * w..(i + 1) * w], &beta[i * w..(i + 1) * w]);
+        let (head, tail) = v.split_at_mut((n - 1 - i) * w);
+        let top = &mut head[i * w..(i + 1) * w];
+        let bottom = &mut tail[..w];
+        for j in 0..w {
+            let diff = twice_cos * brow[j];
+            top[j] = 0.5 * (arow[j] + diff);
+            bottom[j] = 0.5 * (arow[j] - diff);
+        }
+    }
+}
+
+/// Scratch buffers reused across [`Dct2d`] applications on the same
+/// plan: two frame-sized multi-lane workspaces (transpose staging plus
+/// recursion scratch) and two strips for the dense fallback.
+#[derive(Debug, Default)]
+struct Dct2dScratch {
+    aux: Vec<f64>,
+    aux2: Vec<f64>,
+    strip: Vec<f64>,
+    strip_out: Vec<f64>,
+}
+
+/// Tiled out-of-place transpose: `src` is `rows x cols`, `dst` becomes
+/// `cols x rows`. Tiling keeps both access streams cache-resident.
+fn transpose_into(src: &[f64], dst: &mut [f64], rows: usize, cols: usize) {
+    const TILE: usize = 32;
+    for ib in (0..rows).step_by(TILE) {
+        let i_end = (ib + TILE).min(rows);
+        for jb in (0..cols).step_by(TILE) {
+            let j_end = (jb + TILE).min(cols);
+            for i in ib..i_end {
+                let srow = &src[i * cols..(i + 1) * cols];
+                for j in jb..j_end {
+                    dst[j * rows + i] = srow[j];
+                }
+            }
+        }
+    }
+}
+
 /// A 2-D separable orthonormal DCT for `rows x cols` frames.
+///
+/// Each axis runs through a [`DctPlan`] (fast Lee kernel on
+/// power-of-two extents), and intermediate row/column buffers live in
+/// per-plan scratch storage so decoding many frames through one plan
+/// performs no per-call allocation beyond the output matrix.
 ///
 /// # Examples
 ///
@@ -128,10 +596,21 @@ impl DctPlan {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Dct2d {
     row_plan: DctPlan,
     col_plan: DctPlan,
+    scratch: Mutex<Dct2dScratch>,
+}
+
+impl Clone for Dct2d {
+    fn clone(&self) -> Self {
+        Dct2d {
+            row_plan: self.row_plan.clone(),
+            col_plan: self.col_plan.clone(),
+            scratch: Mutex::new(Dct2dScratch::default()),
+        }
+    }
 }
 
 impl Dct2d {
@@ -145,12 +624,33 @@ impl Dct2d {
         Ok(Dct2d {
             row_plan: DctPlan::new(cols)?,
             col_plan: DctPlan::new(rows)?,
+            scratch: Mutex::new(Dct2dScratch::default()),
+        })
+    }
+
+    /// Builds a 2-D plan that forces the dense cosine-matrix kernel on
+    /// both axes (reference/benchmark path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidLength`] if either dimension is
+    /// zero.
+    pub fn with_dense(rows: usize, cols: usize) -> Result<Self> {
+        Ok(Dct2d {
+            row_plan: DctPlan::with_dense(cols)?,
+            col_plan: DctPlan::with_dense(rows)?,
+            scratch: Mutex::new(Dct2dScratch::default()),
         })
     }
 
     /// Frame shape `(rows, cols)` accepted by this plan.
     pub fn shape(&self) -> (usize, usize) {
         (self.col_plan.len(), self.row_plan.len())
+    }
+
+    /// `true` when both axes run the O(n log n) kernel.
+    pub fn is_fast(&self) -> bool {
+        self.row_plan.is_fast() && self.col_plan.is_fast()
     }
 
     /// Forward 2-D DCT-II of a frame.
@@ -160,23 +660,7 @@ impl Dct2d {
     /// Returns [`TransformError::ShapeMismatch`] when the frame shape
     /// differs from the plan shape.
     pub fn forward(&self, frame: &Matrix) -> Result<Matrix> {
-        self.check(frame)?;
-        // Rows then columns; separability makes the order irrelevant.
-        let (rows, cols) = frame.shape();
-        let mut tmp = Matrix::zeros(rows, cols);
-        for i in 0..rows {
-            let t = self.row_plan.forward(frame.row(i))?;
-            tmp.row_mut(i).copy_from_slice(&t);
-        }
-        let mut out = Matrix::zeros(rows, cols);
-        for j in 0..cols {
-            let col: Vec<f64> = tmp.col(j);
-            let t = self.col_plan.forward(&col)?;
-            for i in 0..rows {
-                out[(i, j)] = t[i];
-            }
-        }
-        Ok(out)
+        self.apply(frame, true)
     }
 
     /// Inverse 2-D DCT (orthonormal DCT-III) of a coefficient frame.
@@ -186,22 +670,148 @@ impl Dct2d {
     /// Returns [`TransformError::ShapeMismatch`] when the coefficient
     /// shape differs from the plan shape.
     pub fn inverse(&self, coeffs: &Matrix) -> Result<Matrix> {
-        self.check(coeffs)?;
-        let (rows, cols) = coeffs.shape();
-        let mut tmp = Matrix::zeros(rows, cols);
-        for j in 0..cols {
-            let col: Vec<f64> = coeffs.col(j);
-            let t = self.col_plan.inverse(&col)?;
-            for i in 0..rows {
-                tmp[(i, j)] = t[i];
+        self.apply(coeffs, false)
+    }
+
+    fn apply(&self, frame: &Matrix, forward: bool) -> Result<Matrix> {
+        self.check(frame)?;
+        let (rows, cols) = frame.shape();
+        let mut out = Matrix::zeros(rows, cols);
+        self.with_scratch(|s| {
+            // Separable transform: rows then columns (forward) or
+            // columns then rows (inverse); order only matters for
+            // matching the adjoint exactly, cost is identical. Both
+            // passes run the multi-lane kernel over contiguous memory —
+            // the row pass through a tiled transpose — so every
+            // butterfly vectorizes across lanes.
+            if forward {
+                self.row_pass_forward(frame, &mut out, s);
+                self.col_pass(&mut out, s, true);
+            } else {
+                out.as_mut_slice().copy_from_slice(frame.as_slice());
+                self.col_pass(&mut out, s, false);
+                self.row_pass_inverse(&mut out, s);
+            }
+        });
+        Ok(out)
+    }
+
+    /// Row pass of the forward transform: transpose, run the multi-lane
+    /// Lee kernel along the original row direction, transpose back
+    /// (fast plan), or dense per-row matvecs (dense plan).
+    fn row_pass_forward(&self, frame: &Matrix, out: &mut Matrix, s: &mut Dct2dScratch) {
+        let (rows, cols) = frame.shape();
+        let plan = &self.row_plan;
+        match plan.kernel {
+            DctKernel::Fast => {
+                s.aux.resize(rows * cols, 0.0);
+                s.aux2.resize(rows * cols, 0.0);
+                transpose_into(frame.as_slice(), &mut s.aux, rows, cols);
+                lee_forward_cols(&mut s.aux, &mut s.aux2, rows, &plan.inv_levels);
+                for v in s.aux[..rows].iter_mut() {
+                    *v *= plan.a0;
+                }
+                for v in s.aux[rows..].iter_mut() {
+                    *v *= plan.ak;
+                }
+                transpose_into(&s.aux, out.as_mut_slice(), cols, rows);
+            }
+            DctKernel::Dense => {
+                let c = plan.matrix();
+                for i in 0..rows {
+                    dense_matvec(c, frame.row(i), out.row_mut(i));
+                }
             }
         }
-        let mut out = Matrix::zeros(rows, cols);
-        for i in 0..rows {
-            let t = self.row_plan.inverse(tmp.row(i))?;
-            out.row_mut(i).copy_from_slice(&t);
+    }
+
+    /// Row pass of the inverse transform, in place on `out`.
+    fn row_pass_inverse(&self, out: &mut Matrix, s: &mut Dct2dScratch) {
+        let (rows, cols) = out.shape();
+        let plan = &self.row_plan;
+        match plan.kernel {
+            DctKernel::Fast => {
+                s.aux.resize(rows * cols, 0.0);
+                s.aux2.resize(rows * cols, 0.0);
+                transpose_into(out.as_slice(), &mut s.aux, rows, cols);
+                for v in s.aux[..rows].iter_mut() {
+                    *v *= plan.inv_a0;
+                }
+                for v in s.aux[rows..].iter_mut() {
+                    *v *= plan.inv_ak;
+                }
+                lee_inverse_cols(&mut s.aux, &mut s.aux2, rows, &plan.levels);
+                transpose_into(&s.aux, out.as_mut_slice(), cols, rows);
+            }
+            DctKernel::Dense => {
+                let c = plan.matrix();
+                for i in 0..rows {
+                    let v = out.row_mut(i);
+                    s.strip.clear();
+                    s.strip.extend_from_slice(v);
+                    dense_matvec_transpose(c, &s.strip, v);
+                }
+            }
         }
-        Ok(out)
+    }
+
+    /// Column pass over `m`'s storage: a multi-lane Lee recursion over
+    /// whole rows when the column plan is fast (contiguous memory, no
+    /// per-column gather), dense per-column matvecs otherwise.
+    fn col_pass(&self, m: &mut Matrix, s: &mut Dct2dScratch, forward: bool) {
+        let (rows, cols) = m.shape();
+        let plan = &self.col_plan;
+        match plan.kernel {
+            DctKernel::Fast => {
+                s.aux.resize(rows * cols, 0.0);
+                let data = m.as_mut_slice();
+                if forward {
+                    lee_forward_cols(data, &mut s.aux, cols, &plan.inv_levels);
+                    for v in data[..cols].iter_mut() {
+                        *v *= plan.a0;
+                    }
+                    for v in data[cols..].iter_mut() {
+                        *v *= plan.ak;
+                    }
+                } else {
+                    for v in data[..cols].iter_mut() {
+                        *v *= plan.inv_a0;
+                    }
+                    for v in data[cols..].iter_mut() {
+                        *v *= plan.inv_ak;
+                    }
+                    lee_inverse_cols(data, &mut s.aux, cols, &plan.levels);
+                }
+            }
+            DctKernel::Dense => {
+                s.strip.resize(rows, 0.0);
+                s.strip_out.resize(rows, 0.0);
+                let c = plan.matrix();
+                let data = m.as_mut_slice();
+                for j in 0..cols {
+                    for i in 0..rows {
+                        s.strip[i] = data[i * cols + j];
+                    }
+                    if forward {
+                        dense_matvec(c, &s.strip, &mut s.strip_out);
+                    } else {
+                        dense_matvec_transpose(c, &s.strip, &mut s.strip_out);
+                    }
+                    for i in 0..rows {
+                        data[i * cols + j] = s.strip_out[i];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `f` with this plan's scratch, falling back to a transient
+    /// scratch under cross-thread contention.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut Dct2dScratch) -> R) -> R {
+        match self.scratch.try_lock() {
+            Ok(mut guard) => f(&mut guard),
+            Err(_) => f(&mut Dct2dScratch::default()),
+        }
     }
 
     fn check(&self, frame: &Matrix) -> Result<()> {
@@ -232,32 +842,13 @@ pub fn fast_dct2_unscaled(x: &[f64]) -> Result<Vec<f64>> {
         });
     }
     let mut v = x.to_vec();
-    lee_forward(&mut v);
+    let mut s = vec![0.0; n];
+    let inv_levels: Vec<Vec<f64>> = twiddle_levels(n)
+        .iter()
+        .map(|l| l.iter().map(|c| 0.5 / c).collect())
+        .collect();
+    lee_forward(&mut v, &mut s, &inv_levels);
     Ok(v)
-}
-
-fn lee_forward(v: &mut [f64]) {
-    let n = v.len();
-    if n == 1 {
-        return;
-    }
-    let half = n / 2;
-    let mut alpha = vec![0.0; half];
-    let mut beta = vec![0.0; half];
-    for i in 0..half {
-        let x = v[i];
-        let y = v[n - 1 - i];
-        alpha[i] = x + y;
-        beta[i] = (x - y) / (((i as f64 + 0.5) * PI / n as f64).cos() * 2.0);
-    }
-    lee_forward(&mut alpha);
-    lee_forward(&mut beta);
-    for i in 0..half - 1 {
-        v[i * 2] = alpha[i];
-        v[i * 2 + 1] = beta[i] + beta[i + 1];
-    }
-    v[n - 2] = alpha[half - 1];
-    v[n - 1] = beta[half - 1];
 }
 
 /// Orthonormal DCT-II for power-of-two lengths, via the fast Lee
@@ -281,6 +872,34 @@ pub fn fast_dct2_orthonormal(x: &[f64]) -> Result<Vec<f64>> {
     Ok(v)
 }
 
+/// Orthonormal DCT-III (the inverse of [`fast_dct2_orthonormal`]) for
+/// power-of-two lengths, via the inverse Lee recursion; numerically
+/// equivalent to [`DctPlan::inverse`].
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidLength`] unless `x.len()` is a
+/// positive power of two.
+pub fn fast_dct3_orthonormal(x: &[f64]) -> Result<Vec<f64>> {
+    let n = x.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(TransformError::InvalidLength {
+            len: n,
+            reason: "fast dct requires a positive power-of-two length",
+        });
+    }
+    let nf = n as f64;
+    let mut v = x.to_vec();
+    v[0] /= (1.0 / nf).sqrt();
+    let ak = (2.0 / nf).sqrt();
+    for item in v.iter_mut().skip(1) {
+        *item /= ak;
+    }
+    let mut s = vec![0.0; n];
+    lee_inverse(&mut v, &mut s, &twiddle_levels(n));
+    Ok(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,7 +910,9 @@ mod tests {
             .map(|k| {
                 x.iter()
                     .enumerate()
-                    .map(|(t, &v)| v * (PI * (2.0 * t as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos())
+                    .map(|(t, &v)| {
+                        v * (PI * (2.0 * t as f64 + 1.0) * k as f64 / (2.0 * n as f64)).cos()
+                    })
                     .sum()
             })
             .collect()
@@ -300,6 +921,18 @@ mod tests {
     #[test]
     fn plan_rejects_zero_length() {
         assert!(DctPlan::new(0).is_err());
+        assert!(DctPlan::with_dense(0).is_err());
+    }
+
+    #[test]
+    fn kernel_dispatch_follows_length() {
+        assert!(DctPlan::new(64).unwrap().is_fast());
+        assert!(DctPlan::new(1).unwrap().is_fast());
+        assert!(!DctPlan::new(100).unwrap().is_fast());
+        assert!(!DctPlan::with_dense(64).unwrap().is_fast());
+        assert!(Dct2d::new(8, 16).unwrap().is_fast());
+        assert!(!Dct2d::new(8, 12).unwrap().is_fast());
+        assert!(!Dct2d::with_dense(8, 8).unwrap().is_fast());
     }
 
     #[test]
@@ -312,13 +945,52 @@ mod tests {
 
     #[test]
     fn roundtrip_1d() {
-        let plan = DctPlan::new(11).unwrap();
-        let x: Vec<f64> = (0..11).map(|i| (i as f64 * 0.3).sin()).collect();
-        let y = plan.forward(&x).unwrap();
-        let back = plan.inverse(&y).unwrap();
-        for (a, b) in x.iter().zip(&back) {
+        for n in [1usize, 2, 11, 16, 64] {
+            let plan = DctPlan::new(n).unwrap();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+            let y = plan.forward(&x).unwrap();
+            let back = plan.inverse(&y).unwrap();
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_and_dense_kernels_agree() {
+        for n in [1usize, 2, 8, 64, 256] {
+            let fast = DctPlan::new(n).unwrap();
+            let dense = DctPlan::with_dense(n).unwrap();
+            assert!(fast.is_fast() && !dense.is_fast());
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i * i) as f64 * 0.13).sin() * 4.0)
+                .collect();
+            let yf = fast.forward(&x).unwrap();
+            let yd = dense.forward(&x).unwrap();
+            for (a, b) in yf.iter().zip(&yd) {
+                assert!((a - b).abs() < 1e-10, "forward n={n}: {a} vs {b}");
+            }
+            let bf = fast.inverse(&yf).unwrap();
+            let bd = dense.inverse(&yf).unwrap();
+            for (a, b) in bf.iter().zip(&bd) {
+                assert!((a - b).abs() < 1e-10, "inverse n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_into_matches_forward_and_reuses_buffer() {
+        let plan = DctPlan::new(32).unwrap();
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut out = vec![0.0; 32];
+        plan.forward_into(&x, &mut out).unwrap();
+        assert_eq!(out, plan.forward(&x).unwrap());
+        let mut back = vec![0.0; 32];
+        plan.inverse_into(&out, &mut back).unwrap();
+        for (a, b) in back.iter().zip(&x) {
             assert!((a - b).abs() < 1e-12);
         }
+        assert!(plan.forward_into(&x, &mut [0.0; 3]).is_err());
     }
 
     #[test]
@@ -355,6 +1027,39 @@ mod tests {
         let c = d.forward(&img).unwrap();
         let back = d.inverse(&c).unwrap();
         assert!(back.max_abs_diff(&img).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn dct2d_fast_matches_dense() {
+        for (rows, cols) in [(8usize, 8usize), (16, 32), (16, 12)] {
+            let fast = Dct2d::new(rows, cols).unwrap();
+            let dense = Dct2d::with_dense(rows, cols).unwrap();
+            let img = Matrix::from_fn(rows, cols, |i, j| ((i * 5 + j * 3) as f64 * 0.21).sin());
+            let cf = fast.forward(&img).unwrap();
+            let cd = dense.forward(&img).unwrap();
+            assert!(
+                cf.max_abs_diff(&cd).unwrap() < 1e-10,
+                "{rows}x{cols} forward"
+            );
+            let bf = fast.inverse(&cf).unwrap();
+            let bd = dense.inverse(&cf).unwrap();
+            assert!(
+                bf.max_abs_diff(&bd).unwrap() < 1e-10,
+                "{rows}x{cols} inverse"
+            );
+        }
+    }
+
+    #[test]
+    fn dct2d_repeated_frames_are_stable() {
+        // Scratch reuse must not leak state between applications.
+        let d = Dct2d::new(16, 16).unwrap();
+        let a = Matrix::from_fn(16, 16, |i, j| ((i + 2 * j) as f64 * 0.11).sin());
+        let b = Matrix::from_fn(16, 16, |i, j| ((3 * i + j) as f64 * 0.07).cos());
+        let ca1 = d.forward(&a).unwrap();
+        let _cb = d.forward(&b).unwrap();
+        let ca2 = d.forward(&a).unwrap();
+        assert_eq!(ca1.as_slice(), ca2.as_slice());
     }
 
     #[test]
@@ -397,13 +1102,25 @@ mod tests {
     }
 
     #[test]
-    fn fast_orthonormal_matches_plan() {
+    fn fast_orthonormal_matches_dense_plan() {
         let n = 32;
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
         let fast = fast_dct2_orthonormal(&x).unwrap();
-        let plan = DctPlan::new(n).unwrap().forward(&x).unwrap();
+        let plan = DctPlan::with_dense(n).unwrap().forward(&x).unwrap();
         for (a, b) in fast.iter().zip(&plan) {
             assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fast_dct3_inverts_fast_dct2() {
+        for n in [1usize, 4, 32, 128] {
+            let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+            let y = fast_dct2_orthonormal(&x).unwrap();
+            let back = fast_dct3_orthonormal(&y).unwrap();
+            for (a, b) in back.iter().zip(&x) {
+                assert!((a - b).abs() < 1e-12, "n={n}");
+            }
         }
     }
 
@@ -411,5 +1128,7 @@ mod tests {
     fn fast_rejects_non_power_of_two() {
         assert!(fast_dct2_unscaled(&[1.0; 12]).is_err());
         assert!(fast_dct2_unscaled(&[]).is_err());
+        assert!(fast_dct3_orthonormal(&[1.0; 12]).is_err());
+        assert!(fast_dct3_orthonormal(&[]).is_err());
     }
 }

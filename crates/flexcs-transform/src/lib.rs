@@ -51,7 +51,9 @@ pub mod zigzag;
 
 pub use basis::{devectorize, mutual_coherence, psi_matrix, vectorize};
 pub use dwt::{haar2d_full_forward, haar2d_full_inverse};
-pub use dct::{fast_dct2_orthonormal, fast_dct2_unscaled, Dct2d, DctPlan};
+pub use dct::{
+    fast_dct2_orthonormal, fast_dct2_unscaled, fast_dct3_orthonormal, Dct2d, DctPlan,
+};
 pub use dft::RealFourierPlan;
 pub use error::{Result, TransformError};
 pub use sparsity::{

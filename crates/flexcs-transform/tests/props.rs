@@ -1,9 +1,7 @@
 //! Property-based tests for the transform layer.
 
 use flexcs_linalg::Matrix;
-use flexcs_transform::{
-    dwt, fast_dct2_orthonormal, psi_matrix, sparsity, zigzag, Dct2d, DctPlan,
-};
+use flexcs_transform::{dwt, fast_dct2_orthonormal, psi_matrix, sparsity, zigzag, Dct2d, DctPlan};
 use proptest::prelude::*;
 
 fn frame_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -36,12 +34,52 @@ proptest! {
     }
 
     #[test]
-    fn fast_dct_agrees_with_plan(v in proptest::collection::vec(-5.0..5.0f64, 64)) {
+    fn fast_dct_agrees_with_dense_plan(v in proptest::collection::vec(-5.0..5.0f64, 64)) {
+        // DctPlan::new(64) already takes the fast kernel, so the dense
+        // reference must be requested explicitly.
         let fast = fast_dct2_orthonormal(&v).unwrap();
-        let plan = DctPlan::new(64).unwrap().forward(&v).unwrap();
-        for (a, b) in fast.iter().zip(&plan) {
-            prop_assert!((a - b).abs() < 1e-9);
+        let dense = DctPlan::with_dense(64).unwrap().forward(&v).unwrap();
+        for (a, b) in fast.iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn fast_and_dense_plans_agree_across_lengths(seed in 0u64..1000) {
+        // Powers of two exercise the Lee recursion (including the fused
+        // n = 2/4 bases); 100 exercises the dense fallback selector.
+        for n in [1usize, 2, 8, 64, 100, 256] {
+            let v: Vec<f64> = (0..n)
+                .map(|i| ((i as f64 + seed as f64) * 0.37).sin() * 5.0)
+                .collect();
+            let fast = DctPlan::new(n).unwrap();
+            let dense = DctPlan::with_dense(n).unwrap();
+            let ff = fast.forward(&v).unwrap();
+            let df = dense.forward(&v).unwrap();
+            for (a, b) in ff.iter().zip(&df) {
+                prop_assert!((a - b).abs() < 1e-10, "forward n={}", n);
+            }
+            let fi = fast.inverse(&ff).unwrap();
+            let di = dense.inverse(&df).unwrap();
+            for (a, b) in fi.iter().zip(&di) {
+                prop_assert!((a - b).abs() < 1e-10, "inverse n={}", n);
+            }
+            // And the fast inverse is exact against the input.
+            for (a, b) in fi.iter().zip(&v) {
+                prop_assert!((a - b).abs() < 1e-10, "roundtrip n={}", n);
+            }
+        }
+    }
+
+    #[test]
+    fn dct2d_fast_agrees_with_dense_plan(frame in frame_strategy(8, 8)) {
+        let fast = Dct2d::new(8, 8).unwrap();
+        let dense = Dct2d::with_dense(8, 8).unwrap();
+        let ff = fast.forward(&frame).unwrap();
+        let df = dense.forward(&frame).unwrap();
+        prop_assert!(ff.max_abs_diff(&df).unwrap() < 1e-10);
+        let fi = fast.inverse(&ff).unwrap();
+        prop_assert!(fi.max_abs_diff(&frame).unwrap() < 1e-10);
     }
 
     #[test]

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_decode.json: the decode-path performance baseline
+# (fast vs dense DCT kernels, blocked matmul, resample-median loop).
+#
+# For full statistical runs use the criterion benches instead:
+#   cargo bench -p flexcs-bench --bench bench_decode
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p flexcs-bench --bin decode_baseline > BENCH_decode.json.tmp
+mv BENCH_decode.json.tmp BENCH_decode.json
+echo "wrote BENCH_decode.json:"
+cat BENCH_decode.json

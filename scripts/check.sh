@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Lint gate: clippy with warnings denied, plus rustfmt in check mode.
+# Run before sending changes; CI treats both as hard failures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all -- --check
+echo "check.sh: clippy + fmt clean"
