@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flexcs_circuit::{
-    build_self_biased_amplifier, AmplifierConfig, CellLibrary, Circuit, NodeId,
-    TransientConfig, Waveform,
+    build_self_biased_amplifier, AmplifierConfig, CellLibrary, Circuit, NodeId, TransientConfig,
+    Waveform,
 };
 use std::hint::black_box;
 

@@ -2,10 +2,8 @@
 //! training step of the tactile ResNet.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flexcs_nn::{
-    build_tactile_resnet, cross_entropy_with_logits, tensor_from_frame, Adam, Layer,
-};
 use flexcs_datasets::{tactile_frame, TactileConfig};
+use flexcs_nn::{build_tactile_resnet, cross_entropy_with_logits, tensor_from_frame, Adam, Layer};
 use std::hint::black_box;
 
 fn bench_inference(c: &mut Criterion) {
@@ -14,9 +12,7 @@ fn bench_inference(c: &mut Criterion) {
     let mut net = build_tactile_resnet(26, 8, 1);
     let frame = tactile_frame(&TactileConfig::default(), 7, 3);
     let x = tensor_from_frame(&frame);
-    group.bench_function("forward", |b| {
-        b.iter(|| net.forward(black_box(&x), false))
-    });
+    group.bench_function("forward", |b| b.iter(|| net.forward(black_box(&x), false)));
     group.bench_function("train_step", |b| {
         let mut opt = Adam::new(1e-3);
         b.iter(|| {

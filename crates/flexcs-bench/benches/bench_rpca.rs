@@ -24,8 +24,10 @@ fn bench_rpca(c: &mut Criterion) {
     let cfg = ThermalConfig::default();
     let truth = normalize_unit(&thermal_frame(&cfg, 5));
     let (corrupted, _) = SparseErrorModel::new(0.08).unwrap().corrupt(&truth, 3);
-    let mut rpca_cfg = RpcaConfig::default();
-    rpca_cfg.tol = 1e-6;
+    let rpca_cfg = RpcaConfig {
+        tol: 1e-6,
+        ..RpcaConfig::default()
+    };
     group.bench_function("decompose_8pct_errors", |b| {
         b.iter(|| rpca(black_box(&corrupted), &rpca_cfg).unwrap())
     });

@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use flexcs_core::{SamplingPlan, SubsampledDctOperator};
 use flexcs_linalg::Matrix;
-use flexcs_solver::{
-    fista, irls, omp, subspace_pursuit, GreedyConfig, IrlsConfig, IstaConfig,
-};
+use flexcs_solver::{fista, irls, omp, subspace_pursuit, GreedyConfig, IrlsConfig, IstaConfig};
 use flexcs_transform::Dct2d;
 use std::hint::black_box;
 
@@ -14,7 +12,13 @@ use std::hint::black_box;
 fn problem16() -> (SubsampledDctOperator, Vec<f64>) {
     let dct = Dct2d::new(16, 16).unwrap();
     let mut coeffs = Matrix::zeros(16, 16);
-    for (i, j, v) in [(0, 0, 5.0), (0, 1, 2.0), (1, 0, -1.0), (2, 3, 0.7), (4, 1, 0.5)] {
+    for (i, j, v) in [
+        (0, 0, 5.0),
+        (0, 1, 2.0),
+        (1, 0, -1.0),
+        (2, 3, 0.7),
+        (4, 1, 0.5),
+    ] {
         coeffs[(i, j)] = v;
     }
     let frame = dct.inverse(&coeffs).unwrap();

@@ -9,9 +9,7 @@
 
 use flexcs_bench::{f4, pct, print_table};
 use flexcs_core::{rmse, BasisKind, Decoder, SamplingPlan, SparseErrorModel};
-use flexcs_datasets::{
-    normalize_unit, tactile_frame, thermal_frame, TactileConfig, ThermalConfig,
-};
+use flexcs_datasets::{normalize_unit, tactile_frame, thermal_frame, TactileConfig, ThermalConfig};
 use flexcs_linalg::Matrix;
 
 fn reconstruct(
@@ -63,8 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut haar_acc = 0.0;
             for (k, truth) in frames.iter().enumerate() {
                 dct_acc += reconstruct(truth, BasisKind::Dct, sampling, 0.10, seed + k as u64)?;
-                haar_acc +=
-                    reconstruct(truth, BasisKind::Haar, sampling, 0.10, seed + k as u64)?;
+                haar_acc += reconstruct(truth, BasisKind::Haar, sampling, 0.10, seed + k as u64)?;
             }
             table.push(vec![
                 name.to_string(),

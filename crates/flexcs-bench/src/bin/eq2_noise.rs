@@ -82,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  eps = 0 floor (approximation error): {:.4} @40% -> {:.4} @80% ({})",
         grid[0][0],
         grid[0][2],
-        if grid[0][2] < grid[0][0] { "ok: floor shrinks with M" } else { "MISMATCH" }
+        if grid[0][2] < grid[0][0] {
+            "ok: floor shrinks with M"
+        } else {
+            "MISMATCH"
+        }
     );
     Ok(())
 }

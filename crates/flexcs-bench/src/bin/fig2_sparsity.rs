@@ -11,8 +11,8 @@
 
 use flexcs_bench::{f4, print_table};
 use flexcs_datasets::{
-    tactile_frame, thermal_frame, ultrasound_frame, TactileConfig, ThermalConfig,
-    UltrasoundConfig, TACTILE_CLASS_COUNT,
+    tactile_frame, thermal_frame, ultrasound_frame, TactileConfig, ThermalConfig, UltrasoundConfig,
+    TACTILE_CLASS_COUNT,
 };
 use flexcs_linalg::Matrix;
 use flexcs_transform::{required_measurements, sparsity, Dct2d};
@@ -85,7 +85,10 @@ fn main() {
         rows.push(cells);
     }
     let mut headers = vec!["signal"];
-    let header_cells: Vec<String> = fractions.iter().map(|f| format!("@{:.0}%", f * 100.0)).collect();
+    let header_cells: Vec<String> = fractions
+        .iter()
+        .map(|f| format!("@{:.0}%", f * 100.0))
+        .collect();
     headers.extend(header_cells.iter().map(|s| s.as_str()));
     print_table(&headers, &rows);
     println!("\n(decay by 3+ orders of magnitude within the spectrum, as in the paper)\n");
@@ -117,9 +120,6 @@ fn main() {
             f4(m_est as f64 / n as f64),
         ]);
     }
-    print_table(
-        &["signal", "N", "mean K", "K/N", "Eq.1 M", "M/N"],
-        &rows,
-    );
+    print_table(&["signal", "N", "mean K", "K/N", "Eq.1 M", "M/N"], &rows);
     println!("\npaper claim: K/N ~ 0.5 so M = K*log2(N/K) ~ N/2 measurements suffice");
 }

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     print_table(&["T (degC)", "I (uA)"], &rows);
     let (slope, _, r2) = linearity_fit(&sweep);
-    println!("\n  linear fit: {:.2} nA/degC, r^2 = {r2:.5} (paper: \"great linearity\")\n", slope * 1e9);
+    println!(
+        "\n  linear fit: {:.2} nA/degC, r^2 = {r2:.5} (paper: \"great linearity\")\n",
+        slope * 1e9
+    );
 
     // ---- Fig. 5c/d: 8-stage shift register -----------------------------
     println!("Fig. 5c/d — 8-stage shift register, CLK 10 kHz / data 1 kHz / VDD 3 V");
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1 kHz data: one full cycle holds 10 clock periods (5 high, 5 low).
     ckt.add_vsource(data, NodeId::GROUND, Waveform::clock(0.0, vdd, 1e3));
     let sr = build_shift_register(&mut ckt, &lib, 8, data, clk)?;
-    println!("  {} TFTs (paper: 304 with a compact dynamic latch; see DESIGN.md)", sr.tft_count);
+    println!(
+        "  {} TFTs (paper: 304 with a compact dynamic latch; see DESIGN.md)",
+        sr.tft_count
+    );
     println!("  simulating 1.2 ms transient at the transistor level...");
     let result = ckt.transient(&TransientConfig::new(1.2e-3, 2.5e-6))?;
     // Sample each stage at mid-period instants and print the marching
@@ -59,16 +65,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             break;
         }
         let mut cells = vec![format!("{:.2}", t * 1e3)];
-        let d = if Waveform::clock(0.0, vdd, 1e3).value(t) > vdd / 2.0 { 1 } else { 0 };
+        let d = if Waveform::clock(0.0, vdd, 1e3).value(t) > vdd / 2.0 {
+            1
+        } else {
+            0
+        };
         cells.push(format!("{d}"));
         for &q in &sr.outputs {
             let v = result.trace(q).value_at(t).unwrap();
-            cells.push(if v > vdd / 2.0 { "1".into() } else { "0".into() });
+            cells.push(if v > vdd / 2.0 {
+                "1".into()
+            } else {
+                "0".into()
+            });
         }
         rows.push(cells);
     }
     print_table(
-        &["t (ms)", "D", "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"],
+        &[
+            "t (ms)", "D", "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8",
+        ],
         &rows,
     );
     println!("\n  (the 1 kHz data pattern shifts one stage per 10 kHz clock edge)\n");
@@ -77,7 +93,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Fig. 5e — self-biased amplifier (C = 1 nF, Vtune = 1 V, VDD/VSS = +/-3 V)\n");
     let mut amp_ckt = Circuit::new();
     let amp_lib = CellLibrary::with_rails(&mut amp_ckt, vdd, -vdd);
-    let amp = build_self_biased_amplifier(&mut amp_ckt, &amp_lib, "vin", &AmplifierConfig::default())?;
+    let amp =
+        build_self_biased_amplifier(&mut amp_ckt, &amp_lib, "vin", &AmplifierConfig::default())?;
     let vin = amp_ckt.find_node("vin")?;
     let src = amp_ckt.add_vsource(vin, NodeId::GROUND, Waveform::Dc(0.0));
     let freqs = log_frequencies(100.0, 1e6, 3);

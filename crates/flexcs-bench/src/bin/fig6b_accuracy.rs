@@ -98,8 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .corrupt(f, seed + k as u64 * 7)
             })
             .collect();
-        let corrupted_frames: Vec<Matrix> =
-            corrupted.iter().map(|(f, _)| f.clone()).collect();
+        let corrupted_frames: Vec<Matrix> = corrupted.iter().map(|(f, _)| f.clone()).collect();
         let acc_raw = accuracy(&mut net, &to_samples(&corrupted_frames, test_set.labels()));
         let mut cells = vec![pct(error), format!("{:.1}%", acc_raw * 100.0)];
         for &sampling in &samplings {

@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut acc = 0.0;
             for (k, frame) in frames.iter().enumerate() {
                 let truth = normalize_unit(frame);
-                let (bad, _) = SparseErrorModel::new(error)?
-                    .corrupt(&truth, seed + k as u64 * 131);
+                let (bad, _) = SparseErrorModel::new(error)?.corrupt(&truth, seed + k as u64 * 131);
                 let rec = strategy.reconstruct(&bad, m, &decoder, seed + k as u64 * 17)?;
                 acc += rmse(&rec, &truth);
             }
@@ -55,11 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let last = errors.len() - 1;
     println!(
         "  median beats a single oblivious pass at all error rates: {}",
-        if summary[1]
-            .iter()
-            .zip(&summary[0])
-            .all(|(m, s)| m < s)
-        {
+        if summary[1].iter().zip(&summary[0]).all(|(m, s)| m < s) {
             "ok"
         } else {
             "MISMATCH"

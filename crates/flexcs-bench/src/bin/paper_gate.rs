@@ -1,0 +1,222 @@
+//! CI gate replaying the paper's headline numbers with full telemetry.
+//!
+//! Runs the temperature-imaging robustness experiment at 0/10/20 %
+//! injected sparse errors and checks the claims the reproduction stands
+//! on:
+//!
+//! - with CS reconstruction, RMSE at 10 % errors stays at or below
+//!   0.08 (the paper reports ~0.05 against ~0.20 without CS);
+//! - every robustness strategy (testing-based exclusion, median
+//!   resampling, RPCA filtering) beats the no-strategy oblivious pass
+//!   under blind errors;
+//! - the telemetry layer actually observed the run: solver iteration
+//!   counts, residual traces, RPCA sweeps and per-stage timings are all
+//!   present in the exported snapshot.
+//!
+//! The telemetry JSON snapshot is written to the path given as the
+//! first argument (default `artifacts/paper_gate_telemetry.json`); its
+//! per-stage span timings are the instrumented counterpart of the
+//! uninstrumented decode-path numbers in `BENCH_decode.json`.
+//!
+//! Run with:
+//! `cargo run --release -p flexcs-bench --features telemetry --bin paper_gate`
+//!
+//! Exits non-zero when any check fails, so CI can gate on it.
+
+use flexcs_bench::{f4, pct, print_table};
+use flexcs_core::{
+    rmse, run_experiment_batch, Decoder, ExperimentConfig, SamplingStrategy, SparseErrorModel,
+};
+use flexcs_datasets::{normalize_unit, thermal_frames, ThermalConfig};
+use flexcs_telemetry::MemoryRecorder;
+use std::sync::Arc;
+
+/// Collects failed checks so one run reports every violation at once.
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        println!("  [{}] {name}: {detail}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            self.failures.push(format!("{name}: {detail}"));
+        }
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "artifacts/paper_gate_telemetry.json".to_string());
+    let recorder = Arc::new(MemoryRecorder::with_caps(100_000, 16_384, 4_096));
+    flexcs_telemetry::install(recorder.clone())
+        .expect("paper_gate is the only recorder installer in this process");
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+    let seed = 2020;
+    let frames = thermal_frames(&ThermalConfig::default(), 3, seed);
+
+    // ----- Headline sweep (Fig. 6a): 50 % sampling, 0/10/20 % errors.
+    println!("paper_gate: temperature imaging, 32x32, 50% sampling, 3 frames\n");
+    let errors = [0.0, 0.10, 0.20];
+    let mut rows = Vec::new();
+    let mut cs = Vec::new();
+    let mut raw = Vec::new();
+    for &error in &errors {
+        let config = ExperimentConfig {
+            sampling_fraction: 0.5,
+            error_fraction: error,
+            seed,
+            ..ExperimentConfig::default()
+        };
+        let (rmse_cs, rmse_raw) =
+            run_experiment_batch(&frames, &config).expect("headline sweep runs");
+        rows.push(vec![pct(error), f4(rmse_cs), f4(rmse_raw)]);
+        cs.push(rmse_cs);
+        raw.push(rmse_raw);
+    }
+    print_table(&["errors", "rmse with CS", "rmse w/o CS"], &rows);
+    println!();
+    gate.check(
+        "headline-rmse",
+        cs[1] <= 0.08,
+        format!("rmse with CS at 10% errors = {:.4} (gate: <= 0.08)", cs[1]),
+    );
+    gate.check(
+        "headline-reduction",
+        cs[1] < raw[1] / 2.0,
+        format!(
+            "CS at 10% errors beats raw by >2x ({:.4} vs {:.4})",
+            cs[1], raw[1]
+        ),
+    );
+    gate.check(
+        "raw-degrades",
+        raw[0] < raw[1] && raw[1] < raw[2],
+        format!("raw rmse grows with error rate: {raw:?}"),
+    );
+    gate.check(
+        "cs-survives-20pct",
+        cs[2] < raw[2],
+        format!(
+            "CS still beats raw at 20% errors ({:.4} vs {:.4})",
+            cs[2], raw[2]
+        ),
+    );
+
+    // ----- Strategy ordering under blind errors (Fig. 6c).
+    println!("\nstrategy ordering at 10% blind errors (mean over frames):\n");
+    let decoder = Decoder::default();
+    let m = 32 * 32 / 2;
+    let strategies = [
+        SamplingStrategy::Oblivious,
+        SamplingStrategy::exclude_tested(),
+        SamplingStrategy::ResampleMedian { rounds: 10 },
+        SamplingStrategy::RpcaFilter { threshold: 0.3 },
+    ];
+    let mut means = Vec::new();
+    let mut srows = Vec::new();
+    for strategy in &strategies {
+        let mut acc = 0.0;
+        for (k, frame) in frames.iter().enumerate() {
+            let truth = normalize_unit(frame);
+            let (bad, _) = SparseErrorModel::new(0.10)
+                .expect("valid error fraction")
+                .corrupt(&truth, seed + k as u64 * 131);
+            let rec = strategy
+                .reconstruct(&bad, m, &decoder, seed + k as u64 * 17)
+                .expect("strategy reconstructs");
+            acc += rmse(&rec, &truth);
+        }
+        let mean = acc / frames.len() as f64;
+        srows.push(vec![strategy.name().to_string(), f4(mean)]);
+        means.push(mean);
+    }
+    print_table(&["strategy", "rmse"], &srows);
+    println!();
+    let oblivious = means[0];
+    for (strategy, &mean) in strategies.iter().zip(&means).skip(1) {
+        gate.check(
+            strategy.name(),
+            mean < oblivious,
+            format!("{mean:.4} beats oblivious {oblivious:.4}"),
+        );
+    }
+
+    // ----- The telemetry layer must have observed all of the above.
+    println!("\ntelemetry coverage:\n");
+    let fista_iters = recorder.counter_value("solver.fista.iterations");
+    gate.check(
+        "tel-solver-iterations",
+        fista_iters > 0,
+        format!("solver.fista.iterations = {fista_iters}"),
+    );
+    gate.check(
+        "tel-residual-trace",
+        recorder.solver_trace_len() > 0
+            && recorder
+                .histogram_snapshot("solver.fista.residual")
+                .is_some(),
+        format!("{} solver iterates traced", recorder.solver_trace_len()),
+    );
+    gate.check(
+        "tel-rpca-sweeps",
+        recorder.counter_value("rpca.sweeps") > 0 && !recorder.rpca_trace().is_empty(),
+        format!("rpca.sweeps = {}", recorder.counter_value("rpca.sweeps")),
+    );
+    for span in ["decode.solve", "decode.inverse", "strategy.sampling"] {
+        let summary = recorder.span_summary(span);
+        gate.check(
+            "tel-span",
+            summary.is_some(),
+            match summary {
+                Some(s) => format!(
+                    "{span}: {} spans, mean {:.1} us",
+                    s.count,
+                    s.mean_ns() / 1e3
+                ),
+                None => format!("{span}: never recorded"),
+            },
+        );
+    }
+    let frame_reports = recorder.frames();
+    gate.check(
+        "tel-frame-reports",
+        frame_reports.len() >= errors.len() * frames.len(),
+        format!("{} per-frame reports", frame_reports.len()),
+    );
+    gate.check(
+        "tel-frames-finite",
+        !frame_reports.is_empty() && frame_reports.iter().all(|f| f.rmse.is_finite()),
+        "every frame report carries a finite rmse".to_string(),
+    );
+
+    // ----- Export the snapshot for CI artifacts / baseline comparison.
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create artifacts dir");
+        }
+    }
+    std::fs::write(&out_path, recorder.snapshot_json()).expect("write telemetry snapshot");
+    println!("\nwrote telemetry snapshot to {out_path}");
+    if let Some(s) = recorder.span_summary("decode.solve") {
+        println!(
+            "decode.solve mean: {:.1} us over {} solves \
+             (BENCH_decode.json holds the uninstrumented decode-path baseline)",
+            s.mean_ns() / 1e3,
+            s.count
+        );
+    }
+
+    if gate.failures.is_empty() {
+        println!("\npaper_gate: all checks passed");
+    } else {
+        println!("\npaper_gate: {} check(s) FAILED:", gate.failures.len());
+        for f in &gate.failures {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         table.push(cells);
     }
-    print_table(&["sampling", "identity (paper)", "bernoulli", "gaussian"], &table);
+    print_table(
+        &["sampling", "identity (paper)", "bernoulli", "gaussian"],
+        &table,
+    );
     println!("\ndense ensembles win at low rates (incoherence), but identity subsampling");
     println!("closes the gap by ~50-60% sampling — and only it maps to a simple scan");
     println!("realizable in low-yield flexible hardware (the paper's design point).");

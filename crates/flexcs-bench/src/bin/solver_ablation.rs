@@ -9,9 +9,9 @@
 //! Run with: `cargo run --release -p flexcs-bench --bin solver_ablation`
 
 use flexcs_bench::{f4, print_table};
+use flexcs_core::detect_extremes;
 use flexcs_core::{rmse, Decoder, SamplingPlan, SparseErrorModel};
 use flexcs_datasets::{normalize_unit, thermal_frame, ThermalConfig};
-use flexcs_core::detect_extremes;
 use flexcs_solver::{
     AdmmConfig, GreedyConfig, IrlsConfig, IstaConfig, LpConfig, ReweightedConfig, SparseSolver,
 };
@@ -30,9 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fista.max_iterations = 400;
     let mut ista = fista.clone();
     ista.max_iterations = 1500;
-    let mut admm_bp = AdmmConfig::default();
-    admm_bp.rho = 5.0;
-    admm_bp.max_iterations = 600;
+    let admm_bp = AdmmConfig {
+        rho: 5.0,
+        max_iterations: 600,
+        ..AdmmConfig::default()
+    };
     let mut admm_bpdn = AdmmConfig::with_lambda(1e-3);
     admm_bpdn.max_iterations = 600;
     let greedy = GreedyConfig::with_sparsity(220);
@@ -67,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             f4(rmse(&rec.frame, &truth)),
             format!("{elapsed:.2}s"),
             format!("{}", rec.report.iterations),
-            if dense { "dense".into() } else { "implicit".into() },
+            if dense {
+                "dense".into()
+            } else {
+                "implicit".into()
+            },
         ]);
         println!("  {name} done ({elapsed:.2}s)");
     }

@@ -5,7 +5,9 @@
 //! Run with: `cargo run --release -p flexcs-bench --bin variation_yield`
 
 use flexcs_bench::{f4, print_table};
-use flexcs_circuit::{amplifier_gain_spread, inverter_yield, ring_frequency_spread, VariationModel};
+use flexcs_circuit::{
+    amplifier_gain_spread, inverter_yield, ring_frequency_spread, VariationModel,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 2020;
@@ -35,7 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     print_table(
-        &["sigma(Vth)", "sigma(kp)", "yield", "margin mean (V)", "margin std"],
+        &[
+            "sigma(Vth)",
+            "sigma(kp)",
+            "yield",
+            "margin mean (V)",
+            "margin std",
+        ],
         &table,
     );
 
@@ -57,7 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     print_table(
-        &["sigma(Vth)", "sigma(kp)", "yield", "gain mean", "gain std", "range"],
+        &[
+            "sigma(Vth)",
+            "sigma(kp)",
+            "yield",
+            "gain mean",
+            "gain std",
+            "range",
+        ],
         &table,
     );
     println!("\nfive-stage ring-oscillator process monitor (the paper's '44 ring oscillators'):\n");

@@ -88,12 +88,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("  {}", fields.join("  "));
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }

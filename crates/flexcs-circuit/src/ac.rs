@@ -35,10 +35,7 @@ impl AcSweep {
 
     /// Magnitude response of a node across the sweep.
     pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
-        self.phasors
-            .iter()
-            .map(|p| p[node.index()].abs())
-            .collect()
+        self.phasors.iter().map(|p| p[node.index()].abs()).collect()
     }
 
     /// Gain in dB of a node across the sweep (relative to the unit
@@ -52,10 +49,7 @@ impl AcSweep {
 
     /// Phase (radians) of a node across the sweep.
     pub fn phase(&self, node: NodeId) -> Vec<f64> {
-        self.phasors
-            .iter()
-            .map(|p| p[node.index()].arg())
-            .collect()
+        self.phasors.iter().map(|p| p[node.index()].arg()).collect()
     }
 }
 
@@ -75,10 +69,7 @@ impl Circuit {
                 "frequencies must be positive and non-empty".to_string(),
             ));
         }
-        if !matches!(
-            self.elements().get(excite.0),
-            Some(Element::VSource { .. })
-        ) {
+        if !matches!(self.elements().get(excite.0), Some(Element::VSource { .. })) {
             return Err(CircuitError::InvalidElement(format!(
                 "element {} is not a voltage source",
                 excite.0
@@ -178,9 +169,8 @@ impl Circuit {
                 }
             }
         }
-        let excite_branch = excite_branch.ok_or_else(|| {
-            CircuitError::InvalidElement("excited source not found".to_string())
-        })?;
+        let excite_branch = excite_branch
+            .ok_or_else(|| CircuitError::InvalidElement("excited source not found".to_string()))?;
 
         let mut phasors = Vec::with_capacity(freqs.len());
         for &f in freqs {
@@ -212,9 +202,7 @@ impl Circuit {
             let x = y.solve(&rhs)?;
             // Repack into full node list (ground = 0).
             let mut p = vec![Complex::ZERO; self.node_count()];
-            for i in 0..n_free {
-                p[i + 1] = x[i];
-            }
+            p[1..=n_free].copy_from_slice(&x[..n_free]);
             phasors.push(p);
         }
         Ok(AcSweep {

@@ -431,8 +431,7 @@ mod tests {
         let mut array = small_array();
         array.set_defect(9, PixelDefect::StuckHigh);
         let scene: Vec<f64> = (0..64).map(|i| (i as f64) / 63.0).collect();
-        let schedule =
-            crate::scan::ScanSchedule::from_selected(8, 8, &[2, 9, 17, 33]).unwrap();
+        let schedule = crate::scan::ScanSchedule::from_selected(8, 8, &[2, 9, 17, 33]).unwrap();
         let order = schedule.readout_order();
         let sel = array.read_scheduled(&scene, &schedule, 5).unwrap();
         assert_eq!(sel.len(), 4);
@@ -444,9 +443,9 @@ mod tests {
     #[test]
     fn shape_validation() {
         let array = small_array();
-        assert!(array.read_normalized(&vec![0.0; 5], 1).is_err());
+        assert!(array.read_normalized(&[0.0; 5], 1).is_err());
         let wrong = crate::scan::ScanSchedule::from_selected(4, 4, &[1]).unwrap();
-        assert!(array.read_scheduled(&vec![0.0; 64], &wrong, 1).is_err());
+        assert!(array.read_scheduled(&[0.0; 64], &wrong, 1).is_err());
         let bad_cfg = ActiveMatrixConfig {
             rows: 0,
             ..ActiveMatrixConfig::default()

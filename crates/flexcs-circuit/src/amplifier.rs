@@ -113,9 +113,8 @@ mod tests {
     fn build() -> (Circuit, Amplifier, ElementId) {
         let mut ckt = Circuit::new();
         let lib = CellLibrary::with_rails(&mut ckt, 3.0, -3.0);
-        let amp =
-            build_self_biased_amplifier(&mut ckt, &lib, "vin", &AmplifierConfig::default())
-                .unwrap();
+        let amp = build_self_biased_amplifier(&mut ckt, &lib, "vin", &AmplifierConfig::default())
+            .unwrap();
         let vin = ckt.find_node("vin").unwrap();
         let src = ckt.add_vsource(vin, NodeId::GROUND, Waveform::Dc(0.0));
         (ckt, amp, src)

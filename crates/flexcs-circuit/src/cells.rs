@@ -101,8 +101,16 @@ impl CellLibrary {
     pub fn with_rails(ckt: &mut Circuit, vdd_volts: f64, vss_volts: f64) -> Self {
         let vdd = ckt.node("vdd");
         let vss = ckt.node("vss");
-        ckt.add_vsource(vdd, NodeId::GROUND, crate::waveform::Waveform::Dc(vdd_volts));
-        ckt.add_vsource(vss, NodeId::GROUND, crate::waveform::Waveform::Dc(vss_volts));
+        ckt.add_vsource(
+            vdd,
+            NodeId::GROUND,
+            crate::waveform::Waveform::Dc(vdd_volts),
+        );
+        ckt.add_vsource(
+            vss,
+            NodeId::GROUND,
+            crate::waveform::Waveform::Dc(vss_volts),
+        );
         CellLibrary::new(vdd, vss)
     }
 
@@ -253,7 +261,10 @@ mod tests {
     const HI: f64 = 2.4;
     const LO: f64 = 0.6;
 
-    fn dc_out(build: impl FnOnce(&mut Circuit, &CellLibrary, &[NodeId]) -> NodeId, ins: &[f64]) -> f64 {
+    fn dc_out(
+        build: impl FnOnce(&mut Circuit, &CellLibrary, &[NodeId]) -> NodeId,
+        ins: &[f64],
+    ) -> f64 {
         let mut ckt = Circuit::new();
         let lib = CellLibrary::with_rails(&mut ckt, VDD, VSS);
         let inputs: Vec<NodeId> = ins
@@ -369,9 +380,7 @@ mod tests {
             },
         );
         let (q, _) = lib.d_latch(&mut ckt, d, en).unwrap();
-        let result = ckt
-            .transient(&TransientConfig::new(0.6e-3, 2e-6))
-            .unwrap();
+        let result = ckt.transient(&TransientConfig::new(0.6e-3, 2e-6)).unwrap();
         let tr = result.trace(q);
         // Transparent phase: q follows d (high).
         assert!(tr.value_at(0.2e-3).unwrap() > HI, "transparent high");
@@ -401,11 +410,13 @@ mod tests {
             },
         );
         let q = lib.dff(&mut ckt, d, clk).unwrap();
-        let result = ckt
-            .transient(&TransientConfig::new(0.5e-3, 2e-6))
-            .unwrap();
+        let result = ckt.transient(&TransientConfig::new(0.5e-3, 2e-6)).unwrap();
         let tr = result.trace(q);
         // After the rising edge the stored 1 appears at q.
-        assert!(tr.value_at(0.45e-3).unwrap() > HI, "q after edge {}", tr.value_at(0.45e-3).unwrap());
+        assert!(
+            tr.value_at(0.45e-3).unwrap() > HI,
+            "q after edge {}",
+            tr.value_at(0.45e-3).unwrap()
+        );
     }
 }

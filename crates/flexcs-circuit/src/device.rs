@@ -227,9 +227,24 @@ mod tests {
         let dd = (m.eval(vg, vd + h, vs, WL).i_sd - m.eval(vg, vd - h, vs, WL).i_sd) / (2.0 * h);
         let ds = (m.eval(vg, vd, vs + h, WL).i_sd - m.eval(vg, vd, vs - h, WL).i_sd) / (2.0 * h);
         let scale = op.i_sd.abs().max(1e-9);
-        assert!((op.di_dvg - dg).abs() / scale < 1e-3, "gm {} vs {}", op.di_dvg, dg);
-        assert!((op.di_dvd - dd).abs() / scale < 1e-3, "gd {} vs {}", op.di_dvd, dd);
-        assert!((op.di_dvs - ds).abs() / scale < 1e-3, "gs {} vs {}", op.di_dvs, ds);
+        assert!(
+            (op.di_dvg - dg).abs() / scale < 1e-3,
+            "gm {} vs {}",
+            op.di_dvg,
+            dg
+        );
+        assert!(
+            (op.di_dvd - dd).abs() / scale < 1e-3,
+            "gd {} vs {}",
+            op.di_dvd,
+            dd
+        );
+        assert!(
+            (op.di_dvs - ds).abs() / scale < 1e-3,
+            "gs {} vs {}",
+            op.di_dvs,
+            ds
+        );
     }
 
     #[test]

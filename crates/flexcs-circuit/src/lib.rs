@@ -45,6 +45,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Validation guards are written `!(x > 0.0)` on purpose: the negated
+// comparison also rejects NaN parameters, which `x <= 0.0` would let
+// through.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 mod ac;
 mod active_matrix;
@@ -64,9 +68,7 @@ mod variation;
 mod waveform;
 
 pub use ac::{log_frequencies, AcSweep};
-pub use active_matrix::{
-    ActiveMatrix, ActiveMatrixConfig, PixelCalibration, PixelDefect,
-};
+pub use active_matrix::{ActiveMatrix, ActiveMatrixConfig, PixelCalibration, PixelDefect};
 pub use amplifier::{build_self_biased_amplifier, Amplifier, AmplifierConfig};
 pub use cells::{CellLibrary, PseudoCmosSizing};
 pub use device::{CntTftModel, TftOperatingPoint};
@@ -78,9 +80,7 @@ pub use ring_oscillator::{
     ring_oscillator_frequency_with_model, OscillationMeasurement, RingOscillator,
 };
 pub use scan::ScanSchedule;
-pub use scan_driver::{
-    bitstream_waveform, build_column_scanner, serial_row_stream, ColumnScanner,
-};
+pub use scan_driver::{bitstream_waveform, build_column_scanner, serial_row_stream, ColumnScanner};
 pub use sensor::{
     linearity_fit, pixel_access_model, pixel_temperature_sweep, read_pixel_current, PixelBias,
     PtSensorModel,
@@ -88,7 +88,6 @@ pub use sensor::{
 pub use shift_register::{build_shift_register, ShiftRegister};
 pub use transient::{TransientConfig, TransientResult};
 pub use variation::{
-    amplifier_gain_spread, inverter_yield, ring_frequency_spread, MonteCarloStats,
-    VariationModel,
+    amplifier_gain_spread, inverter_yield, ring_frequency_spread, MonteCarloStats, VariationModel,
 };
 pub use waveform::{Trace, Waveform};

@@ -126,31 +126,27 @@ impl<'a> Assembler<'a> {
             f[i] += self.gmin * x[i];
         }
 
-        let stamp_conductance = |j: &mut Matrix,
-                                     f: &mut Vec<f64>,
-                                     a: NodeId,
-                                     b: NodeId,
-                                     g: f64,
-                                     ieq: f64| {
-            // Current a -> b: g (va - vb) + ieq.
-            let va = self.v(x, a);
-            let vb = self.v(x, b);
-            let i = g * (va - vb) + ieq;
-            if let Some(ia) = self.var(a) {
-                f[ia] += i;
-                j[(ia, ia)] += g;
-                if let Some(ib) = self.var(b) {
-                    j[(ia, ib)] -= g;
-                }
-            }
-            if let Some(ib) = self.var(b) {
-                f[ib] -= i;
-                j[(ib, ib)] += g;
+        let stamp_conductance =
+            |j: &mut Matrix, f: &mut Vec<f64>, a: NodeId, b: NodeId, g: f64, ieq: f64| {
+                // Current a -> b: g (va - vb) + ieq.
+                let va = self.v(x, a);
+                let vb = self.v(x, b);
+                let i = g * (va - vb) + ieq;
                 if let Some(ia) = self.var(a) {
-                    j[(ib, ia)] -= g;
+                    f[ia] += i;
+                    j[(ia, ia)] += g;
+                    if let Some(ib) = self.var(b) {
+                        j[(ia, ib)] -= g;
+                    }
                 }
-            }
-        };
+                if let Some(ib) = self.var(b) {
+                    f[ib] -= i;
+                    j[(ib, ib)] += g;
+                    if let Some(ia) = self.var(a) {
+                        j[(ib, ia)] -= g;
+                    }
+                }
+            };
 
         let mut vsrc_branch = 0usize;
         for element in self.ckt.elements() {
@@ -232,8 +228,7 @@ impl<'a> Assembler<'a> {
                         }
                     }
                     // Gate capacitances (transient only).
-                    if companion.is_some() {
-                        let (h, x_prev) = companion.expect("checked");
+                    if let Some((h, x_prev)) = companion {
                         let cgs = model.cgs(*w_over_l);
                         if cgs > 0.0 {
                             let gc = cgs / h;
@@ -327,9 +322,7 @@ impl<'a> Assembler<'a> {
     /// Packages an unknown vector as an [`OperatingPoint`].
     pub fn package(&self, x: &[f64]) -> OperatingPoint {
         let mut voltages = vec![0.0; self.ckt.node_count()];
-        for i in 0..self.n_free {
-            voltages[i + 1] = x[i];
-        }
+        voltages[1..=self.n_free].copy_from_slice(&x[..self.n_free]);
         let branch_currents = self
             .vsrc_elements
             .iter()

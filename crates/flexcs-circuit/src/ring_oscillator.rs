@@ -42,7 +42,7 @@ pub fn build_ring_oscillator(
     stages: usize,
     load_cap: f64,
 ) -> Result<RingOscillator> {
-    if stages == 0 || stages % 2 == 0 {
+    if stages == 0 || stages.is_multiple_of(2) {
         return Err(CircuitError::InvalidParameter(format!(
             "ring oscillator needs an odd stage count, got {stages}"
         )));
@@ -50,7 +50,9 @@ pub fn build_ring_oscillator(
     let before = ckt.tft_count();
     // Create the ring nodes up front; each inverter writes into the next
     // node via the `nand2_into`-style manual construction.
-    let nodes: Vec<NodeId> = (0..stages).map(|k| ckt.fresh_node(&format!("ring{k}"))).collect();
+    let nodes: Vec<NodeId> = (0..stages)
+        .map(|k| ckt.fresh_node(&format!("ring{k}")))
+        .collect();
     for &node in &nodes {
         ckt.add_capacitor(node, NodeId::GROUND, load_cap)?;
     }

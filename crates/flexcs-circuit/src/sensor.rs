@@ -112,11 +112,7 @@ impl Default for PixelBias {
 /// # Ok(())
 /// # }
 /// ```
-pub fn read_pixel_current(
-    sensor: &PtSensorModel,
-    bias: &PixelBias,
-    t_celsius: f64,
-) -> Result<f64> {
+pub fn read_pixel_current(sensor: &PtSensorModel, bias: &PixelBias, t_celsius: f64) -> Result<f64> {
     let mut ckt = Circuit::new();
     let bl = ckt.node("bl");
     let wl = ckt.node("wl");
@@ -204,9 +200,14 @@ mod tests {
 
     #[test]
     fn current_flows_and_tracks_temperature() {
-        let sweep =
-            pixel_temperature_sweep(&PtSensorModel::default(), &PixelBias::default(), 20.0, 100.0, 9)
-                .unwrap();
+        let sweep = pixel_temperature_sweep(
+            &PtSensorModel::default(),
+            &PixelBias::default(),
+            20.0,
+            100.0,
+            9,
+        )
+        .unwrap();
         // Magnitudes in a plausible µA range and strictly decreasing
         // with temperature.
         for w in sweep.windows(2) {
@@ -220,9 +221,14 @@ mod tests {
     fn sweep_is_highly_linear() {
         // Fig. 5b's claim: "great linearity of the temperature w.r.t.
         // the sensed current".
-        let sweep =
-            pixel_temperature_sweep(&PtSensorModel::default(), &PixelBias::default(), 20.0, 100.0, 17)
-                .unwrap();
+        let sweep = pixel_temperature_sweep(
+            &PtSensorModel::default(),
+            &PixelBias::default(),
+            20.0,
+            100.0,
+            17,
+        )
+        .unwrap();
         let (slope, _, r2) = linearity_fit(&sweep);
         assert!(slope != 0.0);
         assert!(r2 > 0.995, "r² = {r2}");
@@ -231,12 +237,8 @@ mod tests {
     #[test]
     fn word_line_high_disables_pixel() {
         // Raising WL to VDD-level turns the p-type access device off.
-        let on = read_pixel_current(
-            &PtSensorModel::default(),
-            &PixelBias::default(),
-            30.0,
-        )
-        .unwrap();
+        let on =
+            read_pixel_current(&PtSensorModel::default(), &PixelBias::default(), 30.0).unwrap();
         let off_bias = PixelBias {
             v_wl: 3.0,
             ..PixelBias::default()

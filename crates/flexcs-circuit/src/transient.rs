@@ -89,13 +89,7 @@ impl TransientResult {
 
 /// One BE step from `(t0, x0)` to `t1`, bisecting on Newton failure up
 /// to 8 refinement levels.
-fn step_recursive(
-    asm: &Assembler,
-    x0: &[f64],
-    t0: f64,
-    t1: f64,
-    depth: usize,
-) -> Result<Vec<f64>> {
+fn step_recursive(asm: &Assembler, x0: &[f64], t0: f64, t1: f64, depth: usize) -> Result<Vec<f64>> {
     match asm.newton(x0.to_vec(), t1, Some((t1 - t0, x0)), 1.0) {
         Ok(x) => Ok(x),
         Err(e) => {
@@ -149,9 +143,7 @@ impl Circuit {
             let op = self.dc_operating_point_at(0.0)?;
             // Re-pack: free node voltages then branch currents.
             let mut x0 = vec![0.0; asm.dim()];
-            for i in 0..asm.n_free {
-                x0[i] = op.voltages()[i + 1];
-            }
+            x0[..asm.n_free].copy_from_slice(&op.voltages()[1..=asm.n_free]);
             for (k, &e) in asm.vsrc_elements.iter().enumerate() {
                 x0[asm.n_free + k] = op
                     .source_current(crate::netlist::ElementId(e))
@@ -167,9 +159,7 @@ impl Circuit {
         let mut states = Vec::with_capacity(steps + 1);
         let store = |x: &[f64], states: &mut Vec<Vec<f64>>| {
             let mut v = vec![0.0; self.node_count()];
-            for i in 0..asm.n_free {
-                v[i + 1] = x[i];
-            }
+            v[1..=asm.n_free].copy_from_slice(&x[..asm.n_free]);
             states.push(v);
         };
         times.push(0.0);
@@ -227,11 +217,13 @@ mod tests {
         c.add_resistor(src, out, r).unwrap();
         c.add_capacitor(out, NodeId::GROUND, cap).unwrap();
         let tau = r * cap;
-        let result = c.transient(&TransientConfig::new(3.0 * tau, tau / 200.0)).unwrap();
+        let result = c
+            .transient(&TransientConfig::new(3.0 * tau, tau / 200.0))
+            .unwrap();
         let tr = result.trace(out);
         for &frac in &[0.5, 1.0, 2.0] {
             let t = frac * tau;
-            let expect = 1.0 - (-frac as f64).exp();
+            let expect = 1.0 - (-frac).exp();
             let got = tr.value_at(t).unwrap();
             assert!(
                 (got - expect).abs() < 0.01,

@@ -134,8 +134,20 @@ fn varied_inverter(
     let nominal = lib.model.clone();
     let sizing = lib.sizing.clone();
     let v1 = ckt.fresh_node("v1");
-    ckt.add_tft_with_model(input, v1, lib.vdd, sizing.drive, variation.perturb(&nominal, rng))?;
-    ckt.add_tft_with_model(lib.vss, lib.vss, v1, sizing.load, variation.perturb(&nominal, rng))?;
+    ckt.add_tft_with_model(
+        input,
+        v1,
+        lib.vdd,
+        sizing.drive,
+        variation.perturb(&nominal, rng),
+    )?;
+    ckt.add_tft_with_model(
+        lib.vss,
+        lib.vss,
+        v1,
+        sizing.load,
+        variation.perturb(&nominal, rng),
+    )?;
     let out = ckt.fresh_node("out");
     ckt.add_tft_with_model(
         input,
@@ -215,8 +227,7 @@ pub fn amplifier_gain_spread(
         let mut ckt = Circuit::new();
         let mut lib = CellLibrary::with_rails(&mut ckt, 3.0, -3.0);
         lib.model = variation.perturb(&CntTftModel::default(), &mut rng);
-        let amp =
-            build_self_biased_amplifier(&mut ckt, &lib, "vin", &AmplifierConfig::default())?;
+        let amp = build_self_biased_amplifier(&mut ckt, &lib, "vin", &AmplifierConfig::default())?;
         let vin = ckt.find_node("vin")?;
         let src = ckt.add_vsource(vin, NodeId::GROUND, Waveform::Dc(0.0));
         let gain_db = ckt.ac_sweep(src, &[freq])?.gain_db(amp.output)[0];
@@ -308,8 +319,7 @@ mod tests {
 
     #[test]
     fn amplifier_gain_spread_is_reported() {
-        let stats =
-            amplifier_gain_spread(&VariationModel::default(), 30e3, 20.0, 10, 4).unwrap();
+        let stats = amplifier_gain_spread(&VariationModel::default(), 30e3, 20.0, 10, 4).unwrap();
         assert_eq!(stats.trials, 10);
         assert!(stats.mean() > 20.0, "mean gain {}", stats.mean());
         assert!(stats.min() <= stats.mean() && stats.mean() <= stats.max());
@@ -320,9 +330,17 @@ mod tests {
     fn ring_monitor_spread() {
         let stats = ring_frequency_spread(&VariationModel::default(), 6, 5).unwrap();
         assert_eq!(stats.trials, 6);
-        assert!(stats.yield_fraction() > 0.8, "ring yield {}", stats.yield_fraction());
+        assert!(
+            stats.yield_fraction() > 0.8,
+            "ring yield {}",
+            stats.yield_fraction()
+        );
         // Frequencies cluster in the kHz monitor band and actually vary.
-        assert!(stats.mean() > 500.0 && stats.mean() < 20_000.0, "mean {}", stats.mean());
+        assert!(
+            stats.mean() > 500.0 && stats.mean() < 20_000.0,
+            "mean {}",
+            stats.mean()
+        );
         assert!(stats.std_dev() > 0.0);
     }
 

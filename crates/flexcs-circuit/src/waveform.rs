@@ -225,7 +225,11 @@ impl Trace {
             if v0 < threshold && v1 >= threshold {
                 let t0 = self.times[i - 1];
                 let t1 = self.times[i];
-                let frac = if v1 == v0 { 0.0 } else { (threshold - v0) / (v1 - v0) };
+                let frac = if v1 == v0 {
+                    0.0
+                } else {
+                    (threshold - v0) / (v1 - v0)
+                };
                 out.push(t0 + frac * (t1 - t0));
             }
         }

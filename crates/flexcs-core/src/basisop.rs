@@ -212,7 +212,9 @@ mod tests {
         // Dense construction: gather rows of Ψ.
         let psi = psi_matrix(rows, cols).unwrap();
         let dense = psi.select_rows(&selected);
-        let x: Vec<f64> = (0..rows * cols).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let x: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i as f64) * 0.37).sin())
+            .collect();
         let implicit = op.apply(&x);
         let explicit = dense.matvec(&x).unwrap();
         for (a, b) in implicit.iter().zip(&explicit) {
@@ -288,9 +290,7 @@ mod tests {
         assert!(SubsampledDctOperator::new(0, 4, vec![]).is_err());
         assert!(SubsampledDctOperator::new(4, 4, vec![16]).is_err());
         // Haar demands powers of two.
-        assert!(
-            SubsampledDctOperator::with_basis(6, 8, vec![0], BasisKind::Haar).is_err()
-        );
+        assert!(SubsampledDctOperator::with_basis(6, 8, vec![0], BasisKind::Haar).is_err());
     }
 
     #[test]

@@ -74,5 +74,57 @@ mod tests {
     fn empty_array_is_free() {
         let r = comm_cost(0, 0, 0);
         assert_eq!(r.cost_ratio, 0.0);
+        // Degenerate shapes where only one dimension is zero still have
+        // n = 0 and must not divide by it.
+        let wide = comm_cost(0, 7, 0);
+        assert_eq!(wide.n, 0);
+        assert_eq!(wide.cost_ratio, 0.0);
+        assert_eq!(wide.scan_cycles, 7); // the scan still walks columns
+        let r = comm_cost_for_sparsity(0, 0, 5);
+        assert_eq!((r.n, r.m), (0, 0));
+        assert_eq!(r.cost_ratio, 0.0);
+    }
+
+    #[test]
+    fn dense_signal_caps_at_full_read() {
+        // k ≥ n: Eq. 1 degenerates — CS cannot beat reading every
+        // sensor, so M clamps to N and the ratio to exactly 1.
+        for k in [1024, 1025, 10_000] {
+            let r = comm_cost_for_sparsity(32, 32, k);
+            assert_eq!(r.m, r.n, "k = {k} must clamp to a full read");
+            assert!((r.cost_ratio - 1.0).abs() < 1e-12);
+            assert_eq!(r.adc_conversions, 1024);
+        }
+    }
+
+    #[test]
+    fn zero_sparsity_needs_no_measurements() {
+        let r = comm_cost_for_sparsity(32, 32, 0);
+        assert_eq!(r.m, 0);
+        assert_eq!(r.cost_ratio, 0.0);
+    }
+
+    #[test]
+    fn non_square_array_scans_by_column() {
+        // A 16×64 array: N is the product, but the active-matrix scan
+        // walks columns, so cycles track cols — not √N.
+        let r = comm_cost(16, 64, 512);
+        assert_eq!(r.n, 1024);
+        assert_eq!(r.scan_cycles, 64);
+        assert!((r.cost_ratio - 0.5).abs() < 1e-12);
+        // Transposing the array halves the scan time at equal cost.
+        let t = comm_cost(64, 16, 512);
+        assert_eq!(t.n, r.n);
+        assert_eq!(t.cost_ratio, r.cost_ratio);
+        assert_eq!(t.scan_cycles, 16);
+    }
+
+    #[test]
+    fn oversampling_ratio_exceeds_one() {
+        // comm_cost itself does not clamp m: callers may model repeated
+        // reads (resampling), where the ratio legitimately passes 1.
+        let r = comm_cost(4, 4, 32);
+        assert!((r.cost_ratio - 2.0).abs() < 1e-12);
+        assert_eq!(r.adc_conversions, 32);
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::basisop::{BasisKind, SubsampledDctOperator};
 use crate::error::Result;
+use crate::tel;
 use flexcs_linalg::Matrix;
 use flexcs_solver::{IstaConfig, LinearOperator, SolveReport, SparseSolver};
 use flexcs_transform::{devectorize, haar2d_full_inverse, Dct2d};
@@ -112,17 +113,30 @@ impl Decoder {
         selected: &[usize],
         y: &[f64],
     ) -> Result<Reconstruction> {
+        let setup_span = tel::span("decode.setup");
         let plan = self.plan_for(rows, cols)?;
         let op = SubsampledDctOperator::with_plan(rows, cols, selected.to_vec(), self.basis, plan)?;
         // Scale λ for LASSO-type solvers relative to the measurement
         // correlations so behaviour is signal-amplitude invariant.
         let solver = self.scaled_solver(&op, y);
+        drop(setup_span);
+        let solve_span = tel::span("decode.solve");
         let recovery = solver.solve(&op, y)?;
+        drop(solve_span);
+        if tel::enabled() {
+            tel::histogram(
+                "decode.solver_iterations",
+                recovery.report.iterations as f64,
+            );
+            tel::histogram("decode.residual_norm", recovery.report.residual_norm);
+        }
+        let inverse_span = tel::span("decode.inverse");
         let coefficients = devectorize(&recovery.x, rows, cols)?;
         let frame = match self.basis {
             BasisKind::Dct => op.plan().inverse(&coefficients)?,
             BasisKind::Haar => haar2d_full_inverse(&coefficients)?,
         };
+        drop(inverse_span);
         Ok(Reconstruction {
             frame,
             coefficients,
@@ -236,9 +250,11 @@ mod tests {
         let frame = sparse_frame(8, 8);
         let plan = SamplingPlan::random_subset(64, 40, &[], 8).unwrap();
         let y = plan.measure(&frame.to_flat());
-        let mut cfg = AdmmConfig::default();
-        cfg.rho = 5.0;
-        cfg.max_iterations = 2000;
+        let cfg = AdmmConfig {
+            rho: 5.0,
+            max_iterations: 2000,
+            ..AdmmConfig::default()
+        };
         let decoder = Decoder::new(SparseSolver::AdmmBasisPursuit(cfg));
         let rec = decoder.reconstruct(8, 8, plan.selected(), &y).unwrap();
         assert!(

@@ -57,16 +57,13 @@ impl CircuitEncoder {
     /// # Errors
     ///
     /// Propagates schedule/array failures (shape mismatches).
-    pub fn acquire(
-        &self,
-        scene: &Matrix,
-        plan: &SamplingPlan,
-        seed: u64,
-    ) -> Result<Acquisition> {
+    pub fn acquire(&self, scene: &Matrix, plan: &SamplingPlan, seed: u64) -> Result<Acquisition> {
         let rows = self.array.config().rows;
         let cols = self.array.config().cols;
         let schedule = ScanSchedule::from_selected(rows, cols, plan.selected())?;
-        let readout = self.array.read_scheduled(&scene.to_flat(), &schedule, seed)?;
+        let readout = self
+            .array
+            .read_scheduled(&scene.to_flat(), &schedule, seed)?;
         // Pair readout-order measurements with their pixel indices, then
         // sort ascending.
         let order = schedule.readout_order();

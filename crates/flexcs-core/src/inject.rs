@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let model = SparseErrorModel::new(0.2).unwrap();
-        assert_eq!(model.corrupt(&mid_frame(), 9), model.corrupt(&mid_frame(), 9));
+        assert_eq!(
+            model.corrupt(&mid_frame(), 9),
+            model.corrupt(&mid_frame(), 9)
+        );
         assert_ne!(
             model.corrupt(&mid_frame(), 9).1,
             model.corrupt(&mid_frame(), 10).1

@@ -43,6 +43,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Validation guards are written `!(x > 0.0)` on purpose: the negated
+// comparison also rejects NaN parameters, which `x <= 0.0` would let
+// through.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 mod basisop;
 mod comm;
@@ -56,6 +60,7 @@ mod pipeline;
 mod rpca;
 mod sampling;
 mod strategy;
+mod tel;
 
 pub use basisop::{BasisKind, SubsampledDctOperator};
 pub use comm::{comm_cost, comm_cost_for_sparsity, CommCostReport};

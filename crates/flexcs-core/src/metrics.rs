@@ -11,11 +11,10 @@ use flexcs_linalg::Matrix;
 pub fn rmse(a: &Matrix, b: &Matrix) -> f64 {
     assert_eq!(a.shape(), b.shape(), "rmse: shape mismatch");
     let n = (a.rows() * a.cols()) as f64;
-    let sse: f64 = a
-        .iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum();
+    if n == 0.0 {
+        return 0.0; // an empty frame has no error, not 0/0
+    }
+    let sse: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
     (sse / n).sqrt()
 }
 
@@ -27,7 +26,14 @@ pub fn rmse(a: &Matrix, b: &Matrix) -> f64 {
 pub fn mae(a: &Matrix, b: &Matrix) -> f64 {
     assert_eq!(a.shape(), b.shape(), "mae: shape mismatch");
     let n = (a.rows() * a.cols()) as f64;
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>() / n
+    if n == 0.0 {
+        return 0.0; // an empty frame has no error, not 0/0
+    }
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / n
 }
 
 /// Peak signal-to-noise ratio in dB for unit-range frames
@@ -52,7 +58,11 @@ pub fn psnr_unit(a: &Matrix, b: &Matrix) -> f64 {
 ///
 /// Panics on a shape mismatch.
 pub fn relative_error(a: &Matrix, reference: &Matrix) -> f64 {
-    assert_eq!(a.shape(), reference.shape(), "relative_error: shape mismatch");
+    assert_eq!(
+        a.shape(),
+        reference.shape(),
+        "relative_error: shape mismatch"
+    );
     let num = (a - reference).norm_fro();
     let den = reference.norm_fro();
     if den == 0.0 {
@@ -97,8 +107,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shape mismatch")]
+    #[should_panic(expected = "rmse: shape mismatch")]
     fn shape_mismatch_panics() {
         rmse(&Matrix::zeros(2, 2), &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "mae: shape mismatch")]
+    fn mae_shape_mismatch_panics() {
+        mae(&Matrix::zeros(3, 2), &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "rmse: shape mismatch")]
+    fn psnr_shape_mismatch_panics() {
+        // psnr_unit goes through rmse, so it inherits the same guard.
+        psnr_unit(&Matrix::zeros(1, 4), &Matrix::zeros(4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "relative_error: shape mismatch")]
+    fn relative_error_shape_mismatch_panics() {
+        relative_error(&Matrix::zeros(2, 2), &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn transposed_shapes_are_still_mismatched() {
+        // Same element count is not enough — shapes must match exactly.
+        rmse(&Matrix::zeros(2, 3), &Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn zero_size_frames() {
+        // 0×0 frames: the error sums are empty and n = 0; every metric
+        // must settle on a defined value instead of NaN from 0/0.
+        let e = Matrix::zeros(0, 0);
+        assert_eq!(rmse(&e, &e), 0.0);
+        assert_eq!(mae(&e, &e), 0.0);
+        assert_eq!(relative_error(&e, &e), 0.0);
+        assert_eq!(psnr_unit(&e, &e), f64::INFINITY);
     }
 }

@@ -7,6 +7,7 @@
 //! minimizing `‖L‖_* + λ‖S‖₁` subject to `D = L + S`.
 
 use crate::error::{CoreError, Result};
+use crate::tel;
 use flexcs_linalg::{Matrix, Svd};
 
 /// RPCA configuration.
@@ -60,9 +61,7 @@ pub fn rpca(d: &Matrix, config: &RpcaConfig) -> Result<RpcaDecomposition> {
             "rpca: need positive tolerance and iterations".to_string(),
         ));
     }
-    let lambda = config
-        .lambda
-        .unwrap_or(1.0 / (m.max(n) as f64).sqrt());
+    let lambda = config.lambda.unwrap_or(1.0 / (m.max(n) as f64).sqrt());
     if !(lambda > 0.0) {
         return Err(CoreError::InvalidConfig(format!(
             "rpca: lambda must be positive, got {lambda}"
@@ -93,7 +92,8 @@ pub fn rpca(d: &Matrix, config: &RpcaConfig) -> Result<RpcaDecomposition> {
         iterations += 1;
         // L-update: singular-value shrinkage of D − S + Y/μ.
         let target = &(d - &s) + &y.scaled(1.0 / mu);
-        low_rank = Svd::compute(&target)?.shrink(1.0 / mu);
+        let svd = Svd::compute(&target)?;
+        low_rank = svd.shrink(1.0 / mu);
         // S-update: entrywise soft threshold of D − L + Y/μ.
         let starget = &(d - &low_rank) + &y.scaled(1.0 / mu);
         let thr = lambda / mu;
@@ -109,12 +109,25 @@ pub fn rpca(d: &Matrix, config: &RpcaConfig) -> Result<RpcaDecomposition> {
         // Dual update.
         let z = &(d - &low_rank) - &s;
         y += &z.scaled(mu);
+        let residual_ratio = z.norm_fro() / d_norm;
+        if tel::enabled() {
+            // Rank of L after shrinkage = #{σ > 1/μ} of the target.
+            let smax = svd.spectral_norm();
+            let rank = if smax > 0.0 {
+                svd.rank((1.0 / mu) / smax)
+            } else {
+                0
+            };
+            let sparse_count = s.as_slice().iter().filter(|&&v| v != 0.0).count();
+            tel::rpca_sweep(iterations, rank, sparse_count, residual_ratio, mu);
+        }
         mu = (mu * rho).min(mu_max);
-        if z.norm_fro() / d_norm < config.tol {
+        if residual_ratio < config.tol {
             converged = true;
             break;
         }
     }
+    tel::counter("rpca.decompositions", 1);
     Ok(RpcaDecomposition {
         low_rank,
         sparse: s,
@@ -258,7 +271,12 @@ mod tests {
     use super::*;
 
     /// Deterministic low-rank + sparse test matrix.
-    fn synthetic(m: usize, n: usize, rank: usize, outliers: &[(usize, usize, f64)]) -> (Matrix, Matrix, Matrix) {
+    fn synthetic(
+        m: usize,
+        n: usize,
+        rank: usize,
+        outliers: &[(usize, usize, f64)],
+    ) -> (Matrix, Matrix, Matrix) {
         let u = Matrix::from_fn(m, rank, |i, r| ((i * (r + 2)) as f64 * 0.31).sin());
         let v = Matrix::from_fn(rank, n, |r, j| ((j * (r + 3)) as f64 * 0.17).cos());
         let l = u.matmul(&v).unwrap();
@@ -317,7 +335,11 @@ mod tests {
     fn clean_low_rank_has_tiny_sparse_part() {
         let (d, _, _) = synthetic(10, 10, 2, &[]);
         let dec = rpca(&d, &RpcaConfig::default()).unwrap();
-        assert!(dec.sparse.norm_max() < 1e-4, "sparse residue {}", dec.sparse.norm_max());
+        assert!(
+            dec.sparse.norm_max() < 1e-4,
+            "sparse residue {}",
+            dec.sparse.norm_max()
+        );
     }
 
     /// Smooth scenes varying over time + one stuck pixel (all frames) +
@@ -326,8 +348,7 @@ mod tests {
         (0..6)
             .map(|t| {
                 let mut f = Matrix::from_fn(8, 8, |i, j| {
-                    0.5 + 0.3 * ((i as f64 + t as f64) * 0.4).sin()
-                        + 0.2 * ((j as f64) * 0.3).cos()
+                    0.5 + 0.3 * ((i as f64 + t as f64) * 0.4).sin() + 0.2 * ((j as f64) * 0.3).cos()
                 });
                 f[(2, 3)] = 3.0; // stuck pixel: every frame
                 if t == 2 {
@@ -341,9 +362,11 @@ mod tests {
     #[test]
     fn persistent_outliers_map_static_defects() {
         let frames = defect_sequence();
-        let flagged =
-            persistent_outliers(&frames, &RpcaConfig::default(), 0.3, 0.9).unwrap();
-        assert!(flagged.contains(&(2 * 8 + 3)), "stuck pixel flagged: {flagged:?}");
+        let flagged = persistent_outliers(&frames, &RpcaConfig::default(), 0.3, 0.9).unwrap();
+        assert!(
+            flagged.contains(&(2 * 8 + 3)),
+            "stuck pixel flagged: {flagged:?}"
+        );
         assert!(
             !flagged.contains(&(5 * 8 + 5)),
             "transient must not be flagged as persistent"
@@ -384,8 +407,10 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let d = Matrix::zeros(3, 3);
-        let mut cfg = RpcaConfig::default();
-        cfg.max_iterations = 0;
+        let mut cfg = RpcaConfig {
+            max_iterations: 0,
+            ..RpcaConfig::default()
+        };
         assert!(rpca(&d, &cfg).is_err());
         cfg.max_iterations = 10;
         cfg.tol = 0.0;

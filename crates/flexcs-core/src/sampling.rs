@@ -101,13 +101,9 @@ impl SamplingPlan {
         let mut rng = StdRng::seed_from_u64(seed);
         let scale = 1.0 / (m as f64).sqrt();
         let matrix = match kind {
-            SamplingKind::Bernoulli => Matrix::from_fn(m, n, |_, _| {
-                if rng.gen_bool(0.5) {
-                    scale
-                } else {
-                    -scale
-                }
-            }),
+            SamplingKind::Bernoulli => {
+                Matrix::from_fn(m, n, |_, _| if rng.gen_bool(0.5) { scale } else { -scale })
+            }
             SamplingKind::Gaussian => {
                 let mut gauss = move || {
                     let u1: f64 = rng.gen_range(1e-12..1.0);
@@ -166,9 +162,7 @@ impl SamplingPlan {
     pub fn measure(&self, signal: &[f64]) -> Vec<f64> {
         assert_eq!(signal.len(), self.n, "measure: wrong signal length");
         match self.kind {
-            SamplingKind::IdentitySubset => {
-                self.selected.iter().map(|&i| signal[i]).collect()
-            }
+            SamplingKind::IdentitySubset => self.selected.iter().map(|&i| signal[i]).collect(),
             _ => self
                 .dense
                 .as_ref()
@@ -187,7 +181,7 @@ mod tests {
     fn random_subset_respects_count_and_exclusions() {
         let plan = SamplingPlan::random_subset(100, 40, &[0, 1, 2, 3], 7).unwrap();
         assert_eq!(plan.measurement_count(), 40);
-        assert!(plan.selected().iter().all(|&i| i >= 4 && i < 100));
+        assert!(plan.selected().iter().all(|&i| (4..100).contains(&i)));
         // Ascending and distinct.
         assert!(plan.selected().windows(2).all(|w| w[0] < w[1]));
     }

@@ -16,7 +16,18 @@ use crate::error::Result;
 use crate::inject::detect_extremes;
 use crate::rpca::{outlier_indices, rpca, RpcaConfig};
 use crate::sampling::SamplingPlan;
+use crate::tel;
 use flexcs_linalg::{vecops, Matrix};
+
+/// Solver effort accumulated across one strategy invocation (summed
+/// over resampling rounds where applicable).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReconstructStats {
+    /// Total solver iterations spent.
+    pub(crate) solver_iterations: usize,
+    /// Whether every underlying solve converged.
+    pub(crate) converged: bool,
+}
 
 /// How the encoder chooses pixels in the presence of sparse errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,56 +98,106 @@ impl SamplingStrategy {
         decoder: &Decoder,
         seed: u64,
     ) -> Result<Matrix> {
+        Ok(self.reconstruct_traced(measured, m, decoder, seed)?.0)
+    }
+
+    /// [`SamplingStrategy::reconstruct`] plus the solver effort spent —
+    /// the pipeline uses this to fill per-frame telemetry reports.
+    pub(crate) fn reconstruct_traced(
+        &self,
+        measured: &Matrix,
+        m: usize,
+        decoder: &Decoder,
+        seed: u64,
+    ) -> Result<(Matrix, ReconstructStats)> {
         let (rows, cols) = measured.shape();
         let n = rows * cols;
         let flat = measured.to_flat();
         match self {
             SamplingStrategy::ExcludeTested { margin } => {
+                let sampling_span = tel::span("strategy.sampling");
                 let excluded = detect_extremes(measured, *margin);
                 let m_eff = m.min(n - excluded.len().min(n));
                 let plan = SamplingPlan::random_subset(n, m_eff, &excluded, seed)?;
                 let y = plan.measure(&flat);
-                Ok(decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame)
+                drop(sampling_span);
+                let rec = decoder.reconstruct(rows, cols, plan.selected(), &y)?;
+                let stats = ReconstructStats {
+                    solver_iterations: rec.report.iterations,
+                    converged: rec.report.converged,
+                };
+                Ok((rec.frame, stats))
             }
             SamplingStrategy::ExcludeKnown { indices } => {
+                let sampling_span = tel::span("strategy.sampling");
                 let m_eff = m.min(n - indices.len().min(n));
                 let plan = SamplingPlan::random_subset(n, m_eff, indices, seed)?;
                 let y = plan.measure(&flat);
-                Ok(decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame)
+                drop(sampling_span);
+                let rec = decoder.reconstruct(rows, cols, plan.selected(), &y)?;
+                let stats = ReconstructStats {
+                    solver_iterations: rec.report.iterations,
+                    converged: rec.report.converged,
+                };
+                Ok((rec.frame, stats))
             }
             SamplingStrategy::Oblivious => {
+                let sampling_span = tel::span("strategy.sampling");
                 let plan = SamplingPlan::random_subset(n, m, &[], seed)?;
                 let y = plan.measure(&flat);
-                Ok(decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame)
+                drop(sampling_span);
+                let rec = decoder.reconstruct(rows, cols, plan.selected(), &y)?;
+                let stats = ReconstructStats {
+                    solver_iterations: rec.report.iterations,
+                    converged: rec.report.converged,
+                };
+                Ok((rec.frame, stats))
             }
             SamplingStrategy::ResampleMedian { rounds } => {
                 let rounds = (*rounds).max(1);
                 // Each round is seeded from its index alone, so the
                 // fan-out is bit-identical to the serial loop.
-                let recs = crate::par::maybe_par_map_indices(rounds, |r| -> Result<Matrix> {
+                let recs = crate::par::maybe_par_map_indices(rounds, |r| {
                     let plan =
                         SamplingPlan::random_subset(n, m, &[], seed.wrapping_add(r as u64 * 77))?;
                     let y = plan.measure(&flat);
-                    Ok(decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame)
+                    decoder.reconstruct(rows, cols, plan.selected(), &y)
                 });
+                let mut stats = ReconstructStats {
+                    solver_iterations: 0,
+                    converged: true,
+                };
                 let mut stacks: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); n];
                 for rec in recs {
                     let rec = rec?;
-                    for (stack, &v) in stacks.iter_mut().zip(rec.as_slice()) {
+                    stats.solver_iterations += rec.report.iterations;
+                    stats.converged &= rec.report.converged;
+                    for (stack, &v) in stacks.iter_mut().zip(rec.frame.as_slice()) {
                         stack.push(v);
                     }
                 }
-                Ok(Matrix::from_fn(rows, cols, |i, j| {
-                    vecops::median(&stacks[i * cols + j])
-                }))
+                let merge_span = tel::span("strategy.median_merge");
+                let merged =
+                    Matrix::from_fn(rows, cols, |i, j| vecops::median(&stacks[i * cols + j]));
+                drop(merge_span);
+                Ok((merged, stats))
             }
             SamplingStrategy::RpcaFilter { threshold } => {
+                let rpca_span = tel::span("strategy.rpca_filter");
                 let decomposition = rpca(measured, &RpcaConfig::default())?;
                 let excluded = outlier_indices(&decomposition, *threshold);
+                drop(rpca_span);
+                let sampling_span = tel::span("strategy.sampling");
                 let m_eff = m.min(n - excluded.len().min(n));
                 let plan = SamplingPlan::random_subset(n, m_eff, &excluded, seed)?;
                 let y = plan.measure(&flat);
-                Ok(decoder.reconstruct(rows, cols, plan.selected(), &y)?.frame)
+                drop(sampling_span);
+                let rec = decoder.reconstruct(rows, cols, plan.selected(), &y)?;
+                let stats = ReconstructStats {
+                    solver_iterations: rec.report.iterations,
+                    converged: rec.report.converged,
+                };
+                Ok((rec.frame, stats))
             }
         }
     }
@@ -160,7 +221,9 @@ mod tests {
 
     fn corrupted(rows: usize, cols: usize, fraction: f64, seed: u64) -> (Matrix, Matrix) {
         let truth = smooth_frame(rows, cols);
-        let (bad, _) = SparseErrorModel::new(fraction).unwrap().corrupt(&truth, seed);
+        let (bad, _) = SparseErrorModel::new(fraction)
+            .unwrap()
+            .corrupt(&truth, seed);
         (truth, bad)
     }
 
@@ -185,20 +248,29 @@ mod tests {
 
     #[test]
     fn resample_median_tolerates_blind_errors() {
-        let (truth, bad) = corrupted(16, 16, 0.05, 7);
+        // Average over seeds: any single plan draw can get (un)lucky
+        // with where the stuck pixels land, the median advantage is a
+        // statistical claim.
         let decoder = Decoder::default();
         let m = 150;
-        let single = SamplingStrategy::Oblivious
-            .reconstruct(&bad, m, &decoder, 2)
-            .unwrap();
-        let median = SamplingStrategy::ResampleMedian { rounds: 10 }
-            .reconstruct(&bad, m, &decoder, 2)
-            .unwrap();
+        let mut e_single = 0.0;
+        let mut e_median = 0.0;
+        for seed in 0..4 {
+            let (truth, bad) = corrupted(16, 16, 0.05, 7 + seed);
+            let single = SamplingStrategy::Oblivious
+                .reconstruct(&bad, m, &decoder, 2 + seed)
+                .unwrap();
+            let median = SamplingStrategy::ResampleMedian { rounds: 10 }
+                .reconstruct(&bad, m, &decoder, 2 + seed)
+                .unwrap();
+            e_single += rmse(&single, &truth);
+            e_median += rmse(&median, &truth);
+        }
         assert!(
-            rmse(&median, &truth) < rmse(&single, &truth),
+            e_median < e_single,
             "median {:.4} vs single {:.4}",
-            rmse(&median, &truth),
-            rmse(&single, &truth)
+            e_median / 4.0,
+            e_single / 4.0
         );
     }
 
@@ -252,7 +324,10 @@ mod tests {
         let strategy = SamplingStrategy::ExcludeKnown { indices: vec![] };
         let r1 = strategy.reconstruct(&bad, 100, &decoder, 9).unwrap();
         let r2 = strategy.reconstruct(&bad, 180, &decoder, 9).unwrap();
-        assert!((&r1 - &r2).norm_fro() > 1e-9, "budgets produced identical plans");
+        assert!(
+            (&r1 - &r2).norm_fro() > 1e-9,
+            "budgets produced identical plans"
+        );
     }
 
     #[test]

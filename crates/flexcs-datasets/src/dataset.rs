@@ -24,7 +24,10 @@ impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatasetError::LengthMismatch { frames, labels } => {
-                write!(f, "frame count {frames} does not match label count {labels}")
+                write!(
+                    f,
+                    "frame count {frames} does not match label count {labels}"
+                )
             }
             DatasetError::BadFraction(v) => {
                 write!(f, "split fraction must lie in (0, 1), got {v}")
@@ -127,7 +130,11 @@ impl Dataset {
     /// Returns [`DatasetError::BadFraction`] unless
     /// `0 < train_fraction < 1`, or [`DatasetError::Empty`] on an empty
     /// dataset.
-    pub fn split(&self, train_fraction: f64, seed: u64) -> Result<(Dataset, Dataset), DatasetError> {
+    pub fn split(
+        &self,
+        train_fraction: f64,
+        seed: u64,
+    ) -> Result<(Dataset, Dataset), DatasetError> {
         if !(train_fraction > 0.0 && train_fraction < 1.0) {
             return Err(DatasetError::BadFraction(train_fraction));
         }
@@ -179,7 +186,7 @@ impl Dataset {
     /// Applies a transformation to every frame, keeping labels.
     pub fn map_frames(&self, mut f: impl FnMut(&Matrix) -> Matrix) -> Dataset {
         Dataset {
-            frames: self.frames.iter().map(|m| f(m)).collect(),
+            frames: self.frames.iter().map(&mut f).collect(),
             labels: self.labels.clone(),
         }
     }
@@ -220,7 +227,10 @@ pub fn normalize_batch(frames: &[Matrix]) -> (Vec<Matrix>, f64, f64) {
     }
     let range = max - min;
     (
-        frames.iter().map(|f| f.map(|v| (v - min) / range)).collect(),
+        frames
+            .iter()
+            .map(|f| f.map(|v| (v - min) / range))
+            .collect(),
         min,
         max,
     )
@@ -291,8 +301,14 @@ mod tests {
     #[test]
     fn split_rejects_bad_fraction_and_empty() {
         let ds = tiny(&[4]);
-        assert!(matches!(ds.split(0.0, 1), Err(DatasetError::BadFraction(_))));
-        assert!(matches!(ds.split(1.0, 1), Err(DatasetError::BadFraction(_))));
+        assert!(matches!(
+            ds.split(0.0, 1),
+            Err(DatasetError::BadFraction(_))
+        ));
+        assert!(matches!(
+            ds.split(1.0, 1),
+            Err(DatasetError::BadFraction(_))
+        ));
         let empty = Dataset::unlabeled(vec![]);
         assert!(matches!(empty.split(0.5, 1), Err(DatasetError::Empty)));
     }

@@ -146,76 +146,83 @@ fn ring(cx: f64, cy: f64, r: f64, w: f64) -> Primitive {
 }
 
 fn arc(cx: f64, cy: f64, r: f64, w: f64, a0: f64, a1: f64) -> Primitive {
-    Primitive::Ring { cx, cy, r, w, a0, a1 }
+    Primitive::Ring {
+        cx,
+        cy,
+        r,
+        w,
+        a0,
+        a1,
+    }
 }
 
 /// Canonical contact pattern for a class index in `[0, 26)`.
 fn class_pattern(class: usize) -> Vec<Primitive> {
     let tau = std::f64::consts::TAU;
     match class {
-        0 => vec![blob(0.0, 0.0, 0.55, 0.55)],                       // large ball
-        1 => vec![blob(0.0, 0.0, 0.25, 0.25)],                       // small ball
-        2 => vec![bar(0.0, -0.8, 0.0, 0.8, 0.18)],                   // vertical cylinder
-        3 => vec![bar(-0.8, 0.0, 0.8, 0.0, 0.18)],                   // horizontal cylinder
-        4 => vec![bar(-0.65, -0.65, 0.65, 0.65, 0.16)],              // diagonal rod
-        5 => vec![blob(0.0, 0.0, 0.62, 0.4)],                        // box face
+        0 => vec![blob(0.0, 0.0, 0.55, 0.55)],          // large ball
+        1 => vec![blob(0.0, 0.0, 0.25, 0.25)],          // small ball
+        2 => vec![bar(0.0, -0.8, 0.0, 0.8, 0.18)],      // vertical cylinder
+        3 => vec![bar(-0.8, 0.0, 0.8, 0.0, 0.18)],      // horizontal cylinder
+        4 => vec![bar(-0.65, -0.65, 0.65, 0.65, 0.16)], // diagonal rod
+        5 => vec![blob(0.0, 0.0, 0.62, 0.4)],           // box face
         6 => vec![
             bar(-0.55, -0.4, 0.55, -0.4, 0.1),
             bar(-0.55, 0.4, 0.55, 0.4, 0.1),
             bar(-0.55, -0.4, -0.55, 0.4, 0.1),
             bar(0.55, -0.4, 0.55, 0.4, 0.1),
-        ],                                                            // box edges
-        7 => vec![ring(0.0, 0.0, 0.55, 0.12)],                       // mug rim
+        ], // box edges
+        7 => vec![ring(0.0, 0.0, 0.55, 0.12)],          // mug rim
         8 => vec![ring(0.0, 0.0, 0.45, 0.11), blob(0.75, 0.0, 0.16, 0.28)], // mug + handle
         9 => vec![
             bar(-0.7, -0.55, 0.7, 0.55, 0.1),
             bar(-0.7, 0.55, 0.7, -0.55, 0.1),
-        ],                                                            // scissors X
-        10 => vec![bar(-0.85, 0.15, 0.85, -0.15, 0.07)],              // pen
+        ], // scissors X
+        10 => vec![bar(-0.85, 0.15, 0.85, -0.15, 0.07)], // pen
         11 => vec![
             bar(-0.35, -0.7, -0.35, 0.5, 0.08),
             bar(0.0, -0.7, 0.0, 0.6, 0.08),
             bar(0.35, -0.7, 0.35, 0.5, 0.08),
-        ],                                                            // fork tines
+        ], // fork tines
         12 => vec![blob(-0.4, 0.0, 0.26, 0.26), blob(0.4, 0.0, 0.26, 0.26)], // two balls
         13 => vec![
             blob(0.0, -0.45, 0.22, 0.22),
             blob(-0.4, 0.35, 0.22, 0.22),
             blob(0.4, 0.35, 0.22, 0.22),
-        ],                                                            // ball triangle
-        14 => vec![blob(0.0, 0.0, 0.75, 0.6)],                        // flat palm press
+        ], // ball triangle
+        14 => vec![blob(0.0, 0.0, 0.75, 0.6)],          // flat palm press
         15 => vec![
             bar(-0.6, -0.5, 0.6, -0.5, 0.12),
             bar(0.0, -0.5, 0.0, 0.7, 0.12),
-        ],                                                            // T-shape
+        ], // T-shape
         16 => vec![
             bar(-0.55, -0.6, -0.55, 0.55, 0.12),
             bar(-0.55, 0.55, 0.6, 0.55, 0.12),
-        ],                                                            // L-shape
+        ], // L-shape
         17 => vec![
             bar(0.0, -0.65, 0.0, 0.65, 0.12),
             bar(-0.65, 0.0, 0.65, 0.0, 0.12),
-        ],                                                            // plus
-        18 => vec![ring(0.0, 0.0, 0.3, 0.1)],                         // small ring
+        ], // plus
+        18 => vec![ring(0.0, 0.0, 0.3, 0.1)],           // small ring
         19 => vec![
             bar(-0.3, -0.7, -0.3, 0.7, 0.12),
             bar(0.3, -0.7, 0.3, 0.7, 0.12),
-        ],                                                            // chopsticks
+        ], // chopsticks
         20 => vec![blob(-0.35, -0.3, 0.3, 0.3), bar(-0.1, 0.1, 0.7, 0.6, 0.12)], // hammer
-        21 => vec![arc(0.0, 0.0, 0.5, 0.13, -2.2, 1.0)],              // crescent
+        21 => vec![arc(0.0, 0.0, 0.5, 0.13, -2.2, 1.0)], // crescent
         22 => vec![
             blob(-0.35, -0.35, 0.16, 0.16),
             blob(0.35, -0.35, 0.16, 0.16),
             blob(-0.35, 0.35, 0.16, 0.16),
             blob(0.35, 0.35, 0.16, 0.16),
-        ],                                                            // four dots
-        23 => vec![bar(-0.8, 0.0, 0.8, 0.0, 0.35)],                   // wide band
-        24 => vec![blob(0.0, 0.0, 0.3, 0.65)],                        // tall ellipse
+        ], // four dots
+        23 => vec![bar(-0.8, 0.0, 0.8, 0.0, 0.35)],     // wide band
+        24 => vec![blob(0.0, 0.0, 0.3, 0.65)],          // tall ellipse
         25 => vec![
             bar(-0.7, -0.5, -0.1, 0.1, 0.1),
             bar(-0.1, 0.1, 0.35, -0.35, 0.1),
             bar(0.35, -0.35, 0.75, 0.45, 0.1),
-        ],                                                            // zigzag cable
+        ], // zigzag cable
         _ => {
             // Defensive fallback: ring + blob combination varying with
             // the index (unused for class < 26).

@@ -140,8 +140,7 @@ pub fn thermal_frame(config: &ThermalConfig, seed: u64) -> Matrix {
         for &(bx, by, tx, ty, w) in &fingers {
             heat = heat.max(bump(capsule_dist2(x, y, bx, by, tx, ty, w)));
         }
-        let ambient = config.ambient
-            + gmag * (gx * (x / cf - 0.5) + gy * (y / rf - 0.5));
+        let ambient = config.ambient + gmag * (gx * (x / cf - 0.5) + gy * (y / rf - 0.5));
         let skin = config.skin_temp * warmth;
         ambient + heat * (skin - ambient)
     });
@@ -237,7 +236,11 @@ mod tests {
         for seed in 0..10 {
             let f = thermal_frame(&cfg, seed);
             assert!(f.min() > cfg.ambient - 2.0, "seed {seed}: min {}", f.min());
-            assert!(f.max() < cfg.skin_temp + 2.0, "seed {seed}: max {}", f.max());
+            assert!(
+                f.max() < cfg.skin_temp + 2.0,
+                "seed {seed}: max {}",
+                f.max()
+            );
             // The hand occupies a nontrivial warm area (PSF blurring
             // lowers finger peaks, so the threshold sits at 29 °C).
             let warm = f.iter().filter(|&&t| t > 29.0).count();

@@ -94,8 +94,7 @@ pub fn ultrasound_frame(config: &UltrasoundConfig, seed: u64) -> Matrix {
                     continue;
                 }
                 let env = (-(dt * dt) / two_sigma2).exp();
-                let carrier =
-                    (std::f64::consts::TAU * config.center_freq * dt + s.phase).cos();
+                let carrier = (std::f64::consts::TAU * config.center_freq * dt + s.phase).cos();
                 frame[(t, ch)] += s.amp * atten * lateral_weight * env * carrier;
             }
         }

@@ -135,6 +135,9 @@ impl Mul<f64> for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division is deliberately multiply-by-reciprocal: recip() carries
+    // the numerically safe |rhs|² scaling in one place.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }
@@ -290,7 +293,9 @@ mod tests {
         let mut m = ComplexMatrix::zeros(2);
         m.set(0, 0, Complex::ONE);
         m.set(1, 1, Complex::ONE);
-        let x = m.solve(&[Complex::new(2.0, 1.0), Complex::new(0.0, -3.0)]).unwrap();
+        let x = m
+            .solve(&[Complex::new(2.0, 1.0), Complex::new(0.0, -3.0)])
+            .unwrap();
         assert!((x[0] - Complex::new(2.0, 1.0)).abs() < 1e-14);
         assert!((x[1] - Complex::new(0.0, -3.0)).abs() < 1e-14);
     }
@@ -309,7 +314,9 @@ mod tests {
         let mut m = ComplexMatrix::zeros(2);
         m.set(0, 1, Complex::ONE);
         m.set(1, 0, Complex::ONE);
-        let x = m.solve(&[Complex::from_real(3.0), Complex::from_real(5.0)]).unwrap();
+        let x = m
+            .solve(&[Complex::from_real(3.0), Complex::from_real(5.0)])
+            .unwrap();
         assert!((x[0] - Complex::from_real(5.0)).abs() < 1e-14);
         assert!((x[1] - Complex::from_real(3.0)).abs() < 1e-14);
     }

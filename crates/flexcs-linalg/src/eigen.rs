@@ -144,10 +144,7 @@ impl SymmetricEigen {
     /// Condition number `|λ_max| / |λ_min|` (infinite when the smallest
     /// eigenvalue is zero).
     pub fn condition_number(&self) -> f64 {
-        let lmax = self
-            .values
-            .iter()
-            .fold(0.0_f64, |m, v| m.max(v.abs()));
+        let lmax = self.values.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
         let lmin = self
             .values
             .iter()

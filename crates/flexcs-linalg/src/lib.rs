@@ -39,6 +39,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Factorization kernels are written as index loops over sub-ranges of
+// rows/columns, mirroring the textbook algorithms (and keeping the
+// triangular-solve bounds visible); iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
 
 mod cholesky;
 mod complex;

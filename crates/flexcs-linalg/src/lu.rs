@@ -232,7 +232,11 @@ mod tests {
         let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]).unwrap();
         let b = Matrix::from_rows(&[&[3.0, 6.0], &[2.0, 4.0]]).unwrap();
         let x = Lu::factor(&a).unwrap().solve_matrix(&b).unwrap();
-        assert!(x.max_abs_diff(&Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap()).unwrap() < 1e-12);
+        assert!(
+            x.max_abs_diff(&Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap())
+                .unwrap()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -248,7 +252,9 @@ mod tests {
         // dev-dependency here.
         let mut state = 0x9e3779b97f4a7c15_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let n = 12;

@@ -725,7 +725,10 @@ mod tests {
         let b = a.transpose();
         let c = a.matmul(&b).unwrap();
         // [1 2 3; 4 5 6] * [1 4; 2 5; 3 6] = [14 32; 32 77]
-        assert_eq!(c, Matrix::from_rows(&[&[14.0, 32.0], &[32.0, 77.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[14.0, 32.0], &[32.0, 77.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -147,7 +147,11 @@ impl Svd {
             }
             *s = norm.sqrt();
         }
-        order.sort_by(|&p, &q| sig[q].partial_cmp(&sig[p]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&p, &q| {
+            sig[q]
+                .partial_cmp(&sig[p])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut u = Matrix::zeros(m, n);
         let mut vo = Matrix::zeros(n, n);
         let mut sigma = vec![0.0; n];
@@ -249,7 +253,9 @@ pub fn spectral_norm_estimate(a: &Matrix, iterations: usize) -> f64 {
         return 0.0;
     }
     // Deterministic start vector with energy in all coordinates.
-    let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin() * 0.01).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| 1.0 + (i as f64 * 0.7).sin() * 0.01)
+        .collect();
     let mut norm = 0.0;
     for _ in 0..iterations.max(1) {
         let ax = a.matvec(&x).expect("dims fixed");
@@ -271,7 +277,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         }
     }

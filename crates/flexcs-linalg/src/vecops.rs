@@ -219,7 +219,9 @@ mod tests {
     #[test]
     fn statistics() {
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
-        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138089935299395).abs() < 1e-12);
+        assert!(
+            (std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138089935299395).abs() < 1e-12
+        );
         assert_eq!(std_dev(&[1.0]), 0.0);
     }
 

@@ -1,8 +1,6 @@
 //! Property-based tests for the linear-algebra kernels.
 
-use flexcs_linalg::{
-    solve, solve_spd, vecops, Cholesky, Lu, Matrix, Qr, Svd, SymmetricEigen,
-};
+use flexcs_linalg::{solve, solve_spd, vecops, Cholesky, Lu, Matrix, Qr, Svd, SymmetricEigen};
 use proptest::prelude::*;
 
 /// Strategy: matrix entries bounded away from pathological magnitude.

@@ -55,7 +55,9 @@ impl Conv2d {
         assert!(in_ch > 0 && out_ch > 0 && k > 0);
         let mut rng = NnRng::new(seed);
         let fan_in = in_ch * k * k;
-        let weight = (0..out_ch * in_ch * k * k).map(|_| rng.he(fan_in)).collect();
+        let weight = (0..out_ch * in_ch * k * k)
+            .map(|_| rng.he(fan_in))
+            .collect();
         Conv2d {
             in_ch,
             out_ch,
@@ -130,8 +132,7 @@ impl Layer for Conv2d {
                                 if jj < p || jj - p >= w {
                                     continue;
                                 }
-                                let widx =
-                                    ((o * self.in_ch + c) * self.k + di) * self.k + dj;
+                                let widx = ((o * self.in_ch + c) * self.k + di) * self.k + dj;
                                 self.grad_w[widx] += g * x.at3(c, ii - p, jj - p);
                                 *gx.at3_mut(c, ii - p, jj - p) += g * self.weight[widx];
                             }
@@ -191,9 +192,9 @@ impl Layer for Dense {
         let xs = x.as_slice();
         let mut y = Tensor::zeros(&[self.out_dim]);
         let ys = y.as_mut_slice();
-        for o in 0..self.out_dim {
+        for (o, yo) in ys.iter_mut().enumerate() {
             let row = &self.weight[o * self.in_dim..(o + 1) * self.in_dim];
-            ys[o] = self.bias[o] + row.iter().zip(xs).map(|(a, b)| a * b).sum::<f64>();
+            *yo = self.bias[o] + row.iter().zip(xs).map(|(a, b)| a * b).sum::<f64>();
         }
         self.cache_x = Some(x.clone());
         y
@@ -205,8 +206,7 @@ impl Layer for Dense {
         let gs = grad.as_slice();
         let mut gx = Tensor::zeros(&[self.in_dim]);
         let gxs = gx.as_mut_slice();
-        for o in 0..self.out_dim {
-            let g = gs[o];
+        for (o, &g) in gs.iter().enumerate() {
             self.grad_b[o] += g;
             let row = &self.weight[o * self.in_dim..(o + 1) * self.in_dim];
             let grow = &mut self.grad_w[o * self.in_dim..(o + 1) * self.in_dim];
@@ -580,10 +580,7 @@ mod tests {
     #[test]
     fn maxpool_selects_and_routes() {
         let mut pool = MaxPool2d::new();
-        let x = Tensor::from_vec(
-            &[1, 2, 4],
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 6.0],
-        );
+        let x = Tensor::from_vec(&[1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 6.0]);
         let y = pool.forward(&x, false);
         assert_eq!(y.as_slice(), &[5.0, 6.0]);
         let g = pool.backward(&Tensor::from_vec(&[1, 1, 2], vec![10.0, 20.0]));

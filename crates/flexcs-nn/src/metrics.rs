@@ -39,11 +39,7 @@ pub fn accuracy(net: &mut Sequential, data: &[(Tensor, usize)]) -> f64 {
 /// # Panics
 ///
 /// Panics if any label is `>= classes`.
-pub fn confusion_matrix(
-    net: &mut Sequential,
-    data: &[(Tensor, usize)],
-    classes: usize,
-) -> Matrix {
+pub fn confusion_matrix(net: &mut Sequential, data: &[(Tensor, usize)], classes: usize) -> Matrix {
     let mut m = Matrix::zeros(classes, classes);
     for (x, label) in data {
         assert!(*label < classes, "label {label} out of range");

@@ -130,9 +130,7 @@ mod tests {
         let x = Tensor::from_fn(&[2, 4, 4], |i| (i as f64) * 0.5 - 3.0);
         let y = norm.forward(&x, true);
         for c in 0..2 {
-            let vals: Vec<f64> = (0..16)
-                .map(|k| y.at3(c, k / 4, k % 4))
-                .collect();
+            let vals: Vec<f64> = (0..16).map(|k| y.at3(c, k / 4, k % 4)).collect();
             let mean: f64 = vals.iter().sum::<f64>() / 16.0;
             let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 16.0;
             assert!(mean.abs() < 1e-10, "channel {c} mean {mean}");
@@ -163,9 +161,7 @@ mod tests {
         // plain sum has zero gradient through normalization).
         let wts: Vec<f64> = (0..18).map(|i| ((i as f64) * 0.7).sin()).collect();
         let y = norm.forward(&x, true);
-        let loss = |y: &Tensor| -> f64 {
-            y.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum()
-        };
+        let loss = |y: &Tensor| -> f64 { y.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum() };
         let _ = loss(&y);
         let grad = Tensor::from_vec(&[2, 3, 3], wts.clone());
         let gx = norm.backward(&grad);

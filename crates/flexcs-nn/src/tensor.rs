@@ -50,11 +50,11 @@ impl Tensor {
     }
 
     /// Creates a tensor by evaluating `f(flat_index)`.
-    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn from_fn(shape: &[usize], f: impl FnMut(usize) -> f64) -> Self {
         let volume: usize = shape.iter().product();
         Tensor {
             shape: shape.to_vec(),
-            data: (0..volume).map(|i| f(i)).collect(),
+            data: (0..volume).map(f).collect(),
         }
     }
 

@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod tel;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -68,19 +70,33 @@ where
     }
     let threads = threads.min(count).max(1);
     if threads == 1 {
+        tel::counter("parallel.serial_fallbacks", 1);
         return (0..count).map(f).collect();
     }
+    // Per-worker job tallies feed the load-balance telemetry; with
+    // telemetry disabled the tracking (and its bookkeeping) is compiled
+    // out.
+    let track = tel::enabled();
+    let worker_tasks: Vec<AtomicUsize> = if track {
+        (0..threads).map(|_| AtomicUsize::new(0)).collect()
+    } else {
+        Vec::new()
+    };
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
+    let out = std::thread::scope(|scope| {
+        for w in 0..threads {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
+            let worker_tasks = &worker_tasks;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
+                }
+                if track {
+                    worker_tasks[w].fetch_add(1, Ordering::Relaxed);
                 }
                 let r = f(i);
                 if tx.send((i, r)).is_err() {
@@ -100,7 +116,25 @@ where
             .into_iter()
             .map(|o| o.expect("parallel worker completed every index"))
             .collect()
-    })
+    });
+    if track {
+        let counts: Vec<u64> = worker_tasks
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as u64)
+            .collect();
+        tel::counter("parallel.fanouts", 1);
+        tel::counter("parallel.jobs", count as u64);
+        for &c in &counts {
+            tel::histogram("parallel.worker_tasks", c as f64);
+        }
+        // Imbalance = busiest worker / ideal share (1.0 = perfect).
+        let max = counts.iter().copied().max().unwrap_or(0) as f64;
+        let mean = count as f64 / threads as f64;
+        if mean > 0.0 {
+            tel::histogram("parallel.imbalance", max / mean);
+        }
+    }
+    out
 }
 
 /// Maps `f` over a slice on a scoped thread pool, returning results in

@@ -8,6 +8,7 @@
 use crate::error::{Result, SolverError};
 use crate::op::{check_measurements, LinearOperator};
 use crate::report::{Recovery, SolveReport};
+use crate::tel;
 use flexcs_linalg::vecops;
 use flexcs_linalg::{Cholesky, Matrix};
 
@@ -140,6 +141,15 @@ pub fn admm_bpdn(op: &dyn LinearOperator, b: &[f64], config: &AdmmConfig) -> Res
         let prim = vecops::norm2(&vecops::sub(&x, &z));
         let dual = rho * vecops::norm2(&vecops::sub(&z, &z_old));
         let scale = vecops::norm2(&x).max(vecops::norm2(&z)).max(1.0);
+        if tel::enabled() {
+            tel::iteration(
+                "admm_bpdn",
+                iterations,
+                config.lambda * vecops::norm1(&z),
+                prim.max(dual),
+                rho,
+            );
+        }
         if prim <= config.tol * scale && dual <= config.tol * scale {
             converged = true;
             break;
@@ -164,6 +174,7 @@ pub fn admm_bpdn(op: &dyn LinearOperator, b: &[f64], config: &AdmmConfig) -> Res
             }
         }
     }
+    tel::solve_done("admm_bpdn", iterations, converged);
     let ax = op.apply(&z);
     let residual = vecops::norm2(&vecops::sub(&ax, b));
     let objective = config.lambda * vecops::norm1(&z) + 0.5 * residual * residual;
@@ -241,6 +252,15 @@ pub fn admm_basis_pursuit(
         let prim = vecops::norm2(&vecops::sub(&x, &z));
         let dual = rho * vecops::norm2(&vecops::sub(&z, &z_old));
         let scale = vecops::norm2(&x).max(vecops::norm2(&z)).max(1.0);
+        if tel::enabled() {
+            tel::iteration(
+                "admm_bp",
+                iterations,
+                vecops::norm1(&x),
+                prim.max(dual),
+                rho,
+            );
+        }
         if prim <= config.tol * scale && dual <= config.tol * scale {
             converged = true;
             break;
@@ -249,6 +269,7 @@ pub fn admm_basis_pursuit(
             break;
         }
     }
+    tel::solve_done("admm_bp", iterations, converged);
     // Report x (feasible) rather than z (sparse but infeasible); callers
     // get an exact-measurement solution whose L1 norm ADMM minimized.
     let ax = op.apply(&x);
@@ -285,10 +306,12 @@ mod tests {
         let op = gaussian_operator(m, n, 31);
         let x_true = sparse_signal(n, k, 32);
         let b = op.apply(&x_true);
-        let mut cfg = AdmmConfig::default();
-        cfg.max_iterations = 3000;
-        cfg.tol = 1e-9;
-        cfg.rho = 5.0;
+        let cfg = AdmmConfig {
+            max_iterations: 3000,
+            tol: 1e-9,
+            rho: 5.0,
+            ..AdmmConfig::default()
+        };
         let rec = admm_basis_pursuit(&op, &b, &cfg).unwrap();
         let err = vecops::norm2(&vecops::sub(&rec.x, &x_true)) / vecops::norm2(&x_true);
         assert!(err < 1e-3, "relative error {err}");
@@ -319,8 +342,10 @@ mod tests {
     fn invalid_config_rejected() {
         let op = gaussian_operator(10, 20, 61);
         let b = vec![0.0; 10];
-        let mut cfg = AdmmConfig::default();
-        cfg.rho = 0.0;
+        let mut cfg = AdmmConfig {
+            rho: 0.0,
+            ..AdmmConfig::default()
+        };
         assert!(admm_bpdn(&op, &b, &cfg).is_err());
         cfg.rho = 1.0;
         cfg.lambda = -1.0;
@@ -342,9 +367,11 @@ mod tests {
         let op = gaussian_operator(m, n, 81);
         let x_true = sparse_signal(n, k, 82);
         let b = op.apply(&x_true);
-        let mut cfg = AdmmConfig::default();
-        cfg.max_iterations = 3000;
-        cfg.rho = 5.0;
+        let cfg = AdmmConfig {
+            max_iterations: 3000,
+            rho: 5.0,
+            ..AdmmConfig::default()
+        };
         let rec = admm_basis_pursuit(&op, &b, &cfg).unwrap();
         let true_l1 = vecops::norm1(&x_true);
         assert!(rec.report.objective <= true_l1 * 1.01 + 1e-9);

@@ -28,7 +28,10 @@ impl fmt::Display for SolverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolverError::DimensionMismatch { expected, got } => {
-                write!(f, "measurement length {got} does not match operator rows {expected}")
+                write!(
+                    f,
+                    "measurement length {got} does not match operator rows {expected}"
+                )
             }
             SolverError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             SolverError::Diverged { iteration } => {

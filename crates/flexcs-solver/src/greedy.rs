@@ -8,6 +8,7 @@
 use crate::error::{Result, SolverError};
 use crate::op::{check_measurements, dense_submatrix, LinearOperator};
 use crate::report::{Recovery, SolveReport};
+use crate::tel;
 use flexcs_linalg::vecops;
 use flexcs_linalg::Qr;
 
@@ -65,11 +66,7 @@ fn scatter(n: usize, support: &[usize], values: &[f64]) -> Vec<f64> {
 }
 
 /// Least-squares refit on a support; returns coefficients and residual.
-fn refit(
-    op: &dyn LinearOperator,
-    support: &[usize],
-    b: &[f64],
-) -> Result<(Vec<f64>, Vec<f64>)> {
+fn refit(op: &dyn LinearOperator, support: &[usize], b: &[f64]) -> Result<(Vec<f64>, Vec<f64>)> {
     let sub = dense_submatrix(op, support);
     let qr = Qr::factor(&sub)?;
     let coef = qr.solve_least_squares(b)?;
@@ -144,11 +141,22 @@ pub fn omp(op: &dyn LinearOperator, b: &[f64], config: &GreedyConfig) -> Result<
         let (c, r) = refit(op, &support, b)?;
         coef = c;
         residual = r;
-        if vecops::norm2(&residual) <= config.residual_tol * b_norm {
+        let rn = vecops::norm2(&residual);
+        if tel::enabled() {
+            tel::iteration(
+                "omp",
+                iterations,
+                vecops::norm1(&coef),
+                rn,
+                support.len() as f64,
+            );
+        }
+        if rn <= config.residual_tol * b_norm {
             break;
         }
     }
     let res_norm = vecops::norm2(&residual);
+    tel::solve_done("omp", iterations, res_norm <= config.residual_tol * b_norm);
     let x = scatter(n, &support, &coef);
     Ok(Recovery::new(
         x.clone(),
@@ -219,6 +227,15 @@ pub fn cosamp(op: &dyn LinearOperator, b: &[f64], config: &GreedyConfig) -> Resu
         x = scatter(n, &support, &coef2);
         let res_norm = vecops::norm2(&r);
         residual = r;
+        if tel::enabled() {
+            tel::iteration(
+                "cosamp",
+                iterations,
+                vecops::norm1(&x),
+                res_norm,
+                support.len() as f64,
+            );
+        }
         if res_norm <= config.residual_tol * b_norm {
             break;
         }
@@ -229,6 +246,11 @@ pub fn cosamp(op: &dyn LinearOperator, b: &[f64], config: &GreedyConfig) -> Resu
         best_res = res_norm;
     }
     let res_norm = vecops::norm2(&residual);
+    tel::solve_done(
+        "cosamp",
+        iterations,
+        res_norm <= config.residual_tol * b_norm,
+    );
     Ok(Recovery::new(
         x.clone(),
         SolveReport::new(
@@ -292,6 +314,15 @@ pub fn subspace_pursuit(
         let new_support: Vec<usize> = keep.iter().map(|&i| merged[i]).collect();
         let (new_coef, new_residual) = refit(op, &new_support, b)?;
         let new_res = vecops::norm2(&new_residual);
+        if tel::enabled() {
+            tel::iteration(
+                "subspace_pursuit",
+                iterations,
+                vecops::norm1(&new_coef),
+                new_res,
+                new_support.len() as f64,
+            );
+        }
         if new_res >= best_res * (1.0 - 1e-12) {
             break;
         }
@@ -300,6 +331,11 @@ pub fn subspace_pursuit(
         residual = new_residual;
         best_res = new_res;
     }
+    tel::solve_done(
+        "subspace_pursuit",
+        iterations,
+        best_res <= config.residual_tol * b_norm,
+    );
     let x = scatter(n, &support, &coef);
     Ok(Recovery::new(
         x.clone(),
@@ -410,7 +446,11 @@ mod tests {
             .sum::<f64>()
             .sqrt();
         let signal: f64 = vecops::norm2(&x_true);
-        assert!(err / signal < 0.05, "relative error {} too big", err / signal);
+        assert!(
+            err / signal < 0.05,
+            "relative error {} too big",
+            err / signal
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::error::{Result, SolverError};
 use crate::op::{check_measurements, LinearOperator};
 use crate::report::{Recovery, SolveReport};
+use crate::tel;
 use flexcs_linalg::vecops;
 use flexcs_linalg::{Cholesky, Matrix};
 
@@ -141,6 +142,9 @@ pub fn irls(op: &dyn LinearOperator, b: &[f64], config: &IrlsConfig) -> Result<R
         let change = vecops::norm2(&vecops::sub(&x_next, &x));
         let scale = vecops::norm2(&x_next).max(1e-12);
         x = x_next;
+        if tel::enabled() {
+            tel::iteration("irls", iterations, vecops::norm1(&x), change / scale, eps);
+        }
         let eps_floor = config.epsilon_min * scale_est.max(1e-12);
         if change <= config.tol.max(eps * 1e-3 / scale_est.max(1e-12)) * scale {
             if eps <= eps_floor {
@@ -150,6 +154,7 @@ pub fn irls(op: &dyn LinearOperator, b: &[f64], config: &IrlsConfig) -> Result<R
             eps = (eps / 10.0).max(eps_floor);
         }
     }
+    tel::solve_done("irls", iterations, converged);
     let ax = op.apply(&x);
     let residual = vecops::norm2(&vecops::sub(&ax, b));
     Ok(Recovery::new(
@@ -186,7 +191,7 @@ mod tests {
     #[test]
     fn zero_rhs_gives_zero() {
         let op = gaussian_operator(10, 30, 27);
-        let rec = irls(&op, &vec![0.0; 10], &IrlsConfig::default()).unwrap();
+        let rec = irls(&op, &[0.0; 10], &IrlsConfig::default()).unwrap();
         assert!(rec.x.iter().all(|&v| v == 0.0));
     }
 
@@ -204,8 +209,10 @@ mod tests {
     fn config_validation() {
         let op = gaussian_operator(5, 10, 47);
         let b = vec![1.0; 5];
-        let mut cfg = IrlsConfig::default();
-        cfg.max_iterations = 0;
+        let mut cfg = IrlsConfig {
+            max_iterations: 0,
+            ..IrlsConfig::default()
+        };
         assert!(irls(&op, &b, &cfg).is_err());
         cfg.max_iterations = 10;
         cfg.epsilon_start = 0.0;

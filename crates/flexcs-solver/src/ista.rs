@@ -8,6 +8,7 @@
 use crate::error::{Result, SolverError};
 use crate::op::{check_measurements, LinearOperator};
 use crate::report::{Recovery, SolveReport};
+use crate::tel;
 use flexcs_linalg::vecops;
 
 /// Configuration for [`ista`] / [`fista`].
@@ -92,6 +93,7 @@ fn run(
     let step = 1.0 / l;
     let thresh = config.lambda * step;
 
+    let solver_name = if accelerated { "fista" } else { "ista" };
     let mut x = vec![0.0; n];
     let mut y = x.clone(); // Momentum point (equals x for plain ISTA).
     let mut t = 1.0_f64;
@@ -103,14 +105,12 @@ fn run(
         let ay = op.apply(&y);
         let r = vecops::sub(&ay, b);
         let grad = op.apply_transpose(&r);
-        let mut x_next: Vec<f64> = y
-            .iter()
-            .zip(&grad)
-            .map(|(yi, gi)| yi - step * gi)
-            .collect();
+        let mut x_next: Vec<f64> = y.iter().zip(&grad).map(|(yi, gi)| yi - step * gi).collect();
         vecops::soft_threshold_mut(&mut x_next, thresh);
         if x_next.iter().any(|v| !v.is_finite()) {
-            return Err(SolverError::Diverged { iteration: iterations });
+            return Err(SolverError::Diverged {
+                iteration: iterations,
+            });
         }
         // Relative change stopping criterion.
         let diff = vecops::sub(&x_next, &x);
@@ -129,11 +129,19 @@ fn run(
             y = x_next.clone();
         }
         x = x_next;
+        if tel::enabled() {
+            // The gradient residual Ay − b is already at hand; reuse it
+            // rather than re-applying the operator.
+            let rn = vecops::norm2(&r);
+            let obj = config.lambda * vecops::norm1(&x) + 0.5 * rn * rn;
+            tel::iteration(solver_name, iterations, obj, rn, step);
+        }
         if change <= config.tol * scale {
             converged = true;
             break;
         }
     }
+    tel::solve_done(solver_name, iterations, converged);
     let (objective, residual) = lasso_objective(op, b, &x, config.lambda);
     Ok(Recovery::new(
         x,

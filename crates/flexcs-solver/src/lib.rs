@@ -42,6 +42,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Validation guards are written `!(x > 0.0)` on purpose: the negated
+// comparison also rejects NaN parameters, which `x <= 0.0` would let
+// through.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 mod admm;
 mod error;
@@ -53,6 +57,7 @@ mod op;
 mod report;
 mod reweighted;
 mod select;
+mod tel;
 
 pub use admm::{admm_basis_pursuit, admm_bpdn, AdmmConfig};
 pub use error::{Result, SolverError};

@@ -15,6 +15,7 @@
 use crate::error::{Result, SolverError};
 use crate::op::{check_measurements, LinearOperator};
 use crate::report::{Recovery, SolveReport};
+use crate::tel;
 use flexcs_linalg::vecops;
 use flexcs_linalg::{Cholesky, Matrix};
 
@@ -83,11 +84,7 @@ impl LpConfig {
 /// # Ok(())
 /// # }
 /// ```
-pub fn lp_basis_pursuit(
-    op: &dyn LinearOperator,
-    b: &[f64],
-    config: &LpConfig,
-) -> Result<Recovery> {
+pub fn lp_basis_pursuit(op: &dyn LinearOperator, b: &[f64], config: &LpConfig) -> Result<Recovery> {
     check_measurements(op, b)?;
     config.validate()?;
     let m = op.rows();
@@ -136,6 +133,17 @@ pub fn lp_basis_pursuit(
         mu = vecops::dot(&z, &s) / n2 as f64;
         let rp_norm = vecops::norm2(&r_p);
         let rd_norm = vecops::norm2(&r_d);
+        if tel::enabled() {
+            // objective = 1ᵀz (the LP cost), residual = worse of the
+            // primal/dual infeasibilities, step = duality-gap measure μ.
+            tel::iteration(
+                "lp",
+                iterations,
+                z.iter().sum::<f64>(),
+                rp_norm.max(rd_norm),
+                mu,
+            );
+        }
         if mu < config.gap_tol
             && rp_norm < config.feas_tol * (1.0 + b_norm)
             && rd_norm < config.feas_tol * (n2 as f64).sqrt()
@@ -205,9 +213,12 @@ pub fn lp_basis_pursuit(
             *yi += alpha_d * dyi;
         }
         if z.iter().chain(s.iter()).any(|v| !v.is_finite()) {
-            return Err(SolverError::Diverged { iteration: iterations });
+            return Err(SolverError::Diverged {
+                iteration: iterations,
+            });
         }
     }
+    tel::solve_done("lp", iterations, converged);
     let x: Vec<f64> = (0..n).map(|j| z[j] - z[n + j]).collect();
     let ax = op.apply(&x);
     let residual = vecops::norm2(&vecops::sub(&ax, b));
@@ -258,7 +269,7 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let op = gaussian_operator(10, 20, 121);
-        let rec = lp_basis_pursuit(&op, &vec![0.0; 10], &LpConfig::default()).unwrap();
+        let rec = lp_basis_pursuit(&op, &[0.0; 10], &LpConfig::default()).unwrap();
         assert!(rec.x.iter().all(|&v| v == 0.0));
         assert_eq!(rec.report.iterations, 0);
     }
@@ -267,8 +278,10 @@ mod tests {
     fn config_validation() {
         let op = gaussian_operator(5, 10, 131);
         let b = vec![1.0; 5];
-        let mut cfg = LpConfig::default();
-        cfg.sigma = 1.5;
+        let mut cfg = LpConfig {
+            sigma: 1.5,
+            ..LpConfig::default()
+        };
         assert!(lp_basis_pursuit(&op, &b, &cfg).is_err());
         cfg.sigma = 0.2;
         cfg.max_iterations = 0;

@@ -278,9 +278,7 @@ mod tests {
     use super::*;
 
     fn sample_op() -> DenseOperator {
-        DenseOperator::new(
-            Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, -1.0]]).unwrap(),
-        )
+        DenseOperator::new(Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, -1.0]]).unwrap())
     }
 
     #[test]
@@ -409,7 +407,10 @@ mod tests {
         assert!(check_measurements(&op, &[1.0, 2.0]).is_ok());
         assert!(matches!(
             check_measurements(&op, &[1.0]),
-            Err(SolverError::DimensionMismatch { expected: 2, got: 1 })
+            Err(SolverError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

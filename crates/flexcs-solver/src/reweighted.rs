@@ -13,6 +13,7 @@ use crate::error::{Result, SolverError};
 use crate::ista::{fista, IstaConfig};
 use crate::op::{check_measurements, LinearOperator};
 use crate::report::{Recovery, SolveReport};
+use crate::tel;
 use flexcs_linalg::vecops;
 
 /// Configuration for [`reweighted_l1`].
@@ -114,7 +115,18 @@ pub fn reweighted_l1(
     // Round 0: plain LASSO.
     let mut recovery = fista(op, b, &config.inner)?;
     let mut total_iterations = recovery.report.iterations;
-    for _ in 1..config.rounds {
+    if tel::enabled() {
+        // One event per reweighting round (the inner FISTA emits its own
+        // per-iterate trace): iteration = round index, step = ε scale.
+        tel::iteration(
+            "reweighted_l1",
+            0,
+            vecops::norm1(&recovery.x),
+            recovery.report.residual_norm,
+            config.epsilon,
+        );
+    }
+    for round in 1..config.rounds {
         let magnitude_scale = vecops::norm_inf(&recovery.x);
         if magnitude_scale == 0.0 {
             break;
@@ -136,11 +148,15 @@ pub fn reweighted_l1(
         let converged = inner.report.converged;
         let ax = op.apply(&x);
         let residual = vecops::norm2(&vecops::sub(&ax, b));
+        if tel::enabled() {
+            tel::iteration("reweighted_l1", round, vecops::norm1(&x), residual, eps);
+        }
         recovery = Recovery::new(
             x,
             SolveReport::new(total_iterations, residual, converged, 0.0),
         );
     }
+    tel::solve_done("reweighted_l1", total_iterations, recovery.report.converged);
     // Final objective: plain L1 of the solution (comparable across
     // solvers).
     let objective = vecops::norm1(&recovery.x);
@@ -192,7 +208,7 @@ mod tests {
     #[test]
     fn zero_measurements_give_zero() {
         let op = gaussian_operator(10, 20, 81);
-        let rec = reweighted_l1(&op, &vec![0.0; 10], &ReweightedConfig::default()).unwrap();
+        let rec = reweighted_l1(&op, &[0.0; 10], &ReweightedConfig::default()).unwrap();
         assert!(vecops::norm_inf(&rec.x) < 1e-12);
     }
 
@@ -200,8 +216,10 @@ mod tests {
     fn config_validation() {
         let op = gaussian_operator(5, 10, 91);
         let b = vec![1.0; 5];
-        let mut cfg = ReweightedConfig::default();
-        cfg.rounds = 0;
+        let mut cfg = ReweightedConfig {
+            rounds: 0,
+            ..ReweightedConfig::default()
+        };
         assert!(reweighted_l1(&op, &b, &cfg).is_err());
         cfg.rounds = 2;
         cfg.epsilon = 0.0;
@@ -215,8 +233,10 @@ mod tests {
         let op = gaussian_operator(m, n, 93);
         let x_true = sparse_signal(n, k, 94);
         let b = op.apply(&x_true);
-        let mut one_round = ReweightedConfig::default();
-        one_round.rounds = 1;
+        let mut one_round = ReweightedConfig {
+            rounds: 1,
+            ..ReweightedConfig::default()
+        };
         one_round.inner.lambda = 1e-3;
         let mut four_rounds = one_round.clone();
         four_rounds.rounds = 4;

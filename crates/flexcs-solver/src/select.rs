@@ -138,9 +138,11 @@ mod tests {
         let mut admm_cfg = AdmmConfig::with_lambda(1e-4);
         admm_cfg.max_iterations = 12000;
         admm_cfg.tol = 1e-11;
-        let mut bp_cfg = AdmmConfig::default();
-        bp_cfg.max_iterations = 3000;
-        bp_cfg.rho = 5.0;
+        let bp_cfg = AdmmConfig {
+            max_iterations: 3000,
+            rho: 5.0,
+            ..AdmmConfig::default()
+        };
         let mut rw_cfg = ReweightedConfig::default();
         rw_cfg.inner.lambda = 1e-5;
         rw_cfg.inner.max_iterations = 2000;

@@ -31,7 +31,9 @@ fn gaussian_op(m: usize, n: usize, seed: u64) -> DenseOperator {
 fn sparse_truth(n: usize, k: usize, seed: u64) -> Vec<f64> {
     let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     let mut x = vec![0.0; n];
@@ -101,9 +103,11 @@ proptest! {
         let op = gaussian_op(m, n, seed);
         let x = sparse_truth(n, k, seed + 4);
         let b = op.apply(&x);
-        let mut cfg = AdmmConfig::default();
-        cfg.rho = 5.0;
-        cfg.max_iterations = 2000;
+        let cfg = AdmmConfig {
+            rho: 5.0,
+            max_iterations: 2000,
+            ..AdmmConfig::default()
+        };
         let rec = admm_basis_pursuit(&op, &b, &cfg).unwrap();
         // Feasibility.
         prop_assert!(rec.report.residual_norm < 1e-4 * (1.0 + vecops::norm2(&b)));

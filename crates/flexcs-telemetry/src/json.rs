@@ -1,0 +1,74 @@
+//! Minimal hand-rolled JSON emission (std-only; the workspace carries
+//! no serde). Only what the snapshot exporter needs: escaped strings
+//! and finite-checked numbers (NaN/±inf serialise as `null`, which
+//! keeps the artifact parseable by strict readers).
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number; non-finite values become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` keeps f64 round-trip precision and always includes a
+        // decimal point or exponent, so integers stay unambiguous.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends an unsigned integer.
+pub fn push_u64(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}
+
+/// Appends a boolean.
+pub fn push_bool(out: &mut String, v: bool) {
+    out.push_str(if v { "true" } else { "false" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(f: impl FnOnce(&mut String)) -> String {
+        let mut s = String::new();
+        f(&mut s);
+        s
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(render(|s| push_str(s, "a\"b\\c\n")), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(render(|s| push_str(s, "\u{1}")), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(render(|s| push_f64(s, f64::NAN)), "null");
+        assert_eq!(render(|s| push_f64(s, f64::INFINITY)), "null");
+        assert_eq!(render(|s| push_f64(s, 0.25)), "0.25");
+    }
+
+    #[test]
+    fn integers_and_bools_render_plainly() {
+        assert_eq!(render(|s| push_u64(s, 42)), "42");
+        assert_eq!(render(|s| push_bool(s, true)), "true");
+    }
+}

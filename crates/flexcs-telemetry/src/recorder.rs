@@ -1,0 +1,514 @@
+//! In-memory aggregation: fixed-bucket histograms, span statistics,
+//! capped structured traces, and the JSON snapshot exporter.
+
+use crate::json;
+use crate::{FrameReport, Recorder, RpcaSweep, SolverIteration};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Lowest decade tracked by [`Histogram`] buckets (`10^MIN_DECADE`).
+const MIN_DECADE: i32 = -12;
+/// Highest decade tracked (`10^MAX_DECADE` .. `10^(MAX_DECADE+1)`).
+const MAX_DECADE: i32 = 12;
+/// Decade buckets plus one underflow bucket for values ≤ 10^MIN_DECADE
+/// (including zero and negatives).
+const NUM_BUCKETS: usize = (MAX_DECADE - MIN_DECADE + 1) as usize + 1;
+
+/// Fixed log₁₀-bucket histogram over `f64` values.
+///
+/// Buckets are one per decade from 10⁻¹² to 10¹², chosen once at
+/// compile time — no per-histogram configuration, so recording is a
+/// branch plus an array increment. Values outside the range clamp into
+/// the underflow bucket / top decade; exact extremes are preserved by
+/// the `min`/`max` fields.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if !value.is_finite() && value < 0.0 {
+            return 0;
+        }
+        if value <= 10f64.powi(MIN_DECADE) {
+            return 0;
+        }
+        let decade = value.log10().floor() as i32;
+        let clamped = decade.clamp(MIN_DECADE, MAX_DECADE);
+        (clamped - MIN_DECADE) as usize + 1
+    }
+
+    /// Copy-out view of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            underflow: self.buckets[0],
+            buckets: self.buckets[1..]
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (MIN_DECADE + i as i32, c))
+                .collect(),
+        }
+    }
+}
+
+/// Copy-out view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of finite recorded values.
+    pub sum: f64,
+    /// Smallest finite recorded value (`+inf` when empty).
+    pub min: f64,
+    /// Largest finite recorded value (`-inf` when empty).
+    pub max: f64,
+    /// Values at or below the lowest tracked decade (incl. ≤ 0).
+    pub underflow: u64,
+    /// `(decade, count)` for each non-empty bucket: decade `d` covers
+    /// `[10^d, 10^(d+1))`.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+/// Aggregate view of one span name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanSummary {
+    /// Completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Shortest span, nanoseconds.
+    pub min_ns: u64,
+    /// Longest span, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanSummary {
+    /// Mean span duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemoryState {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanSummary>,
+    solver_trace: Vec<SolverIteration>,
+    rpca_trace: Vec<RpcaSweep>,
+    frames: Vec<FrameReport>,
+    dropped_solver: u64,
+    dropped_rpca: u64,
+    dropped_frames: u64,
+}
+
+/// A [`Recorder`] that aggregates everything in memory behind one
+/// mutex and exports JSON snapshots.
+///
+/// Structured traces are capped ([`MemoryRecorder::with_caps`]) so a
+/// long batch cannot grow memory without bound; dropped events are
+/// counted and reported in the snapshot (per-solver iteration counters
+/// and residual histograms keep aggregating past the cap).
+#[derive(Debug)]
+pub struct MemoryRecorder {
+    state: Mutex<MemoryState>,
+    solver_trace_cap: usize,
+    rpca_trace_cap: usize,
+    frame_cap: usize,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        MemoryRecorder::new()
+    }
+}
+
+impl MemoryRecorder {
+    /// Recorder with default trace caps (4096 solver iterates, 1024
+    /// RPCA sweeps, 4096 frames).
+    pub fn new() -> Self {
+        MemoryRecorder::with_caps(4096, 1024, 4096)
+    }
+
+    /// Recorder with explicit caps on each structured trace.
+    pub fn with_caps(solver_trace_cap: usize, rpca_trace_cap: usize, frame_cap: usize) -> Self {
+        MemoryRecorder {
+            state: Mutex::new(MemoryState::default()),
+            solver_trace_cap,
+            rpca_trace_cap,
+            frame_cap,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemoryState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Aggregate statistics for a span name, if any span completed.
+    pub fn span_summary(&self, name: &str) -> Option<SpanSummary> {
+        self.lock().spans.get(name).copied()
+    }
+
+    /// Snapshot of a named histogram, if any value was recorded.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.lock().histograms.get(name).map(Histogram::snapshot)
+    }
+
+    /// Number of solver iterates retained in the trace.
+    pub fn solver_trace_len(&self) -> usize {
+        self.lock().solver_trace.len()
+    }
+
+    /// Copy of the retained per-frame reports.
+    pub fn frames(&self) -> Vec<FrameReport> {
+        self.lock().frames.clone()
+    }
+
+    /// Copy of the retained RPCA sweeps.
+    pub fn rpca_trace(&self) -> Vec<RpcaSweep> {
+        self.lock().rpca_trace.clone()
+    }
+
+    /// Exports the full state as a JSON object (schema
+    /// `flexcs-telemetry/1`):
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "flexcs-telemetry/1",
+    ///   "counters": {"<name>": <u64>, ...},
+    ///   "spans": {"<name>": {"count": <u64>, "total_ns": <u64>,
+    ///              "mean_ns": <f64>, "min_ns": <u64>, "max_ns": <u64>}},
+    ///   "histograms": {"<name>": {"count": <u64>, "sum": <f64>,
+    ///              "mean": <f64|null>, "min": <f64|null>, "max": <f64|null>,
+    ///              "underflow": <u64>,
+    ///              "buckets": [{"decade": <i32>, "count": <u64>}, ...]}},
+    ///   "solver_trace": [{"solver": <str>, "iteration": <u64>,
+    ///              "objective": <f64|null>, "residual": <f64|null>,
+    ///              "step_size": <f64|null>}, ...],
+    ///   "rpca_trace": [{"iteration": <u64>, "rank": <u64>,
+    ///              "sparse_count": <u64>, "residual_ratio": <f64|null>,
+    ///              "mu": <f64|null>}, ...],
+    ///   "frames": [{"frame_index": <u64>, "strategy": <str>,
+    ///              "error_fraction": <f64>, "rmse": <f64|null>,
+    ///              "solver_iterations": <u64>, "converged": <bool>,
+    ///              "elapsed_ns": <u64>}, ...],
+    ///   "dropped": {"solver_trace": <u64>, "rpca_trace": <u64>,
+    ///              "frames": <u64>}
+    /// }
+    /// ```
+    ///
+    /// Non-finite floats serialise as `null`.
+    pub fn snapshot_json(&self) -> String {
+        let state = self.lock();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"flexcs-telemetry/1\",\n  \"counters\": {");
+        for (i, (name, value)) in state.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::push_str(&mut out, name);
+            out.push_str(": ");
+            json::push_u64(&mut out, *value);
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        for (i, (name, s)) in state.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::push_str(&mut out, name);
+            out.push_str(": {\"count\": ");
+            json::push_u64(&mut out, s.count);
+            out.push_str(", \"total_ns\": ");
+            json::push_u64(&mut out, s.total_ns);
+            out.push_str(", \"mean_ns\": ");
+            json::push_f64(&mut out, s.mean_ns());
+            out.push_str(", \"min_ns\": ");
+            json::push_u64(&mut out, s.min_ns);
+            out.push_str(", \"max_ns\": ");
+            json::push_u64(&mut out, s.max_ns);
+            out.push('}');
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in state.histograms.iter().enumerate() {
+            let snap = h.snapshot();
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::push_str(&mut out, name);
+            out.push_str(": {\"count\": ");
+            json::push_u64(&mut out, snap.count);
+            out.push_str(", \"sum\": ");
+            json::push_f64(&mut out, snap.sum);
+            out.push_str(", \"mean\": ");
+            if snap.count > 0 {
+                json::push_f64(&mut out, snap.sum / snap.count as f64);
+            } else {
+                out.push_str("null");
+            }
+            out.push_str(", \"min\": ");
+            json::push_f64(&mut out, snap.min);
+            out.push_str(", \"max\": ");
+            json::push_f64(&mut out, snap.max);
+            out.push_str(", \"underflow\": ");
+            json::push_u64(&mut out, snap.underflow);
+            out.push_str(", \"buckets\": [");
+            for (j, (decade, count)) in snap.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"decade\": ");
+                out.push_str(&decade.to_string());
+                out.push_str(", \"count\": ");
+                json::push_u64(&mut out, *count);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  },\n  \"solver_trace\": [");
+        for (i, e) in state.solver_trace.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            out.push_str("{\"solver\": ");
+            json::push_str(&mut out, e.solver);
+            out.push_str(", \"iteration\": ");
+            json::push_u64(&mut out, e.iteration as u64);
+            out.push_str(", \"objective\": ");
+            json::push_f64(&mut out, e.objective);
+            out.push_str(", \"residual\": ");
+            json::push_f64(&mut out, e.residual);
+            out.push_str(", \"step_size\": ");
+            json::push_f64(&mut out, e.step_size);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"rpca_trace\": [");
+        for (i, e) in state.rpca_trace.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            out.push_str("{\"iteration\": ");
+            json::push_u64(&mut out, e.iteration as u64);
+            out.push_str(", \"rank\": ");
+            json::push_u64(&mut out, e.rank as u64);
+            out.push_str(", \"sparse_count\": ");
+            json::push_u64(&mut out, e.sparse_count as u64);
+            out.push_str(", \"residual_ratio\": ");
+            json::push_f64(&mut out, e.residual_ratio);
+            out.push_str(", \"mu\": ");
+            json::push_f64(&mut out, e.mu);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"frames\": [");
+        for (i, f) in state.frames.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            out.push_str("{\"frame_index\": ");
+            json::push_u64(&mut out, f.frame_index as u64);
+            out.push_str(", \"strategy\": ");
+            json::push_str(&mut out, &f.strategy);
+            out.push_str(", \"error_fraction\": ");
+            json::push_f64(&mut out, f.error_fraction);
+            out.push_str(", \"rmse\": ");
+            json::push_f64(&mut out, f.rmse);
+            out.push_str(", \"solver_iterations\": ");
+            json::push_u64(&mut out, f.solver_iterations as u64);
+            out.push_str(", \"converged\": ");
+            json::push_bool(&mut out, f.converged);
+            out.push_str(", \"elapsed_ns\": ");
+            json::push_u64(&mut out, f.elapsed_ns);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"dropped\": {\"solver_trace\": ");
+        json::push_u64(&mut out, state.dropped_solver);
+        out.push_str(", \"rpca_trace\": ");
+        json::push_u64(&mut out, state.dropped_rpca);
+        out.push_str(", \"frames\": ");
+        json::push_u64(&mut out, state.dropped_frames);
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        let mut state = self.lock();
+        *state.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn histogram(&self, name: &str, value: f64) {
+        let mut state = self.lock();
+        state
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn span_ns(&self, name: &str, nanos: u64) {
+        let mut state = self.lock();
+        let s = state.spans.entry(name.to_string()).or_insert(SpanSummary {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+        s.count += 1;
+        s.total_ns = s.total_ns.saturating_add(nanos);
+        s.min_ns = s.min_ns.min(nanos);
+        s.max_ns = s.max_ns.max(nanos);
+    }
+
+    fn solver_iteration(&self, event: &SolverIteration) {
+        let mut state = self.lock();
+        *state
+            .counters
+            .entry(format!("solver.{}.iterations", event.solver))
+            .or_insert(0) += 1;
+        state
+            .histograms
+            .entry(format!("solver.{}.residual", event.solver))
+            .or_default()
+            .record(event.residual);
+        if state.solver_trace.len() < self.solver_trace_cap {
+            state.solver_trace.push(event.clone());
+        } else {
+            state.dropped_solver += 1;
+        }
+    }
+
+    fn rpca_sweep(&self, event: &RpcaSweep) {
+        let mut state = self.lock();
+        *state.counters.entry("rpca.sweeps".to_string()).or_insert(0) += 1;
+        if state.rpca_trace.len() < self.rpca_trace_cap {
+            state.rpca_trace.push(event.clone());
+        } else {
+            state.dropped_rpca += 1;
+        }
+    }
+
+    fn frame(&self, report: &FrameReport) {
+        let mut state = self.lock();
+        *state
+            .counters
+            .entry("frames.decoded".to_string())
+            .or_insert(0) += 1;
+        if state.frames.len() < self.frame_cap {
+            state.frames.push(report.clone());
+        } else {
+            state.dropped_frames += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_decade() {
+        let mut h = Histogram::default();
+        h.record(0.0); // underflow
+        h.record(-3.0); // underflow
+        h.record(5e-3); // decade -3
+        h.record(2.0); // decade 0
+        h.record(3.0); // decade 0
+        h.record(1.5e7); // decade 7
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.underflow, 2);
+        assert_eq!(snap.buckets, vec![(-3, 1), (0, 2), (7, 1)]);
+        assert_eq!(snap.min, -3.0);
+        assert_eq!(snap.max, 1.5e7);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::default();
+        h.record(1e-20); // below lowest decade → underflow
+        h.record(1e20); // above highest decade → clamps to top bucket
+        h.record(f64::NAN); // counted, no sum/bucket surprises
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.underflow, 1);
+        assert!(snap.buckets.contains(&(12, 1)));
+    }
+
+    #[test]
+    fn trace_caps_count_drops() {
+        let rec = MemoryRecorder::with_caps(2, 1, 1);
+        for i in 0..4 {
+            rec.solver_iteration(&SolverIteration {
+                solver: "ista",
+                iteration: i,
+                objective: 1.0,
+                residual: 0.5,
+                step_size: 0.1,
+            });
+        }
+        assert_eq!(rec.solver_trace_len(), 2);
+        assert_eq!(rec.counter_value("solver.ista.iterations"), 4);
+        let json = rec.snapshot_json();
+        assert!(json.contains("\"solver_trace\": 2"), "{json}");
+    }
+
+    #[test]
+    fn span_summary_aggregates() {
+        let rec = MemoryRecorder::new();
+        rec.span_ns("stage.solve", 100);
+        rec.span_ns("stage.solve", 300);
+        let s = rec.span_summary("stage.solve").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+        assert_eq!(s.mean_ns(), 200.0);
+    }
+
+    #[test]
+    fn snapshot_is_valid_enough_json() {
+        let rec = MemoryRecorder::new();
+        rec.counter("a\"b", 1);
+        rec.histogram("h", f64::NAN);
+        let json = rec.snapshot_json();
+        // Escaped key, null for NaN, balanced braces/brackets.
+        assert!(json.contains("\"a\\\"b\": 1"));
+        assert!(json.contains("\"sum\": 0.0"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -133,7 +133,13 @@ mod tests {
         let s = 4usize; // sqrt(N)
         let psi = psi_matrix(s, s).unwrap();
         let nf = s as f64;
-        let alpha = |u: usize| if u == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+        let alpha = |u: usize| {
+            if u == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            }
+        };
         for a in 0..s {
             for b in 0..s {
                 for u in 0..s {

@@ -59,7 +59,11 @@ impl RealFourierPlan {
             basis[(row, t)] = (1.0 / nf).sqrt();
         }
         row += 1;
-        let k_max = if n % 2 == 0 { n / 2 - 1 } else { (n - 1) / 2 };
+        let k_max = if n.is_multiple_of(2) {
+            n / 2 - 1
+        } else {
+            (n - 1) / 2
+        };
         for k in 1..=k_max {
             let scale = (2.0 / nf).sqrt();
             for t in 0..n {
@@ -71,7 +75,7 @@ impl RealFourierPlan {
             }
             row += 1;
         }
-        if n % 2 == 0 && n > 1 {
+        if n.is_multiple_of(2) && n > 1 {
             // Nyquist: alternating ±1/√n.
             for t in 0..n {
                 basis[(row, t)] = if t % 2 == 0 { 1.0 } else { -1.0 } / nf.sqrt();
@@ -151,7 +155,9 @@ mod tests {
     fn pure_tone_concentrates_in_two_coefficients() {
         let n = 32;
         let plan = RealFourierPlan::new(n).unwrap();
-        let x: Vec<f64> = (0..n).map(|t| (TAU * 3.0 * t as f64 / n as f64).cos()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|t| (TAU * 3.0 * t as f64 / n as f64).cos())
+            .collect();
         let c = plan.forward(&x).unwrap();
         let significant = c.iter().filter(|v| v.abs() > 1e-9).count();
         assert_eq!(significant, 1, "a bin-aligned cosine hits one basis row");

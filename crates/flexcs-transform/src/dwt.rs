@@ -20,7 +20,7 @@ const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
 /// positive.
 pub fn haar_forward_level(x: &[f64]) -> Result<Vec<f64>> {
     let n = x.len();
-    if n == 0 || n % 2 != 0 {
+    if n == 0 || !n.is_multiple_of(2) {
         return Err(TransformError::InvalidLength {
             len: n,
             reason: "haar level requires positive even length",
@@ -43,7 +43,7 @@ pub fn haar_forward_level(x: &[f64]) -> Result<Vec<f64>> {
 /// positive.
 pub fn haar_inverse_level(x: &[f64]) -> Result<Vec<f64>> {
     let n = x.len();
-    if n == 0 || n % 2 != 0 {
+    if n == 0 || !n.is_multiple_of(2) {
         return Err(TransformError::InvalidLength {
             len: n,
             reason: "haar level requires positive even length",

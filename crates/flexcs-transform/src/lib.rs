@@ -50,14 +50,12 @@ pub mod sparsity;
 pub mod zigzag;
 
 pub use basis::{devectorize, mutual_coherence, psi_matrix, vectorize};
-pub use dwt::{haar2d_full_forward, haar2d_full_inverse};
-pub use dct::{
-    fast_dct2_orthonormal, fast_dct2_unscaled, fast_dct3_orthonormal, Dct2d, DctPlan,
-};
+pub use dct::{fast_dct2_orthonormal, fast_dct2_unscaled, fast_dct3_orthonormal, Dct2d, DctPlan};
 pub use dft::RealFourierPlan;
+pub use dwt::{haar2d_full_forward, haar2d_full_inverse};
 pub use error::{Result, TransformError};
 pub use sparsity::{
-    analyze, best_k_approximation, k_term_relative_error, required_measurements,
-    significant_count, significant_fraction, sorted_magnitudes, sparsity_for_energy,
-    SparsityReport, PAPER_SIGNIFICANCE_THRESHOLD,
+    analyze, best_k_approximation, k_term_relative_error, required_measurements, significant_count,
+    significant_fraction, sorted_magnitudes, sparsity_for_energy, SparsityReport,
+    PAPER_SIGNIFICANCE_THRESHOLD,
 };

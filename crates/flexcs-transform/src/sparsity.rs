@@ -141,9 +141,17 @@ pub fn analyze(coeffs: &Matrix) -> SparsityReport {
     SparsityReport {
         n,
         significant,
-        fraction: if n == 0 { 0.0 } else { significant as f64 / n as f64 },
+        fraction: if n == 0 {
+            0.0
+        } else {
+            significant as f64 / n as f64
+        },
         required_measurements: required,
-        measurement_rate: if n == 0 { 0.0 } else { required as f64 / n as f64 },
+        measurement_rate: if n == 0 {
+            0.0
+        } else {
+            required as f64 / n as f64
+        },
     }
 }
 

@@ -72,7 +72,10 @@ pub fn zigzag_unscan(values: &[f64], rows: usize, cols: usize) -> Matrix {
 /// [`crate::best_k_approximation`]).
 pub fn keep_low_frequency(frame: &Matrix, k: usize) -> Matrix {
     let mut out = Matrix::zeros(frame.rows(), frame.cols());
-    for (idx, (i, j)) in zigzag_order(frame.rows(), frame.cols()).into_iter().enumerate() {
+    for (idx, (i, j)) in zigzag_order(frame.rows(), frame.cols())
+        .into_iter()
+        .enumerate()
+    {
         if idx >= k {
             break;
         }

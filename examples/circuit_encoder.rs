@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (t, i) in &sweep {
         println!("  T = {t:>5.1} °C  ->  I = {:>8.3} µA", i * 1e6);
     }
-    println!("  linear fit: slope {:.3} nA/°C, r² = {r2:.5}\n", slope * 1e9);
+    println!(
+        "  linear fit: slope {:.3} nA/°C, r² = {r2:.5}\n",
+        slope * 1e9
+    );
 
     // --- Fig. 5c/d: shift register at 10 kHz ---------------------------
     let mut ckt = Circuit::new();
@@ -76,7 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Fig. 5e: self-biased amplifier --------------------------------
     let mut amp_ckt = Circuit::new();
     let amp_lib = CellLibrary::with_rails(&mut amp_ckt, 3.0, -3.0);
-    let amp = build_self_biased_amplifier(&mut amp_ckt, &amp_lib, "vin", &AmplifierConfig::default())?;
+    let amp =
+        build_self_biased_amplifier(&mut amp_ckt, &amp_lib, "vin", &AmplifierConfig::default())?;
     let vin = amp_ckt.find_node("vin")?;
     let src = amp_ckt.add_vsource(vin, NodeId::GROUND, Waveform::Dc(0.0));
     let sweep = amp_ckt.ac_sweep(src, &[3e3, 10e3, 30e3, 100e3, 300e3])?;
@@ -88,12 +92,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Fig. 4: hardware-in-the-loop CS acquisition -------------------
     let scene = normalize_unit(&thermal_frame(
-        &ThermalConfig { rows: 16, cols: 16, ..ThermalConfig::default() },
+        &ThermalConfig {
+            rows: 16,
+            cols: 16,
+            ..ThermalConfig::default()
+        },
         3,
     ));
-    let mut array_config = ActiveMatrixConfig::default();
-    array_config.rows = 16;
-    array_config.cols = 16;
+    let array_config = ActiveMatrixConfig {
+        rows: 16,
+        cols: 16,
+        ..ActiveMatrixConfig::default()
+    };
     let mut encoder = CircuitEncoder::new(ActiveMatrix::new(array_config)?);
     encoder.array_mut().inject_defects(0.05, 99);
     let defect_count = encoder.array().defective_indices().len();

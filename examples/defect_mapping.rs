@@ -103,6 +103,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rmse(&rec_blind, &clean[3]),
         rmse(&rec_mapped, &clean[3])
     );
-    println!("raw corrupted frame RMSE:    {:.4}", rmse(&observed[3], &clean[3]));
+    println!(
+        "raw corrupted frame RMSE:    {:.4}",
+        rmse(&observed[3], &clean[3])
+    );
     Ok(())
 }

@@ -30,11 +30,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let outcome = run_experiment(&frame, &config)?;
 
-    println!("sparse errors injected : {} pixels (10 %)", outcome.corrupted_count);
+    println!(
+        "sparse errors injected : {} pixels (10 %)",
+        outcome.corrupted_count
+    );
     println!("samples taken          : 512 of 1024 (50 %)");
     println!();
-    println!("RMSE without CS (raw corrupted frame) : {:.4}", outcome.rmse_raw);
-    println!("RMSE with CS reconstruction           : {:.4}", outcome.rmse_cs);
+    println!(
+        "RMSE without CS (raw corrupted frame) : {:.4}",
+        outcome.rmse_raw
+    );
+    println!(
+        "RMSE with CS reconstruction           : {:.4}",
+        outcome.rmse_cs
+    );
     println!(
         "improvement                            : {:.1}x",
         outcome.rmse_raw / outcome.rmse_cs

@@ -42,7 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainConfig::default()
     };
     println!("\ntraining ResNet (Adam, cross-entropy, plateau LR decay)...");
-    let report = fit(&mut net, &to_samples(&train_set), &to_samples(&test_set), &config);
+    let report = fit(
+        &mut net,
+        &to_samples(&train_set),
+        &to_samples(&test_set),
+        &config,
+    );
     println!(
         "best validation accuracy: {:.1}% (epoch {})",
         report.best_val_accuracy * 100.0,
@@ -90,9 +95,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let acc_raw = accuracy(&mut net, &labeled(&corrupted));
     let acc_cs = accuracy(&mut net, &labeled(&reconstructed));
 
-    println!("\naccuracy on clean test frames         : {:.1}%", acc_clean * 100.0);
-    println!("accuracy with 10% stuck pixels (raw)  : {:.1}%", acc_raw * 100.0);
-    println!("accuracy after CS reconstruction      : {:.1}%", acc_cs * 100.0);
+    println!(
+        "\naccuracy on clean test frames         : {:.1}%",
+        acc_clean * 100.0
+    );
+    println!(
+        "accuracy with 10% stuck pixels (raw)  : {:.1}%",
+        acc_raw * 100.0
+    );
+    println!(
+        "accuracy after CS reconstruction      : {:.1}%",
+        acc_cs * 100.0
+    );
     println!(
         "\nCS recovers {:.1} points of the {:.1}-point corruption loss.",
         (acc_cs - acc_raw) * 100.0,

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frames = thermal_frames(&ThermalConfig::default(), 4, seed);
     println!("temperature imaging: 4 thermal-hand frames, 32x32\n");
 
-    println!("{:>10} {:>10} {:>12} {:>12}", "sampling", "errors", "rmse w/ cs", "rmse w/o cs");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "sampling", "errors", "rmse w/ cs", "rmse w/o cs"
+    );
     for &sampling in &[0.45, 0.50, 0.55, 0.60] {
         for &errors in &[0.0, 0.05, 0.10, 0.20] {
             let config = ExperimentConfig {

@@ -2,12 +2,22 @@
 # Regenerates BENCH_decode.json: the decode-path performance baseline
 # (fast vs dense DCT kernels, blocked matmul, resample-median loop).
 #
+# Intermediate output is staged under the git-ignored artifacts/
+# directory so an interrupted run never leaves a half-written tracked
+# file (or a stray *.tmp) in the worktree.
+#
 # For full statistical runs use the criterion benches instead:
 #   cargo bench -p flexcs-bench --bench bench_decode
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo run --release -p flexcs-bench --bin decode_baseline > BENCH_decode.json.tmp
-mv BENCH_decode.json.tmp BENCH_decode.json
+if ! command -v cargo >/dev/null 2>&1; then
+  echo "bench_baseline.sh: cargo not found on PATH — install a Rust toolchain first" >&2
+  exit 1
+fi
+
+mkdir -p artifacts
+cargo run --release -p flexcs-bench --bin decode_baseline > artifacts/BENCH_decode.json
+mv artifacts/BENCH_decode.json BENCH_decode.json
 echo "wrote BENCH_decode.json:"
 cat BENCH_decode.json

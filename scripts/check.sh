@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Lint gate: clippy with warnings denied, plus rustfmt in check mode.
-# Run before sending changes; CI treats both as hard failures.
+# Lint gate: clippy with warnings denied (in both telemetry modes), plus
+# rustfmt in check mode. Run before sending changes; CI treats all three
+# as hard failures.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if ! command -v cargo >/dev/null 2>&1; then
+  echo "check.sh: cargo not found on PATH — install a Rust toolchain first" >&2
+  exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --features telemetry -- -D warnings
 cargo fmt --all -- --check
 echo "check.sh: clippy + fmt clean"

@@ -16,12 +16,9 @@
 //! binary dependency-free.
 
 use flexcs::circuit::{linearity_fit, pixel_temperature_sweep, PixelBias, PtSensorModel};
-use flexcs::core::{
-    comm_cost_for_sparsity, run_experiment, ExperimentConfig, SamplingStrategy,
-};
+use flexcs::core::{comm_cost_for_sparsity, run_experiment, ExperimentConfig, SamplingStrategy};
 use flexcs::datasets::{
-    tactile_frame, thermal_frame, ultrasound_frame, TactileConfig, ThermalConfig,
-    UltrasoundConfig,
+    tactile_frame, thermal_frame, ultrasound_frame, TactileConfig, ThermalConfig, UltrasoundConfig,
 };
 use flexcs::transform::{sparsity, Dct2d};
 use std::collections::HashMap;
@@ -61,7 +58,11 @@ fn cmd_experiment(flags: &HashMap<String, String>) -> Result<(), String> {
     let size: usize = get(flags, "size", 32)?;
     let seed: u64 = get(flags, "seed", 2020)?;
     let noise: f64 = get(flags, "noise", 0.0)?;
-    let strategy = match flags.get("strategy").map(String::as_str).unwrap_or("exclude") {
+    let strategy = match flags
+        .get("strategy")
+        .map(String::as_str)
+        .unwrap_or("exclude")
+    {
         "exclude" => SamplingStrategy::exclude_tested(),
         "oblivious" => SamplingStrategy::Oblivious,
         "median" => SamplingStrategy::ResampleMedian { rounds: 10 },
@@ -85,8 +86,11 @@ fn cmd_experiment(flags: &HashMap<String, String>) -> Result<(), String> {
         ..ExperimentConfig::default()
     };
     let outcome = run_experiment(&frame, &config).map_err(|e| e.to_string())?;
-    println!("thermal {size}x{size}, sampling {:.0}%, errors {:.0}%, noise {noise}, seed {seed}",
-        sampling * 100.0, errors * 100.0);
+    println!(
+        "thermal {size}x{size}, sampling {:.0}%, errors {:.0}%, noise {noise}, seed {seed}",
+        sampling * 100.0,
+        errors * 100.0
+    );
     println!("  corrupted pixels : {}", outcome.corrupted_count);
     println!("  rmse w/o cs      : {:.4}", outcome.rmse_raw);
     println!("  rmse w/ cs       : {:.4}", outcome.rmse_cs);
@@ -132,10 +136,16 @@ fn cmd_sparsity(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let report = sparsity::analyze(&coeffs);
     println!("{signal} frame {rows}x{cols}, seed {seed}");
-    println!("  significant coefficients : {} of {} ({:.1}%)",
-        report.significant, report.n, report.fraction * 100.0);
-    println!("  Eq.1 measurements M      : {} (M/N = {:.2})",
-        report.required_measurements, report.measurement_rate);
+    println!(
+        "  significant coefficients : {} of {} ({:.1}%)",
+        report.significant,
+        report.n,
+        report.fraction * 100.0
+    );
+    println!(
+        "  Eq.1 measurements M      : {} (M/N = {:.2})",
+        report.required_measurements, report.measurement_rate
+    );
     Ok(())
 }
 
@@ -178,8 +188,10 @@ fn cmd_comm(flags: &HashMap<String, String>) -> Result<(), String> {
     let report = sparsity::analyze(&coeffs);
     let cost = comm_cost_for_sparsity(size, size, report.significant);
     println!("{size}x{size} thermal frame, seed {seed}");
-    println!("  K = {} -> M = {} (cost ratio {:.2}), {} scan cycles",
-        report.significant, cost.m, cost.cost_ratio, cost.scan_cycles);
+    println!(
+        "  K = {} -> M = {} (cost ratio {:.2}), {} scan cycles",
+        report.significant, cost.m, cost.cost_ratio, cost.scan_cycles
+    );
     Ok(())
 }
 

@@ -6,7 +6,9 @@ use flexcs::core::{
     rmse, run_experiment, CircuitEncoder, Decoder, ExperimentConfig, SamplingPlan,
     SamplingStrategy, SparseErrorModel,
 };
-use flexcs::datasets::{normalize_unit, tactile_frame, thermal_frame, TactileConfig, ThermalConfig};
+use flexcs::datasets::{
+    normalize_unit, tactile_frame, thermal_frame, TactileConfig, ThermalConfig,
+};
 use flexcs::linalg::Matrix;
 use flexcs::solver::{GreedyConfig, SparseSolver};
 use flexcs::transform::{sparsity, Dct2d};
@@ -67,7 +69,11 @@ fn dataset_transform_solver_roundtrip() {
         k90.min(70),
     )));
     let rec = decoder.reconstruct(16, 16, plan.selected(), &y).unwrap();
-    assert!(rmse(&rec.frame, &frame) < 0.08, "rmse {}", rmse(&rec.frame, &frame));
+    assert!(
+        rmse(&rec.frame, &frame) < 0.08,
+        "rmse {}",
+        rmse(&rec.frame, &frame)
+    );
 }
 
 #[test]
@@ -155,9 +161,12 @@ fn sampling_percentage_sweep_shape() {
     // RMSE decreases with sampling percentage and the decrease slows
     // down (the Eq. 2 measurement-error bound) — Fig. 6a's shape.
     let frame = small_thermal(31);
+    // Average over several seeds: the curve's *shape* is the claim,
+    // and any single plan draw is noisy at 31×31.
+    const SEEDS: u64 = 6;
     let rmse_at = |fraction: f64| {
         let mut acc = 0.0;
-        for seed in 0..3 {
+        for seed in 0..SEEDS {
             acc += run_experiment(
                 &frame,
                 &ExperimentConfig {
@@ -170,7 +179,7 @@ fn sampling_percentage_sweep_shape() {
             .unwrap()
             .rmse_cs;
         }
-        acc / 3.0
+        acc / SEEDS as f64
     };
     let r45 = rmse_at(0.45);
     let r60 = rmse_at(0.60);

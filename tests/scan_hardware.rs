@@ -26,7 +26,11 @@ fn row_driver_presents_schedule_words() {
     let mut ckt = Circuit::new();
     let lib = CellLibrary::with_rails(&mut ckt, vdd, -vdd);
     let fast_clk = ckt.node("fclk");
-    ckt.add_vsource(fast_clk, NodeId::GROUND, Waveform::clock(0.0, vdd, 1.0 / t_fast));
+    ckt.add_vsource(
+        fast_clk,
+        NodeId::GROUND,
+        Waveform::clock(0.0, vdd, 1.0 / t_fast),
+    );
     // Serial data: bit k valid during [(k-1/2), (k+1/2)]·t_fast so each
     // rising edge (at k·t_fast) samples mid-bit.
     let mut points = Vec::new();

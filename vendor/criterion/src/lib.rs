@@ -1,0 +1,202 @@
+//! In-tree offline substitute for the `criterion 0.5` API surface the
+//! flexcs benches use.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors a minimal, dependency-free replacement. It keeps
+//! the calls the benches make — `Criterion::{bench_function,
+//! benchmark_group}`, `BenchmarkGroup::{sample_size, bench_function,
+//! bench_with_input, finish}`, `BenchmarkId::{new, from_parameter}`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros — and replaces the statistical machinery with a wall-clock
+//! mean over an adaptively sized batch, reported as one plain-text
+//! line per benchmark. Numbers are indicative, not statistically
+//! rigorous; the repo's recorded baselines (`BENCH_decode.json`) come
+//! from the dedicated `decode_baseline` binary instead.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement loop.
+pub struct Bencher {
+    /// Requested sample count (minimum timed iterations).
+    samples: usize,
+    /// Mean wall-clock nanoseconds per iteration, set by [`iter`].
+    ///
+    /// [`iter`]: Bencher::iter
+    mean_ns: f64,
+}
+
+/// Keep each benchmark's timed phase around this long.
+const TARGET_TIME: Duration = Duration::from_millis(200);
+
+/// Hard cap on timed iterations per benchmark.
+const MAX_ITERS: u64 = 100_000;
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration wall-clock cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed warm-up call.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        let mut done = 0u64;
+        while done < self.samples as u64 || (start.elapsed() < TARGET_TIME && done < MAX_ITERS) {
+            std::hint::black_box(f());
+            done += 1;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / done as f64;
+    }
+}
+
+/// Pretty-prints nanoseconds with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    println!("{name:<50} time: [{}]", fmt_ns(b.mean_ns));
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id for `function_name` at parameter `parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, DEFAULT_SAMPLES, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Runs a named benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.samples, |b| f(b));
+        self
+    }
+
+    /// Runs a parameterised benchmark inside this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_mean() {
+        let mut ran = 0u64;
+        run_one("smoke/busy_loop", 3, |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn benchmark_ids_compose_labels() {
+        assert_eq!(BenchmarkId::new("fast", 64).label, "fast/64");
+        assert_eq!(BenchmarkId::from_parameter(128).label, "128");
+    }
+
+    #[test]
+    fn unit_formatting_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(1.2e10).ends_with(" s"));
+    }
+}

@@ -1,0 +1,167 @@
+//! In-tree offline substitute for the `rand 0.8` API surface the flexcs
+//! workspace uses.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors a minimal, dependency-free replacement instead of
+//! the real crate. It implements exactly the calls the workspace makes —
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::{gen_range, gen_bool}` over `Range<f64>`, `Range<usize>` and
+//! `RangeInclusive<usize>` — nothing more.
+//!
+//! The generator core is splitmix64: 64 bits of state, full-period,
+//! passes the workspace's statistical smoke tests (Gaussian moments,
+//! uniformity bounds). Streams are deterministic per seed, which is the
+//! property every flexcs experiment relies on, but they are *not*
+//! bit-compatible with upstream `rand`'s ChaCha-based `StdRng`; all
+//! in-repo assertions are count- or threshold-based, so only per-seed
+//! determinism matters.
+
+/// Standard RNG types.
+pub mod rngs {
+    /// A seeded pseudo-random generator (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+/// Low-level 64-bit generation.
+pub trait RngCore {
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // XOR with an arbitrary odd constant so seed 0 does not start
+        // the splitmix64 walk at the all-zero state.
+        rngs::StdRng {
+            state: seed ^ 0x6a09_e667_f3bc_c908,
+        }
+    }
+}
+
+/// Ranges a generator can sample from (the `gen_range` argument).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<G: RngCore>(self, g: &mut G) -> T;
+}
+
+/// Uniform f64 in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<G: RngCore>(g: &mut G) -> f64 {
+    (g.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<G: RngCore>(self, g: &mut G) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        self.start + (self.end - self.start) * unit_f64(g)
+    }
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample_from<G: RngCore>(self, g: &mut G) -> usize {
+        assert!(self.start < self.end, "gen_range: empty usize range");
+        let span = (self.end - self.start) as u64;
+        self.start + (g.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample_from<G: RngCore>(self, g: &mut G) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        let span = (hi - lo) as u64 + 1;
+        lo + (g.next_u64() % span) as usize
+    }
+}
+
+/// High-level draws, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0.0..1.0), b.gen_range(0.0..1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<f64> = (0..8).map(|_| a.gen_range(0.0..1.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.gen_range(0.0..1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u = rng.gen_range(5..17usize);
+            assert!((5..17).contains(&u));
+            let i = rng.gen_range(0..=9usize);
+            assert!(i <= 9);
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
