@@ -2,9 +2,9 @@
 //! Fig. 6c outlier-detection strategy's cost).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexcs_core::{rpca, RpcaConfig, SparseErrorModel};
+use flexcs_core::{rpca, RpcaConfig, SparseErrorModel, SvdPolicy};
 use flexcs_datasets::{normalize_unit, thermal_frame, ThermalConfig};
-use flexcs_linalg::{Matrix, Svd};
+use flexcs_linalg::{Matrix, Rsvd, RsvdConfig, Svd};
 use std::hint::black_box;
 
 fn bench_svd(c: &mut Criterion) {
@@ -13,6 +13,22 @@ fn bench_svd(c: &mut Criterion) {
         let a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) as f64 * 0.013).sin());
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| Svd::compute(black_box(&a)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_rsvd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsvd_rank5");
+    let cfg = RsvdConfig::default();
+    for &n in &[32usize, 64, 128] {
+        // Low-rank + small noise: the shape RPCA's L-update sees.
+        let u = Matrix::from_fn(n, 5, |i, r| ((i * (r + 2)) as f64 * 0.31).sin());
+        let v = Matrix::from_fn(5, n, |r, j| ((j * (r + 3)) as f64 * 0.17).cos());
+        let mut a = u.matmul(&v).unwrap();
+        a += &Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) as f64 * 0.71).sin() * 1e-4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Rsvd::compute(black_box(&a), 5, &cfg).unwrap())
         });
     }
     group.finish();
@@ -34,5 +50,44 @@ fn bench_rpca(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_svd, bench_rpca);
+/// Exact Jacobi vs randomized L-update, swept over frame sizes — the
+/// headline comparison behind BENCH_decode.json's `rpca_speedup`.
+fn bench_rpca_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpca_engine");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        let cfg = ThermalConfig {
+            rows: n,
+            cols: n,
+            ..ThermalConfig::default()
+        };
+        let truth = normalize_unit(&thermal_frame(&cfg, 5));
+        let (corrupted, _) = SparseErrorModel::new(0.08).unwrap().corrupt(&truth, 3);
+        let base = RpcaConfig {
+            tol: 1e-6,
+            ..RpcaConfig::default()
+        };
+        for (label, policy) in [
+            ("exact", SvdPolicy::Exact),
+            ("randomized", SvdPolicy::Randomized),
+        ] {
+            let rpca_cfg = RpcaConfig {
+                svd: policy,
+                ..base.clone()
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| rpca(black_box(&corrupted), &rpca_cfg).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_svd,
+    bench_rsvd,
+    bench_rpca,
+    bench_rpca_engines
+);
 criterion_main!(benches);

@@ -25,7 +25,8 @@
 
 use flexcs_bench::{f4, pct, print_table};
 use flexcs_core::{
-    rmse, run_experiment_batch, Decoder, ExperimentConfig, SamplingStrategy, SparseErrorModel,
+    outlier_indices, rmse, rpca, run_experiment_batch, Decoder, ExperimentConfig, RpcaConfig,
+    SamplingStrategy, SparseErrorModel, SvdPolicy,
 };
 use flexcs_datasets::{normalize_unit, thermal_frames, ThermalConfig};
 use flexcs_telemetry::MemoryRecorder;
@@ -144,6 +145,50 @@ fn main() {
             format!("{mean:.4} beats oblivious {oblivious:.4}"),
         );
     }
+
+    // ----- Randomized vs exact RPCA: the fast L-update engine must
+    // flag exactly the same outliers on the Fig. 6c scenarios (the
+    // 32x32 frames ride the randomized path under the Auto policy).
+    println!("\nrpca engine equivalence (exact Jacobi vs randomized truncated SVD):\n");
+    let exact_cfg = RpcaConfig {
+        svd: SvdPolicy::Exact,
+        ..RpcaConfig::default()
+    };
+    let auto_cfg = RpcaConfig::default();
+    for (k, frame) in frames.iter().enumerate() {
+        let truth = normalize_unit(frame);
+        let (bad, _) = SparseErrorModel::new(0.10)
+            .expect("valid error fraction")
+            .corrupt(&truth, seed + k as u64 * 131);
+        let dec_exact = rpca(&bad, &exact_cfg).expect("exact rpca converges");
+        let dec_fast = rpca(&bad, &auto_cfg).expect("randomized rpca converges");
+        let mut flagged_exact = outlier_indices(&dec_exact, 0.3);
+        let mut flagged_fast = outlier_indices(&dec_fast, 0.3);
+        flagged_exact.sort_unstable();
+        flagged_fast.sort_unstable();
+        gate.check(
+            "rpca-outliers-unchanged",
+            flagged_exact == flagged_fast,
+            format!(
+                "frame {k}: {} outliers exact vs {} randomized{}",
+                flagged_exact.len(),
+                flagged_fast.len(),
+                if flagged_exact == flagged_fast {
+                    " (identical sets)"
+                } else {
+                    " (SETS DIFFER)"
+                }
+            ),
+        );
+    }
+    gate.check(
+        "rpca-rsvd-active",
+        recorder.counter_value("rpca.rsvd.solves") > 0,
+        format!(
+            "rpca.rsvd.solves = {} (randomized path exercised at 32x32)",
+            recorder.counter_value("rpca.rsvd.solves")
+        ),
+    );
 
     // ----- The telemetry layer must have observed all of the above.
     println!("\ntelemetry coverage:\n");

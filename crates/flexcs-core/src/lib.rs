@@ -70,10 +70,14 @@ pub use error::{CoreError, Result};
 pub use inject::{detect_extremes, SparseErrorModel};
 pub use metrics::{mae, psnr_unit, relative_error, rmse};
 pub use par::parallel_enabled;
-pub use pipeline::{run_experiment, run_experiment_batch, ExperimentConfig, ExperimentOutcome};
+pub use pipeline::{
+    run_experiment, run_experiment_batch, run_experiment_stream, ExperimentConfig,
+    ExperimentOutcome,
+};
 pub use rpca::{
-    outlier_indices, persistent_outliers, rpca, rpca_multiframe, transient_outliers, RpcaConfig,
-    RpcaDecomposition,
+    outlier_indices, persistent_outliers, rpca, rpca_multiframe, rpca_multiframe_warm, rpca_warm,
+    transient_outliers, RpcaConfig, RpcaDecomposition, RpcaStream, RpcaWarmStart, SvdPolicy,
+    RSVD_CROSSOVER,
 };
 pub use sampling::{SamplingKind, SamplingPlan};
-pub use strategy::SamplingStrategy;
+pub use strategy::{SamplingStrategy, StrategySession};

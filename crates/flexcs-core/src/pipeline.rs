@@ -10,7 +10,7 @@ use crate::decode::Decoder;
 use crate::error::Result;
 use crate::inject::SparseErrorModel;
 use crate::metrics::rmse;
-use crate::strategy::SamplingStrategy;
+use crate::strategy::{SamplingStrategy, StrategySession};
 use crate::tel;
 use flexcs_datasets::normalize_unit;
 use flexcs_linalg::Matrix;
@@ -74,6 +74,14 @@ pub struct ExperimentOutcome {
 /// Returns a configuration error for fractions outside `[0, 1]` (or a
 /// zero sampling fraction) and propagates pipeline failures.
 pub fn run_experiment(frame: &Matrix, config: &ExperimentConfig) -> Result<ExperimentOutcome> {
+    run_experiment_inner(frame, config, None)
+}
+
+fn run_experiment_inner(
+    frame: &Matrix,
+    config: &ExperimentConfig,
+    session: Option<&mut StrategySession>,
+) -> Result<ExperimentOutcome> {
     if !(config.sampling_fraction > 0.0 && config.sampling_fraction <= 1.0) {
         return Err(crate::error::CoreError::InvalidConfig(format!(
             "sampling fraction must lie in (0, 1], got {}",
@@ -109,14 +117,23 @@ pub fn run_experiment(frame: &Matrix, config: &ExperimentConfig) -> Result<Exper
             }
         }
     }
-    // Step 3–4: strategy-driven sampling + reconstruction.
+    // Step 3–4: strategy-driven sampling + reconstruction (through the
+    // session when one carries state across a frame sequence).
     let m = ((n as f64) * config.sampling_fraction).round().max(1.0) as usize;
-    let (reconstructed, stats) = config.strategy.reconstruct_traced(
-        &corrupted,
-        m.min(n),
-        &config.decoder,
-        config.seed ^ 0x5a5a,
-    )?;
+    let (reconstructed, stats) = match session {
+        Some(session) => session.reconstruct_traced(
+            &corrupted,
+            m.min(n),
+            &config.decoder,
+            config.seed ^ 0x5a5a,
+        )?,
+        None => config.strategy.reconstruct_traced(
+            &corrupted,
+            m.min(n),
+            &config.decoder,
+            config.seed ^ 0x5a5a,
+        )?,
+    };
     // Step 5: evaluate.
     let rmse_cs = rmse(&reconstructed, &truth);
     if tel::enabled() {
@@ -171,6 +188,40 @@ pub fn run_experiment_batch(frames: &[Matrix], config: &ExperimentConfig) -> Res
         sum_raw += outcome.rmse_raw;
     }
     Ok((sum_cs / frames.len() as f64, sum_raw / frames.len() as f64))
+}
+
+/// Runs one experiment per frame **sequentially**, carrying strategy
+/// state from frame to frame (trial `k` uses `seed + k·1013`, the same
+/// schedule as [`run_experiment_batch`]).
+///
+/// The streaming counterpart of [`run_experiment_batch`]: the batch
+/// fans independent cold solves out across threads, while the stream
+/// trades that parallelism for cross-frame warm starts (today: the
+/// RPCA-filter strategy's subspace and sparse support). Stateless
+/// strategies produce outcomes identical to per-frame
+/// [`run_experiment`] calls.
+///
+/// # Errors
+///
+/// Propagates per-frame failures; returns a configuration error for an
+/// empty frame list.
+pub fn run_experiment_stream(
+    frames: &[Matrix],
+    config: &ExperimentConfig,
+) -> Result<Vec<ExperimentOutcome>> {
+    if frames.is_empty() {
+        return Err(crate::error::CoreError::InvalidConfig(
+            "experiment stream needs at least one frame".to_string(),
+        ));
+    }
+    let mut session = StrategySession::new(config.strategy.clone());
+    let mut outcomes = Vec::with_capacity(frames.len());
+    for (k, frame) in frames.iter().enumerate() {
+        let mut cfg = config.clone();
+        cfg.seed = config.seed.wrapping_add(k as u64 * 1013);
+        outcomes.push(run_experiment_inner(frame, &cfg, Some(&mut session))?);
+    }
+    Ok(outcomes)
 }
 
 #[cfg(test)]
@@ -261,6 +312,58 @@ mod tests {
         assert!(cs > 0.0 && raw > 0.0);
         assert!(cs < raw);
         assert!(run_experiment_batch(&[], &config).is_err());
+    }
+
+    #[test]
+    fn stream_matches_per_frame_runs_for_stateless_strategies() {
+        let frames: Vec<Matrix> = (0..3).map(thermal).collect();
+        let config = ExperimentConfig::default(); // exclude-tested: stateless
+        let streamed = run_experiment_stream(&frames, &config).unwrap();
+        for (k, outcome) in streamed.iter().enumerate() {
+            let mut cfg = config.clone();
+            cfg.seed = config.seed.wrapping_add(k as u64 * 1013);
+            let solo = run_experiment(&frames[k], &cfg).unwrap();
+            assert_eq!(
+                outcome.reconstructed.as_slice(),
+                solo.reconstructed.as_slice()
+            );
+            assert_eq!(outcome.rmse_cs, solo.rmse_cs);
+        }
+        assert!(run_experiment_stream(&[], &config).is_err());
+    }
+
+    #[test]
+    fn stream_warm_starts_rpca_filter() {
+        let frames: Vec<Matrix> = (0..3)
+            .map(|t| {
+                let cfg = ThermalConfig {
+                    rows: 32,
+                    cols: 32,
+                    ..ThermalConfig::default()
+                };
+                thermal_frame(&cfg, 40 + t)
+            })
+            .collect();
+        let config = ExperimentConfig {
+            strategy: SamplingStrategy::RpcaFilter { threshold: 0.3 },
+            error_fraction: 0.08,
+            seed: 7,
+            ..ExperimentConfig::default()
+        };
+        let streamed = run_experiment_stream(&frames, &config).unwrap();
+        assert_eq!(streamed.len(), 3);
+        for (k, outcome) in streamed.iter().enumerate() {
+            // Warm-started RPCA must not change the decode quality: the
+            // outcome agrees with the independent cold run.
+            let mut cfg = config.clone();
+            cfg.seed = config.seed.wrapping_add(k as u64 * 1013);
+            let solo = run_experiment(&frames[k], &cfg).unwrap();
+            assert_eq!(
+                outcome.reconstructed.as_slice(),
+                solo.reconstructed.as_slice(),
+                "frame {k} diverged under warm start"
+            );
+        }
     }
 
     #[test]

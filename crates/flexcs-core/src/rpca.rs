@@ -5,10 +5,74 @@
 //! Decomposes a frame `D = L + S` with `L` low rank (the smooth sensing
 //! field) and `S` sparse (stuck pixels / transient upsets), by
 //! minimizing `‖L‖_* + λ‖S‖₁` subject to `D = L + S`.
+//!
+//! ## Performance architecture
+//!
+//! The L-update — singular-value shrinkage of `D − S + Y/μ` — is the
+//! hot path: one SVD per ALM sweep. Above [`RSVD_CROSSOVER`] the solver
+//! replaces the full one-sided Jacobi SVD (O(m·n²) per sweep) with the
+//! randomized truncated engine ([`flexcs_linalg::Rsvd`], O(m·n·r)):
+//!
+//! - **Rank adaptation**: the solve starts from a small predicted rank
+//!   and grows the sketch until the shrink threshold `1/μ` clears the
+//!   computed tail (`σ_last <= 1/μ`), shrinking the prediction again
+//!   when the sweep over-captures (Lin/Chen/Ma's partial-SVD rule).
+//! - **Warm starts**: the captured subspace `Q` is carried from one ALM
+//!   sweep to the next (one power pass instead of two), and — via
+//!   [`RpcaWarmStart`] / [`RpcaStream`] — from frame `t` into `t+1`
+//!   together with the converged sparse support.
+//! - **Certificate fallback**: each randomized solve carries the
+//!   residual certificate `‖A − QQᵀA‖_F`; if the uncaptured mass is
+//!   inconsistent with a tail entirely below `1/μ`, the sketch grows,
+//!   and past half the spectrum the solver falls back to the exact
+//!   Jacobi SVD (which is no slower there).
+//!
+//! ## Threshold semantics
+//!
+//! Two different threshold conventions meet in this module; they are
+//! deliberately **not** interchangeable:
+//!
+//! - Singular-value shrinkage uses **absolute** thresholds: the ALM
+//!   L-update keeps `σ > 1/μ` (counted by [`Svd::rank_abs`] /
+//!   `Rsvd::rank_abs`). `Svd::rank(tol)` is *relative* to `σ_max` and
+//!   must not be fed an absolute cutoff.
+//! - Outlier flagging ([`outlier_indices`], [`transient_outliers`]) is
+//!   **relative** to the sparse component's own maximum magnitude:
+//!   `|S_ij| > factor · max|S|` with `factor` clamped to `[0, 1]`.
 
 use crate::error::{CoreError, Result};
 use crate::tel;
-use flexcs_linalg::{Matrix, Svd};
+use flexcs_linalg::{spectral_norm_estimate, Matrix, Rsvd, RsvdConfig, Svd};
+
+/// Matrices with `min(rows, cols)` below this stay on the exact Jacobi
+/// SVD under [`SvdPolicy::Auto`] — the randomized machinery only pays
+/// for itself once the full spectrum is meaningfully larger than the
+/// retained rank. Kept below the paper's 32×32 frame size so the
+/// Fig. 6c decode scenarios ride the fast path.
+pub const RSVD_CROSSOVER: usize = 24;
+
+/// Sketch columns beyond the adaptive rank estimate.
+const RSVD_OVERSAMPLE: usize = 8;
+
+/// Seed for the randomized range finder's Gaussian stream (fixed so
+/// decompositions are reproducible run-to-run).
+const RSVD_SEED: u64 = 0x00f1_e6c5;
+
+/// Cold-start rank prediction for the adaptive randomized L-update.
+const RSVD_START_RANK: usize = 5;
+
+/// Which SVD engine the ALM L-update uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvdPolicy {
+    /// Exact Jacobi below [`RSVD_CROSSOVER`] (bit-exact with the
+    /// historical solver), randomized at and above it.
+    Auto,
+    /// Always the exact one-sided Jacobi SVD.
+    Exact,
+    /// Always the randomized engine (still falls back to the exact SVD
+    /// when the error certificate fails).
+    Randomized,
+}
 
 /// RPCA configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +84,8 @@ pub struct RpcaConfig {
     pub tol: f64,
     /// Iteration budget.
     pub max_iterations: usize,
+    /// SVD engine for the L-update (default [`SvdPolicy::Auto`]).
+    pub svd: SvdPolicy,
 }
 
 impl Default for RpcaConfig {
@@ -28,6 +94,7 @@ impl Default for RpcaConfig {
             lambda: None,
             tol: 1e-7,
             max_iterations: 200,
+            svd: SvdPolicy::Auto,
         }
     }
 }
@@ -45,6 +112,31 @@ pub struct RpcaDecomposition {
     pub converged: bool,
 }
 
+/// Warm-start state harvested from a converged RPCA solve: the final
+/// left subspace, its retained rank, and the sparse component (support
+/// plus values). Feed it into [`rpca_warm`] for the next, similar
+/// problem (the following frame of a sequence, the next window of a
+/// sliding multi-frame stack); state with mismatched shapes is ignored,
+/// so reuse across heterogeneous problems is safe, just useless.
+#[derive(Debug, Clone)]
+pub struct RpcaWarmStart {
+    subspace: Option<Matrix>,
+    rank: usize,
+    sparse: Matrix,
+}
+
+impl RpcaWarmStart {
+    /// Retained rank of the converged low-rank component.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The converged left subspace, if the randomized engine ran.
+    pub fn subspace(&self) -> Option<&Matrix> {
+        self.subspace.as_ref()
+    }
+}
+
 /// Runs inexact-ALM RPCA on `d`.
 ///
 /// # Errors
@@ -52,6 +144,27 @@ pub struct RpcaDecomposition {
 /// Returns [`CoreError::InvalidConfig`] for empty input or a bad
 /// configuration, and propagates SVD failures.
 pub fn rpca(d: &Matrix, config: &RpcaConfig) -> Result<RpcaDecomposition> {
+    rpca_warm(d, config, None).map(|(dec, _)| dec)
+}
+
+/// [`rpca`] with cross-solve warm starting: seeds the sparse iterate
+/// and the randomized engine's subspace from a previous solve's
+/// [`RpcaWarmStart`], and returns the state of this solve for the next
+/// one. Warm state whose shapes don't match `d` is ignored.
+///
+/// Warm starting changes the iteration trajectory (fewer sweeps on
+/// slowly varying sequences), not the fixed point: both cold and warm
+/// solves converge to the same decomposition within `config.tol`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for empty input or a bad
+/// configuration, and propagates SVD failures.
+pub fn rpca_warm(
+    d: &Matrix,
+    config: &RpcaConfig,
+    warm: Option<&RpcaWarmStart>,
+) -> Result<(RpcaDecomposition, RpcaWarmStart)> {
     let (m, n) = d.shape();
     if m == 0 || n == 0 {
         return Err(CoreError::InvalidConfig("rpca: empty matrix".to_string()));
@@ -69,55 +182,99 @@ pub fn rpca(d: &Matrix, config: &RpcaConfig) -> Result<RpcaDecomposition> {
     }
     let d_norm = d.norm_fro();
     if d_norm == 0.0 {
-        return Ok(RpcaDecomposition {
+        let dec = RpcaDecomposition {
             low_rank: Matrix::zeros(m, n),
             sparse: Matrix::zeros(m, n),
             iterations: 0,
             converged: true,
-        });
+        };
+        let warm_out = RpcaWarmStart {
+            subspace: None,
+            rank: 0,
+            sparse: Matrix::zeros(m, n),
+        };
+        return Ok((dec, warm_out));
     }
-    // Standard IALM initialization (Lin, Chen & Ma 2010).
-    let spectral = Svd::compute(d)?.spectral_norm();
+    // Standard IALM initialization (Lin, Chen & Ma 2010). The scale
+    // only needs the spectral norm, so a power iteration replaces the
+    // full SVD the solver used to pay for here.
+    let spectral = spectral_norm_estimate(d, 50);
     let inf_norm = d.norm_max() / lambda;
     let dual_scale = spectral.max(inf_norm).max(1e-12);
     let mut y = d.scaled(1.0 / dual_scale);
-    let mut s = Matrix::zeros(m, n);
+    // Warm-started sparse iterate: the support of stuck pixels barely
+    // moves between adjacent frames, so starting from the previous S
+    // skips the sweeps that rediscover it.
+    let mut s = match warm {
+        Some(w) if w.sparse.shape() == (m, n) => {
+            tel::counter("rpca.warm_starts", 1);
+            w.sparse.clone()
+        }
+        _ => Matrix::zeros(m, n),
+    };
+    let mut engine = LUpdater::new(config.svd, m, n, warm);
     let mut mu = 1.25 / spectral.max(1e-12);
     let mu_max = mu * 1e7;
     let rho = 1.2;
     let mut low_rank = Matrix::zeros(m, n);
+    let mut rank = 0;
     let mut iterations = 0;
     let mut converged = false;
+    // Per-sweep scratch: the L-update target is the only temporary that
+    // must materialize; the S-update, dual update, and residual fuse
+    // into in-place passes over the existing buffers.
+    let mut target = Matrix::zeros(m, n);
+    let d_sl = d.as_slice();
+    let len = d_sl.len();
     for _ in 0..config.max_iterations {
         iterations += 1;
+        let inv_mu = 1.0 / mu;
         // L-update: singular-value shrinkage of D − S + Y/μ.
-        let target = &(d - &s) + &y.scaled(1.0 / mu);
-        let svd = Svd::compute(&target)?;
-        low_rank = svd.shrink(1.0 / mu);
-        // S-update: entrywise soft threshold of D − L + Y/μ.
-        let starget = &(d - &low_rank) + &y.scaled(1.0 / mu);
-        let thr = lambda / mu;
-        s = starget.map(|v| {
-            if v > thr {
-                v - thr
-            } else if v < -thr {
-                v + thr
-            } else {
-                0.0
+        {
+            let t = target.as_mut_slice();
+            let s_sl = s.as_slice();
+            let y_sl = y.as_slice();
+            for idx in 0..len {
+                t[idx] = (d_sl[idx] - s_sl[idx]) + y_sl[idx] * inv_mu;
             }
-        });
-        // Dual update.
-        let z = &(d - &low_rank) - &s;
-        y += &z.scaled(mu);
-        let residual_ratio = z.norm_fro() / d_norm;
+        }
+        let (l_next, l_rank) = engine.update(&target, inv_mu)?;
+        low_rank = l_next;
+        rank = l_rank;
+        // S-update: entrywise soft threshold of D − L + Y/μ, written
+        // straight into the sparse iterate (its old value is dead).
+        let thr = lambda / mu;
+        {
+            let s_mut = s.as_mut_slice();
+            let l_sl = low_rank.as_slice();
+            let y_sl = y.as_slice();
+            for idx in 0..len {
+                let v = (d_sl[idx] - l_sl[idx]) + y_sl[idx] * inv_mu;
+                s_mut[idx] = if v > thr {
+                    v - thr
+                } else if v < -thr {
+                    v + thr
+                } else {
+                    0.0
+                };
+            }
+        }
+        // Dual update Y += μ(D − L − S), fused with the residual norm.
+        let mut z2 = 0.0;
+        {
+            let y_mut = y.as_mut_slice();
+            let l_sl = low_rank.as_slice();
+            let s_sl = s.as_slice();
+            for idx in 0..len {
+                let z = d_sl[idx] - l_sl[idx] - s_sl[idx];
+                y_mut[idx] += mu * z;
+                z2 += z * z;
+            }
+        }
+        let residual_ratio = z2.sqrt() / d_norm;
         if tel::enabled() {
-            // Rank of L after shrinkage = #{σ > 1/μ} of the target.
-            let smax = svd.spectral_norm();
-            let rank = if smax > 0.0 {
-                svd.rank((1.0 / mu) / smax)
-            } else {
-                0
-            };
+            // The L-update already knows its retained rank — no second
+            // spectral pass needed.
             let sparse_count = s.as_slice().iter().filter(|&&v| v != 0.0).count();
             tel::rpca_sweep(iterations, rank, sparse_count, residual_ratio, mu);
         }
@@ -128,17 +285,183 @@ pub fn rpca(d: &Matrix, config: &RpcaConfig) -> Result<RpcaDecomposition> {
         }
     }
     tel::counter("rpca.decompositions", 1);
-    Ok(RpcaDecomposition {
+    let warm_out = RpcaWarmStart {
+        subspace: engine.subspace,
+        rank,
+        sparse: s.clone(),
+    };
+    let dec = RpcaDecomposition {
         low_rank,
         sparse: s,
         iterations,
         converged,
-    })
+    };
+    Ok((dec, warm_out))
+}
+
+/// The ALM L-update engine: exact Jacobi or adaptive randomized
+/// truncation with a subspace carried across sweeps.
+struct LUpdater {
+    randomized: bool,
+    subspace: Option<Matrix>,
+    predicted_rank: usize,
+}
+
+impl LUpdater {
+    fn new(policy: SvdPolicy, m: usize, n: usize, warm: Option<&RpcaWarmStart>) -> Self {
+        let randomized = match policy {
+            SvdPolicy::Exact => false,
+            SvdPolicy::Randomized => true,
+            SvdPolicy::Auto => m.min(n) >= RSVD_CROSSOVER,
+        };
+        let subspace = warm
+            .and_then(|w| w.subspace.clone())
+            .filter(|q| randomized && q.rows() == m && q.cols() > 0);
+        let predicted_rank = warm
+            .map(|w| w.rank)
+            .filter(|&r| r > 0)
+            .unwrap_or(RSVD_START_RANK);
+        LUpdater {
+            randomized,
+            subspace,
+            predicted_rank,
+        }
+    }
+
+    /// Shrinks the singular values of `target` by `tau`, returning the
+    /// shrunk matrix and the retained rank.
+    fn update(&mut self, target: &Matrix, tau: f64) -> Result<(Matrix, usize)> {
+        if !self.randomized {
+            return self.exact(target, tau);
+        }
+        let (m, n) = target.shape();
+        let k = m.min(n);
+        // Past half the spectrum the exact kernel is at least as cheap
+        // as sketch + small SVD + reconstruction.
+        let cap = (k / 2).max(1);
+        let fro2: f64 = target.iter().map(|v| v * v).sum();
+        let mut rank = self.predicted_rank.clamp(1, k);
+        loop {
+            if rank + RSVD_OVERSAMPLE >= cap {
+                tel::counter("rpca.rsvd.exact_fallbacks", 1);
+                return self.exact(target, tau);
+            }
+            let cfg = RsvdConfig {
+                oversample: RSVD_OVERSAMPLE,
+                // A warm subspace already points at the dominant
+                // directions; one power pass re-projects it.
+                power_iterations: if self.subspace.is_some() { 1 } else { 2 },
+                seed: RSVD_SEED,
+            };
+            let rs = Rsvd::compute_warm(target, rank, self.subspace.as_ref(), &cfg)?;
+            tel::counter("rpca.rsvd.solves", 1);
+            let sigma = rs.sigma();
+            let l = sigma.len();
+            // Accept when (a) the shrink threshold cuts inside the
+            // computed spectrum, and (b) the certificate's uncaptured
+            // mass is consistent with a tail entirely below tau (the
+            // slack term absorbs the certificate's cancellation floor).
+            let spectrum_cut = sigma.last().is_none_or(|&s| s <= tau);
+            let tail_bound = (k - l) as f64 * tau * tau * 1.05 + 1e-14 * fro2;
+            let certified = rs.residual() * rs.residual() <= tail_bound;
+            if spectrum_cut && certified {
+                let svp = rs.rank_abs(tau);
+                tel::histogram("rpca.rsvd.rank", svp as f64);
+                tel::histogram("rpca.rsvd.subspace_cols", l as f64);
+                let shrunk = rs.shrink(tau);
+                self.subspace = Some(rs.subspace().clone());
+                // Lin/Chen/Ma partial-SVD prediction: tighten to just
+                // above the retained rank, or step up when saturated.
+                self.predicted_rank = if svp < l {
+                    svp + 1
+                } else {
+                    (svp + ((k as f64 * 0.05).ceil() as usize).max(1)).min(k)
+                };
+                return Ok((shrunk, svp));
+            }
+            // Under-capture: keep the directions found so far and grow.
+            tel::counter("rpca.rsvd.regrows", 1);
+            self.subspace = Some(rs.subspace().clone());
+            rank = (rank + (rank / 2).max(4)).min(k);
+        }
+    }
+
+    fn exact(&mut self, target: &Matrix, tau: f64) -> Result<(Matrix, usize)> {
+        let svd = Svd::compute(target)?;
+        let rank = svd.rank_abs(tau);
+        if self.randomized {
+            // Harvest a subspace so the next sweep can warm-start the
+            // randomized path even after a fallback.
+            let m = target.rows();
+            let cols = (rank + RSVD_OVERSAMPLE).clamp(1, svd.u().cols());
+            self.subspace = Some(svd.u().submatrix(0, m, 0, cols));
+            self.predicted_rank = (rank + 1).max(RSVD_START_RANK.min(target.cols()));
+        }
+        Ok((svd.shrink(tau), rank))
+    }
+}
+
+/// Streaming RPCA over a frame sequence: every [`RpcaStream::push`]
+/// decomposes one frame, warm-started from the previous frame's
+/// converged subspace and sparse support. Frames of a different shape
+/// transparently reset the carried state.
+#[derive(Debug, Clone)]
+pub struct RpcaStream {
+    config: RpcaConfig,
+    warm: Option<RpcaWarmStart>,
+}
+
+impl RpcaStream {
+    /// Creates a stream with no carried state yet.
+    pub fn new(config: RpcaConfig) -> Self {
+        RpcaStream { config, warm: None }
+    }
+
+    /// The stream's RPCA configuration.
+    pub fn config(&self) -> &RpcaConfig {
+        &self.config
+    }
+
+    /// Rank carried from the last converged solve, if any.
+    pub fn warm_rank(&self) -> Option<usize> {
+        self.warm.as_ref().map(RpcaWarmStart::rank)
+    }
+
+    /// Drops the carried warm-start state.
+    pub fn reset(&mut self) {
+        self.warm = None;
+    }
+
+    /// Decomposes `frame`, warm-starting from the previous push.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rpca_warm`] failures; the carried state is left
+    /// untouched on error.
+    pub fn push(&mut self, frame: &Matrix) -> Result<RpcaDecomposition> {
+        if self
+            .warm
+            .as_ref()
+            .is_some_and(|w| w.sparse.shape() != frame.shape())
+        {
+            self.warm = None;
+        }
+        let (dec, warm) = rpca_warm(frame, &self.config, self.warm.as_ref())?;
+        self.warm = Some(warm);
+        Ok(dec)
+    }
 }
 
 /// Flags outlier pixels: indices whose sparse-component magnitude
 /// exceeds `threshold_factor` times the sparse component's maximum
 /// (pixels with no sparse energy are never flagged).
+///
+/// `threshold_factor` is **relative** (clamped to `[0, 1]`): the cutoff
+/// is `factor · max|S|`, and the comparison is strict — so a factor of
+/// `1.0` (or anything larger) flags nothing unless several entries tie
+/// the maximum. This is deliberately a different convention from the
+/// solver's absolute singular-value threshold `1/μ` (see the module
+/// docs on threshold semantics).
 pub fn outlier_indices(decomposition: &RpcaDecomposition, threshold_factor: f64) -> Vec<usize> {
     let s = &decomposition.sparse;
     let max = s.norm_max();
@@ -176,6 +499,23 @@ pub fn outlier_indices(decomposition: &RpcaDecomposition, threshold_factor: f64)
 /// Returns [`CoreError::InvalidConfig`] for an empty frame list or
 /// mismatched shapes, and propagates [`rpca`] failures.
 pub fn rpca_multiframe(frames: &[Matrix], config: &RpcaConfig) -> Result<RpcaDecomposition> {
+    rpca_multiframe_warm(frames, config, None).map(|(dec, _)| dec)
+}
+
+/// [`rpca_multiframe`] with warm starting across stacked windows: for a
+/// sliding window over a frame stream (fixed frame shape and window
+/// length), the `N x T` stacks share their row space, so the previous
+/// window's subspace and sparse stack seed the next solve.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an empty frame list or
+/// mismatched shapes, and propagates [`rpca_warm`] failures.
+pub fn rpca_multiframe_warm(
+    frames: &[Matrix],
+    config: &RpcaConfig,
+    warm: Option<&RpcaWarmStart>,
+) -> Result<(RpcaDecomposition, RpcaWarmStart)> {
     let Some(first) = frames.first() else {
         return Err(CoreError::InvalidConfig(
             "rpca_multiframe: no frames".to_string(),
@@ -195,7 +535,7 @@ pub fn rpca_multiframe(frames: &[Matrix], config: &RpcaConfig) -> Result<RpcaDec
             stacked[(row, col)] = v;
         }
     }
-    rpca(&stacked, config)
+    rpca_warm(&stacked, config, warm)
 }
 
 /// Maps *static* defects from a frame sequence: runs spatial RPCA on
@@ -204,6 +544,10 @@ pub fn rpca_multiframe(frames: &[Matrix], config: &RpcaConfig) -> Result<RpcaDec
 /// are flagged in every frame; transient upsets in one — the
 /// multi-frame version of the paper's "testing to identify those
 /// defects".
+///
+/// Frames are decomposed independently (cold) so they can fan out
+/// across threads with results identical to the serial loop; for
+/// sequential warm-started decode use [`RpcaStream`].
 ///
 /// # Errors
 ///
@@ -245,6 +589,8 @@ pub fn persistent_outliers(
 
 /// Flags *transient* upsets from a multi-frame decomposition: `(pixel,
 /// frame)` pairs whose temporal-sparse component is large.
+/// `threshold_factor` follows the same relative convention as
+/// [`outlier_indices`].
 pub fn transient_outliers(
     decomposition: &RpcaDecomposition,
     threshold_factor: f64,
@@ -342,6 +688,131 @@ mod tests {
         );
     }
 
+    #[test]
+    fn randomized_matches_exact_above_crossover() {
+        // 40x36 is above the crossover: Auto takes the randomized path.
+        let outliers = [(3, 7, 6.0), (20, 12, -5.0), (35, 30, 7.0)];
+        let (d, l_true, _) = synthetic(40, 36, 3, &outliers);
+        let exact = rpca(
+            &d,
+            &RpcaConfig {
+                svd: SvdPolicy::Exact,
+                ..RpcaConfig::default()
+            },
+        )
+        .unwrap();
+        let fast = rpca(&d, &RpcaConfig::default()).unwrap();
+        assert!(fast.converged);
+        assert!(
+            fast.low_rank.max_abs_diff(&l_true).unwrap() < 1e-3,
+            "randomized L error {}",
+            fast.low_rank.max_abs_diff(&l_true).unwrap()
+        );
+        assert!(
+            fast.low_rank.max_abs_diff(&exact.low_rank).unwrap() < 1e-4,
+            "exact vs randomized L gap {}",
+            fast.low_rank.max_abs_diff(&exact.low_rank).unwrap()
+        );
+        let mut flagged_exact = outlier_indices(&exact, 0.5);
+        let mut flagged_fast = outlier_indices(&fast, 0.5);
+        flagged_exact.sort_unstable();
+        flagged_fast.sort_unstable();
+        assert_eq!(flagged_exact, flagged_fast);
+    }
+
+    #[test]
+    fn auto_policy_is_exact_below_crossover() {
+        // Below the crossover Auto and Exact must be bit-identical.
+        let (d, _, _) = synthetic(16, 16, 2, &[(2, 2, 4.0)]);
+        let auto = rpca(&d, &RpcaConfig::default()).unwrap();
+        let exact = rpca(
+            &d,
+            &RpcaConfig {
+                svd: SvdPolicy::Exact,
+                ..RpcaConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(auto, exact);
+    }
+
+    #[test]
+    fn randomized_path_is_deterministic() {
+        let (d, _, _) = synthetic(36, 32, 3, &[(5, 5, 6.0), (17, 20, -6.0)]);
+        let cfg = RpcaConfig {
+            svd: SvdPolicy::Randomized,
+            ..RpcaConfig::default()
+        };
+        let a = rpca(&d, &cfg).unwrap();
+        let b = rpca(&d, &cfg).unwrap();
+        // PartialEq on Matrix is exact f64 equality: bit-identical.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_stream_matches_cold_solves() {
+        // Slowly drifting low-rank scene with a fixed stuck pixel.
+        let frames: Vec<Matrix> = (0..4)
+            .map(|t| {
+                let mut f = Matrix::from_fn(32, 32, |i, j| {
+                    0.5 + 0.3 * ((i as f64 * 0.2 + t as f64 * 0.05).sin())
+                        + 0.2 * ((j as f64) * 0.15).cos()
+                });
+                f[(9, 13)] = 4.0;
+                f
+            })
+            .collect();
+        let mut stream = RpcaStream::new(RpcaConfig::default());
+        for frame in &frames {
+            let warm_dec = stream.push(frame).unwrap();
+            assert!(warm_dec.converged);
+            let cold_dec = rpca(frame, &RpcaConfig::default()).unwrap();
+            let mut warm_flagged = outlier_indices(&warm_dec, 0.3);
+            let mut cold_flagged = outlier_indices(&cold_dec, 0.3);
+            warm_flagged.sort_unstable();
+            cold_flagged.sort_unstable();
+            assert_eq!(warm_flagged, cold_flagged);
+            assert!(
+                warm_dec.low_rank.max_abs_diff(&cold_dec.low_rank).unwrap() < 1e-4,
+                "warm vs cold L gap {}",
+                warm_dec.low_rank.max_abs_diff(&cold_dec.low_rank).unwrap()
+            );
+        }
+        assert!(stream.warm_rank().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn stream_resets_on_shape_change() {
+        let (d1, _, _) = synthetic(32, 32, 2, &[(1, 1, 5.0)]);
+        let (d2, _, _) = synthetic(28, 24, 2, &[(2, 2, 5.0)]);
+        let mut stream = RpcaStream::new(RpcaConfig::default());
+        stream.push(&d1).unwrap();
+        assert!(stream.warm_rank().is_some());
+        let dec = stream.push(&d2).unwrap(); // different shape: no panic
+        assert!(dec.converged);
+        stream.reset();
+        assert!(stream.warm_rank().is_none());
+    }
+
+    #[test]
+    fn outlier_threshold_semantics_pinned() {
+        // Regression pin for the relative/clamped/strict flagging rule.
+        let dec = RpcaDecomposition {
+            low_rank: Matrix::zeros(2, 2),
+            sparse: Matrix::from_rows(&[&[2.0, -1.0], &[0.5, 0.0]]).unwrap(),
+            iterations: 1,
+            converged: true,
+        };
+        // factor > 1 clamps to 1: strict comparison flags nothing.
+        assert!(outlier_indices(&dec, 1.5).is_empty());
+        // factor 0 flags every nonzero entry (|s| > 0).
+        assert_eq!(outlier_indices(&dec, 0.0), vec![0, 1, 2]);
+        // Negative factors clamp to 0.
+        assert_eq!(outlier_indices(&dec, -3.0), vec![0, 1, 2]);
+        // Interior factor: cutoff is factor * max|S| = 0.6 * 2.0.
+        assert_eq!(outlier_indices(&dec, 0.6), vec![0]);
+    }
+
     /// Smooth scenes varying over time + one stuck pixel (all frames) +
     /// one transient upset (single frame).
     fn defect_sequence() -> Vec<Matrix> {
@@ -393,6 +864,21 @@ mod tests {
             .map(|&(p, _)| p)
             .collect();
         assert!(frame2_hits.contains(&(5 * 8 + 5)));
+    }
+
+    #[test]
+    fn multiframe_warm_slides_across_windows() {
+        let frames = defect_sequence();
+        let config = RpcaConfig::default();
+        let (_, warm) = rpca_multiframe_warm(&frames[0..4], &config, None).unwrap();
+        let (dec_warm, _) = rpca_multiframe_warm(&frames[2..6], &config, Some(&warm)).unwrap();
+        let dec_cold = rpca_multiframe(&frames[2..6], &config).unwrap();
+        assert!(dec_warm.converged);
+        let mut warm_hits = transient_outliers(&dec_warm, 0.4);
+        let mut cold_hits = transient_outliers(&dec_cold, 0.4);
+        warm_hits.sort_unstable();
+        cold_hits.sort_unstable();
+        assert_eq!(warm_hits, cold_hits);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::decode::Decoder;
 use crate::error::Result;
 use crate::inject::detect_extremes;
-use crate::rpca::{outlier_indices, rpca, RpcaConfig};
+use crate::rpca::{outlier_indices, rpca, RpcaConfig, RpcaStream};
 use crate::sampling::SamplingPlan;
 use crate::tel;
 use flexcs_linalg::{vecops, Matrix};
@@ -110,6 +110,21 @@ impl SamplingStrategy {
         decoder: &Decoder,
         seed: u64,
     ) -> Result<(Matrix, ReconstructStats)> {
+        self.reconstruct_traced_with(measured, m, decoder, seed, None)
+    }
+
+    /// [`SamplingStrategy::reconstruct_traced`] with optional carried
+    /// RPCA state: when `rpca_stream` is provided, the RPCA-filter
+    /// strategy warm-starts its decomposition from the previous frame
+    /// instead of solving cold. The other strategies ignore it.
+    fn reconstruct_traced_with(
+        &self,
+        measured: &Matrix,
+        m: usize,
+        decoder: &Decoder,
+        seed: u64,
+        rpca_stream: Option<&mut RpcaStream>,
+    ) -> Result<(Matrix, ReconstructStats)> {
         let (rows, cols) = measured.shape();
         let n = rows * cols;
         let flat = measured.to_flat();
@@ -184,7 +199,10 @@ impl SamplingStrategy {
             }
             SamplingStrategy::RpcaFilter { threshold } => {
                 let rpca_span = tel::span("strategy.rpca_filter");
-                let decomposition = rpca(measured, &RpcaConfig::default())?;
+                let decomposition = match rpca_stream {
+                    Some(stream) => stream.push(measured)?,
+                    None => rpca(measured, &RpcaConfig::default())?,
+                };
                 let excluded = outlier_indices(&decomposition, *threshold);
                 drop(rpca_span);
                 let sampling_span = tel::span("strategy.sampling");
@@ -200,6 +218,68 @@ impl SamplingStrategy {
                 Ok((rec.frame, stats))
             }
         }
+    }
+}
+
+/// A strategy plus the state it carries across the frames of a
+/// sequence. Today only [`SamplingStrategy::RpcaFilter`] is stateful —
+/// it warm-starts each frame's RPCA decomposition (subspace + sparse
+/// support) from the previous one — so for every other strategy a
+/// session behaves exactly like calling
+/// [`SamplingStrategy::reconstruct`] per frame.
+#[derive(Debug, Clone)]
+pub struct StrategySession {
+    strategy: SamplingStrategy,
+    rpca_stream: RpcaStream,
+}
+
+impl StrategySession {
+    /// Starts a session with no carried state.
+    pub fn new(strategy: SamplingStrategy) -> Self {
+        StrategySession {
+            strategy,
+            rpca_stream: RpcaStream::new(RpcaConfig::default()),
+        }
+    }
+
+    /// The wrapped strategy.
+    pub fn strategy(&self) -> &SamplingStrategy {
+        &self.strategy
+    }
+
+    /// Reconstructs the next frame of the sequence, updating the
+    /// carried state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling/decoding failures (e.g. too few usable
+    /// pixels).
+    pub fn reconstruct(
+        &mut self,
+        measured: &Matrix,
+        m: usize,
+        decoder: &Decoder,
+        seed: u64,
+    ) -> Result<Matrix> {
+        Ok(self.reconstruct_traced(measured, m, decoder, seed)?.0)
+    }
+
+    /// [`StrategySession::reconstruct`] plus solver effort, for the
+    /// pipeline's telemetry reports.
+    pub(crate) fn reconstruct_traced(
+        &mut self,
+        measured: &Matrix,
+        m: usize,
+        decoder: &Decoder,
+        seed: u64,
+    ) -> Result<(Matrix, ReconstructStats)> {
+        self.strategy.reconstruct_traced_with(
+            measured,
+            m,
+            decoder,
+            seed,
+            Some(&mut self.rpca_stream),
+        )
     }
 }
 
@@ -328,6 +408,49 @@ mod tests {
             (&r1 - &r2).norm_fro() > 1e-9,
             "budgets produced identical plans"
         );
+    }
+
+    #[test]
+    fn session_is_transparent_for_stateless_strategies() {
+        let (_, bad) = corrupted(16, 16, 0.05, 41);
+        let decoder = Decoder::default();
+        for strategy in [
+            SamplingStrategy::exclude_tested(),
+            SamplingStrategy::Oblivious,
+            SamplingStrategy::ResampleMedian { rounds: 3 },
+        ] {
+            let mut session = StrategySession::new(strategy.clone());
+            for seed in [1u64, 2, 3] {
+                let streamed = session.reconstruct(&bad, 150, &decoder, seed).unwrap();
+                let stateless = strategy.reconstruct(&bad, 150, &decoder, seed).unwrap();
+                assert_eq!(
+                    streamed.as_slice(),
+                    stateless.as_slice(),
+                    "{} diverged under a session",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_rpca_filter_matches_cold_per_frame() {
+        // 32x32 puts RPCA on the randomized engine; the warm-started
+        // session must exclude the same outliers (and hence produce the
+        // same reconstruction) as per-frame cold solves.
+        let decoder = Decoder::default();
+        let strategy = SamplingStrategy::RpcaFilter { threshold: 0.3 };
+        let mut session = StrategySession::new(strategy.clone());
+        for seed in 0..3u64 {
+            let (_, bad) = corrupted(32, 32, 0.08, 60 + seed);
+            let streamed = session.reconstruct(&bad, 560, &decoder, seed).unwrap();
+            let cold = strategy.reconstruct(&bad, 560, &decoder, seed).unwrap();
+            assert_eq!(
+                streamed.as_slice(),
+                cold.as_slice(),
+                "warm-started frame {seed} diverged"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! - [`Qr`] / [`solve_least_squares`]: Householder QR for least squares.
 //! - [`Svd`]: one-sided Jacobi SVD (thin), plus singular-value shrinkage
 //!   for RPCA.
+//! - [`Rsvd`]: randomized truncated SVD (Gaussian range finder, block
+//!   power iterations, residual certificate) for the RPCA hot path.
 //! - [`SymmetricEigen`]: cyclic Jacobi symmetric eigendecomposition.
 //! - [`Complex`] / [`ComplexMatrix`]: complex solves for AC circuit
 //!   analysis.
@@ -51,6 +53,7 @@ mod error;
 mod lu;
 mod matrix;
 mod qr;
+mod rsvd;
 mod svd;
 pub mod vecops;
 
@@ -61,4 +64,5 @@ pub use error::{LinalgError, Result};
 pub use lu::{solve, Lu};
 pub use matrix::Matrix;
 pub use qr::{solve_least_squares, Qr};
+pub use rsvd::{Rsvd, RsvdConfig};
 pub use svd::{spectral_norm_estimate, Svd};

@@ -200,9 +200,24 @@ impl Svd {
 
     /// Numerical rank: number of singular values above
     /// `tol * sigma_max`.
+    ///
+    /// The tolerance is **relative** to the largest singular value —
+    /// the usual convention for "numerical rank". Callers holding an
+    /// absolute singular-value threshold (like RPCA's shrinkage level
+    /// `1/μ`) must use [`Svd::rank_abs`] instead: converting via
+    /// `rank(t / sigma_max)` round-trips through a division whose
+    /// rounding can move the count by one when a singular value sits
+    /// exactly at the boundary.
     pub fn rank(&self, tol: f64) -> usize {
         let smax = self.sigma.first().copied().unwrap_or(0.0);
         self.sigma.iter().filter(|&&s| s > tol * smax).count()
+    }
+
+    /// Number of singular values strictly above the **absolute**
+    /// threshold — exactly the count [`Svd::shrink`] retains for
+    /// `tau = threshold`. See [`Svd::rank`] for the relative variant.
+    pub fn rank_abs(&self, threshold: f64) -> usize {
+        self.sigma.iter().filter(|&&s| s > threshold).count()
     }
 
     /// Best rank-`r` approximation (truncated SVD).
@@ -390,5 +405,21 @@ mod tests {
         let svd = Svd::compute(&a).unwrap();
         assert!((svd.nuclear_norm() - 7.0).abs() < 1e-12);
         assert!((svd.spectral_norm() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_is_relative_and_rank_abs_is_absolute() {
+        // Pins the threshold semantics: rank() scales by sigma_max,
+        // rank_abs() does not.
+        let a = Matrix::from_diagonal(&[8.0, 4.0, 1.0, 0.25]);
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(0.5), 1); // > 0.5 * 8 = 4 (strict)
+        assert_eq!(svd.rank_abs(0.5), 3); // > 0.5 absolute
+        assert_eq!(svd.rank_abs(4.0), 1); // strict at the boundary
+        assert_eq!(svd.rank_abs(0.0), 4);
+        // rank_abs counts exactly what shrink retains.
+        let tau = 0.5;
+        let retained = svd.sigma().iter().filter(|&&s| s - tau > 0.0).count();
+        assert_eq!(svd.rank_abs(tau), retained);
     }
 }

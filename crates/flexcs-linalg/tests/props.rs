@@ -1,6 +1,8 @@
 //! Property-based tests for the linear-algebra kernels.
 
-use flexcs_linalg::{solve, solve_spd, vecops, Cholesky, Lu, Matrix, Qr, Svd, SymmetricEigen};
+use flexcs_linalg::{
+    solve, solve_spd, vecops, Cholesky, Lu, Matrix, Qr, Rsvd, RsvdConfig, Svd, SymmetricEigen,
+};
 use proptest::prelude::*;
 
 /// Strategy: matrix entries bounded away from pathological magnitude.
@@ -29,6 +31,39 @@ fn spd_strategy(n: usize) -> impl Strategy<Value = Matrix> {
         }
         g
     })
+}
+
+/// Shared body for the rsvd-vs-Jacobi shape properties: builds an
+/// `m x n` rank-`r` matrix (plus ~1e-9 entrywise noise) from the drawn
+/// factor entries, then checks the randomized engine against the exact
+/// one-sided Jacobi kernel on the same input.
+fn assert_rsvd_matches_jacobi(m: usize, n: usize, r: usize, uf: &[f64], vf: &[f64], noise: &[f64]) {
+    let u = Matrix::from_vec(m, r, uf[..m * r].to_vec()).expect("sized");
+    let v = Matrix::from_vec(r, n, vf[..r * n].to_vec()).expect("sized");
+    let mut a = u.matmul(&v).expect("conformable factors");
+    a += &Matrix::from_vec(m, n, noise.to_vec()).expect("sized");
+    let exact = Svd::compute(&a).expect("jacobi svd");
+    let rsvd = Rsvd::compute(&a, r, &RsvdConfig::default()).expect("rsvd");
+    // Leading `r` singular values agree to 1e-8 (entries are O(1), so
+    // sigma_1 is at most a few tens and both kernels resolve it to
+    // working precision).
+    for (j, (rs, es)) in rsvd.sigma()[..r]
+        .iter()
+        .zip(&exact.sigma()[..r])
+        .enumerate()
+    {
+        assert!(
+            (rs - es).abs() < 1e-8,
+            "{m}x{n} rank {r} sigma[{j}]: {rs} vs {es}"
+        );
+    }
+    // Rank r is fully captured, so the reconstruction error is bounded
+    // by the injected noise mass (plus the certificate floor).
+    let err = (&a - &rsvd.reconstruct()).norm_fro();
+    assert!(
+        err < 1e-6 * (1.0 + a.norm_fro()),
+        "{m}x{n} rank {r} reconstruction error {err}"
+    );
 }
 
 proptest! {
@@ -158,6 +193,65 @@ proptest! {
         let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(m >= lo && m <= hi);
+    }
+
+    #[test]
+    fn rsvd_matches_jacobi_on_tall_low_rank(
+        r in 1usize..7,
+        uf in proptest::collection::vec(-1.0..1.0f64, 24 * 6),
+        vf in proptest::collection::vec(-1.0..1.0f64, 6 * 12),
+        noise in proptest::collection::vec(-1e-9..1e-9f64, 24 * 12),
+    ) {
+        assert_rsvd_matches_jacobi(24, 12, r, &uf, &vf, &noise);
+    }
+
+    #[test]
+    fn rsvd_matches_jacobi_on_wide_low_rank(
+        r in 1usize..7,
+        uf in proptest::collection::vec(-1.0..1.0f64, 12 * 6),
+        vf in proptest::collection::vec(-1.0..1.0f64, 6 * 24),
+        noise in proptest::collection::vec(-1e-9..1e-9f64, 12 * 24),
+    ) {
+        assert_rsvd_matches_jacobi(12, 24, r, &uf, &vf, &noise);
+    }
+
+    #[test]
+    fn rsvd_matches_jacobi_on_square_low_rank(
+        r in 1usize..9,
+        uf in proptest::collection::vec(-1.0..1.0f64, 16 * 8),
+        vf in proptest::collection::vec(-1.0..1.0f64, 8 * 16),
+        noise in proptest::collection::vec(-1e-9..1e-9f64, 16 * 16),
+    ) {
+        assert_rsvd_matches_jacobi(16, 16, r, &uf, &vf, &noise);
+    }
+
+    #[test]
+    fn rsvd_certificate_matches_direct_projection_error(a in matrix_strategy(18, 10), r in 1usize..5) {
+        // U·Sigma·Vᵀ equals Q·Qᵀ·A exactly (B's SVD is lossless), so the
+        // directly computed reconstruction error must agree with the
+        // Frobenius-identity certificate up to its cancellation floor
+        // (~1e-8·‖A‖_F).
+        let rsvd = Rsvd::compute(&a, r, &RsvdConfig::default()).unwrap();
+        let err = (&a - &rsvd.reconstruct()).norm_fro();
+        prop_assert!((err - rsvd.residual()).abs() < 1e-5 * (1.0 + a.norm_fro()));
+    }
+
+    #[test]
+    fn rsvd_same_seed_is_bit_identical(
+        a in matrix_strategy(20, 14),
+        r in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        // Holds regardless of the `parallel` feature: the panel fan-out
+        // is bit-identical to the serial blocked kernel, and the
+        // Gaussian sketch depends only on (shape, seed).
+        let cfg = RsvdConfig { seed, ..RsvdConfig::default() };
+        let r1 = Rsvd::compute(&a, r, &cfg).unwrap();
+        let r2 = Rsvd::compute(&a, r, &cfg).unwrap();
+        prop_assert_eq!(r1.sigma(), r2.sigma());
+        prop_assert_eq!(r1.u().as_slice(), r2.u().as_slice());
+        prop_assert_eq!(r1.v().as_slice(), r2.v().as_slice());
+        prop_assert_eq!(r1.subspace().as_slice(), r2.subspace().as_slice());
     }
 
     #[test]
