@@ -5,7 +5,8 @@
 //! on:
 //!
 //! - with CS reconstruction, RMSE at 10 % errors stays at or below
-//!   0.08 (the paper reports ~0.05 against ~0.20 without CS);
+//!   0.08 (the paper reports ~0.05 against ~0.20 without CS), with
+//!   and without decode-side warm starts;
 //! - every robustness strategy (testing-based exclusion, median
 //!   resampling, RPCA filtering) beats the no-strategy oblivious pass
 //!   under blind errors;
@@ -25,8 +26,8 @@
 
 use flexcs_bench::{f4, pct, print_table};
 use flexcs_core::{
-    outlier_indices, rmse, rpca, run_experiment_batch, Decoder, ExperimentConfig, RpcaConfig,
-    SamplingStrategy, SparseErrorModel, SvdPolicy,
+    outlier_indices, rmse, rpca, run_experiment_batch, run_experiment_stream, Decoder,
+    ExperimentConfig, RpcaConfig, SamplingStrategy, SparseErrorModel, SvdPolicy,
 };
 use flexcs_datasets::{normalize_unit, thermal_frames, ThermalConfig};
 use flexcs_telemetry::MemoryRecorder;
@@ -104,6 +105,33 @@ fn main() {
         format!(
             "CS still beats raw at 20% errors ({:.4} vs {:.4})",
             cs[2], raw[2]
+        ),
+    );
+
+    // ----- The headline point again with decode warm starts enabled:
+    // seeding each solve from the previous frame's solution must not
+    // cost reconstruction quality (same Fig. 6a gate).
+    let warm_config = ExperimentConfig {
+        sampling_fraction: 0.5,
+        error_fraction: 0.10,
+        seed,
+        warm_decode: true,
+        ..ExperimentConfig::default()
+    };
+    let warm_outcomes = run_experiment_stream(&frames, &warm_config).expect("warm sweep runs");
+    let warm_rmse =
+        warm_outcomes.iter().map(|o| o.rmse_cs).sum::<f64>() / warm_outcomes.len() as f64;
+    gate.check(
+        "headline-rmse-warm",
+        warm_rmse <= 0.08,
+        format!("rmse with warm decode at 10% errors = {warm_rmse:.4} (gate: <= 0.08)"),
+    );
+    gate.check(
+        "warm-starts-active",
+        recorder.counter_value("solver.warm_starts") > 0,
+        format!(
+            "solver.warm_starts = {} (decode warm starts exercised)",
+            recorder.counter_value("solver.warm_starts")
         ),
     );
 

@@ -56,8 +56,8 @@ pub fn fig6a_sweep(
                 error_fraction: error,
                 strategy: SamplingStrategy::exclude_tested(),
                 decoder: Decoder::default(),
-                measurement_noise: 0.0,
                 seed,
+                ..ExperimentConfig::default()
             };
             let (rmse_cs, rmse_raw) = run_experiment_batch(frames, &config)?;
             rows.push(Fig6aRow {

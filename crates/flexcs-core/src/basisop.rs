@@ -190,6 +190,27 @@ impl LinearOperator for SubsampledDctOperator {
         self.basis.analyze(&frame, &self.plan).to_flat()
     }
 
+    fn apply_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        // The transform itself still builds its output matrix (the 2-D
+        // passes need a full frame), but the gather writes straight into
+        // the caller's buffer, so solver loops skip one Vec per product.
+        let coeffs = devectorize(x, self.rows, self.cols).expect("length checked by caller");
+        let frame = self.basis.synthesize(&coeffs, &self.plan);
+        let flat = frame.as_slice();
+        out.clear();
+        out.extend(self.selected.iter().map(|&i| flat[i]));
+    }
+
+    fn apply_transpose_into(&self, y: &[f64], out: &mut Vec<f64>) {
+        let mut frame = Matrix::zeros(self.rows, self.cols);
+        for (&i, &v) in self.selected.iter().zip(y) {
+            frame[(i / self.cols, i % self.cols)] = v;
+        }
+        let coeffs = self.basis.analyze(&frame, &self.plan);
+        out.clear();
+        out.extend_from_slice(coeffs.as_slice());
+    }
+
     fn spectral_norm_estimate(&self, iterations: usize) -> f64 {
         // Each power iteration costs two 2-D transforms; ISTA asks for
         // the Lipschitz constant on every solve, so cache it.

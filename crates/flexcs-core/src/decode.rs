@@ -8,7 +8,9 @@ use crate::basisop::{BasisKind, SubsampledDctOperator};
 use crate::error::Result;
 use crate::tel;
 use flexcs_linalg::Matrix;
-use flexcs_solver::{IstaConfig, LinearOperator, SolveReport, SparseSolver};
+use flexcs_solver::{
+    IstaConfig, LinearOperator, SolveReport, SolveWorkspace, SparseSolver, WarmStart,
+};
 use flexcs_transform::{devectorize, haar2d_full_inverse, Dct2d};
 use std::sync::{Arc, Mutex};
 
@@ -58,6 +60,54 @@ impl Clone for Decoder {
                     .clone(),
             ),
         }
+    }
+}
+
+/// Decode-side warm-start state: a reusable solver workspace plus the
+/// previous solution's DCT coefficients and cached spectral norm.
+///
+/// Passed to [`Decoder::reconstruct_warm`] across related solves —
+/// consecutive resampling rounds of one frame, or consecutive frames of
+/// a stream — so each solve after the first starts from the previous
+/// coefficients, reuses the preallocated iterate buffers, and skips the
+/// per-round power iteration. This composes with the RPCA subspace
+/// warm starts of the streaming session layer: RPCA carries the
+/// low-rank subspace across frames, this carries the sparse code.
+///
+/// Cold solves through [`Decoder::reconstruct`] are unaffected; a
+/// shape or sampling-density change simply resets the carried state on
+/// the next solve.
+#[derive(Clone, Debug, Default)]
+pub struct DecodeWarmState {
+    workspace: SolveWorkspace,
+    warm: WarmStart,
+}
+
+impl DecodeWarmState {
+    /// Fresh state; the first reconstruction through it runs cold.
+    pub fn new() -> Self {
+        DecodeWarmState::default()
+    }
+
+    /// Number of solves seeded from a previous solution.
+    pub fn warm_starts(&self) -> u64 {
+        self.warm.warm_starts()
+    }
+
+    /// Adaptive FISTA momentum restarts taken across warm solves.
+    pub fn restarts(&self) -> u64 {
+        self.warm.restarts()
+    }
+
+    /// Iterations saved by warm solves relative to the cold baseline.
+    pub fn saved_iterations(&self) -> u64 {
+        self.warm.saved_iterations()
+    }
+
+    /// Forgets the carried solution and cached norm (counters survive);
+    /// the next reconstruction runs cold again.
+    pub fn clear(&mut self) {
+        self.warm.clear();
     }
 }
 
@@ -113,6 +163,38 @@ impl Decoder {
         selected: &[usize],
         y: &[f64],
     ) -> Result<Reconstruction> {
+        self.reconstruct_inner(rows, cols, selected, y, None)
+    }
+
+    /// [`Decoder::reconstruct`] with cross-solve warm starting: the
+    /// solver is seeded from the previous solution carried in `state`,
+    /// reuses its preallocated workspace, and serves the Lipschitz
+    /// constant from the cached spectral norm instead of re-running
+    /// power iteration. The first call on a fresh (or shape-changed)
+    /// state is bit-identical to [`Decoder::reconstruct`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Decoder::reconstruct`].
+    pub fn reconstruct_warm(
+        &self,
+        rows: usize,
+        cols: usize,
+        selected: &[usize],
+        y: &[f64],
+        state: &mut DecodeWarmState,
+    ) -> Result<Reconstruction> {
+        self.reconstruct_inner(rows, cols, selected, y, Some(state))
+    }
+
+    fn reconstruct_inner(
+        &self,
+        rows: usize,
+        cols: usize,
+        selected: &[usize],
+        y: &[f64],
+        warm: Option<&mut DecodeWarmState>,
+    ) -> Result<Reconstruction> {
         let setup_span = tel::span("decode.setup");
         let plan = self.plan_for(rows, cols)?;
         let op = SubsampledDctOperator::with_plan(rows, cols, selected.to_vec(), self.basis, plan)?;
@@ -121,7 +203,10 @@ impl Decoder {
         let solver = self.scaled_solver(&op, y);
         drop(setup_span);
         let solve_span = tel::span("decode.solve");
-        let recovery = solver.solve(&op, y)?;
+        let recovery = match warm {
+            Some(state) => solver.solve_warm(&op, y, &mut state.workspace, &mut state.warm)?,
+            None => solver.solve(&op, y)?,
+        };
         drop(solve_span);
         if tel::enabled() {
             tel::histogram(

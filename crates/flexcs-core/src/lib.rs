@@ -64,7 +64,7 @@ mod tel;
 
 pub use basisop::{BasisKind, SubsampledDctOperator};
 pub use comm::{comm_cost, comm_cost_for_sparsity, CommCostReport};
-pub use decode::{Decoder, Reconstruction};
+pub use decode::{DecodeWarmState, Decoder, Reconstruction};
 pub use encoder::{Acquisition, CircuitEncoder};
 pub use error::{CoreError, Result};
 pub use inject::{detect_extremes, SparseErrorModel};

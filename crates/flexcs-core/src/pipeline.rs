@@ -33,6 +33,11 @@ pub struct ExperimentConfig {
     pub measurement_noise: f64,
     /// Base RNG seed; error injection and sampling derive from it.
     pub seed: u64,
+    /// Carry decode-side warm starts across the frames (and resampling
+    /// rounds) of [`run_experiment_stream`]: each solve seeds from the
+    /// previous solution's DCT coefficients. Off by default so streamed
+    /// results stay bit-identical to per-frame runs.
+    pub warm_decode: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -46,6 +51,7 @@ impl Default for ExperimentConfig {
             decoder: Decoder::default(),
             measurement_noise: 0.0,
             seed: 0,
+            warm_decode: false,
         }
     }
 }
@@ -196,10 +202,11 @@ pub fn run_experiment_batch(frames: &[Matrix], config: &ExperimentConfig) -> Res
 ///
 /// The streaming counterpart of [`run_experiment_batch`]: the batch
 /// fans independent cold solves out across threads, while the stream
-/// trades that parallelism for cross-frame warm starts (today: the
-/// RPCA-filter strategy's subspace and sparse support). Stateless
-/// strategies produce outcomes identical to per-frame
-/// [`run_experiment`] calls.
+/// trades that parallelism for cross-frame warm starts (the RPCA-filter
+/// strategy's subspace and sparse support, plus — with
+/// [`ExperimentConfig::warm_decode`] — the decoder's solver state).
+/// With `warm_decode` off, stateless strategies produce outcomes
+/// identical to per-frame [`run_experiment`] calls.
 ///
 /// # Errors
 ///
@@ -215,6 +222,9 @@ pub fn run_experiment_stream(
         ));
     }
     let mut session = StrategySession::new(config.strategy.clone());
+    if config.warm_decode {
+        session = session.with_warm_decode();
+    }
     let mut outcomes = Vec::with_capacity(frames.len());
     for (k, frame) in frames.iter().enumerate() {
         let mut cfg = config.clone();
@@ -362,6 +372,31 @@ mod tests {
                 outcome.reconstructed.as_slice(),
                 solo.reconstructed.as_slice(),
                 "frame {k} diverged under warm start"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_decode_stream_keeps_accuracy() {
+        let frames: Vec<Matrix> = (0..3).map(thermal).collect();
+        let cold_cfg = ExperimentConfig {
+            strategy: SamplingStrategy::ResampleMedian { rounds: 4 },
+            error_fraction: 0.05,
+            seed: 11,
+            ..ExperimentConfig::default()
+        };
+        let warm_cfg = ExperimentConfig {
+            warm_decode: true,
+            ..cold_cfg.clone()
+        };
+        let cold = run_experiment_stream(&frames, &cold_cfg).unwrap();
+        let warm = run_experiment_stream(&frames, &warm_cfg).unwrap();
+        for (k, (c, w)) in cold.iter().zip(&warm).enumerate() {
+            assert!(
+                (w.rmse_cs - c.rmse_cs).abs() < 5e-3,
+                "frame {k}: warm rmse {} vs cold {}",
+                w.rmse_cs,
+                c.rmse_cs
             );
         }
     }

@@ -11,7 +11,7 @@
 //! - [`SamplingStrategy::RpcaFilter`]: detect outliers with RPCA first,
 //!   exclude them, then sample and reconstruct (Fig. 6c "RPCA").
 
-use crate::decode::Decoder;
+use crate::decode::{DecodeWarmState, Decoder, Reconstruction};
 use crate::error::Result;
 use crate::inject::detect_extremes;
 use crate::rpca::{outlier_indices, rpca, RpcaConfig, RpcaStream};
@@ -114,16 +114,18 @@ impl SamplingStrategy {
     }
 
     /// [`SamplingStrategy::reconstruct_traced`] with optional carried
-    /// RPCA state: when `rpca_stream` is provided, the RPCA-filter
-    /// strategy warm-starts its decomposition from the previous frame
-    /// instead of solving cold. The other strategies ignore it.
+    /// session state: the RPCA-filter strategy warm-starts its
+    /// decomposition from the previous frame instead of solving cold,
+    /// and — when the session opted in via
+    /// [`StrategySession::with_warm_decode`] — every decode is seeded
+    /// from the previous solution's DCT coefficients.
     fn reconstruct_traced_with(
         &self,
         measured: &Matrix,
         m: usize,
         decoder: &Decoder,
         seed: u64,
-        rpca_stream: Option<&mut RpcaStream>,
+        mut state: Option<&mut SessionState>,
     ) -> Result<(Matrix, ReconstructStats)> {
         let (rows, cols) = measured.shape();
         let n = rows * cols;
@@ -136,7 +138,14 @@ impl SamplingStrategy {
                 let plan = SamplingPlan::random_subset(n, m_eff, &excluded, seed)?;
                 let y = plan.measure(&flat);
                 drop(sampling_span);
-                let rec = decoder.reconstruct(rows, cols, plan.selected(), &y)?;
+                let rec = decode_subset(
+                    decoder,
+                    rows,
+                    cols,
+                    plan.selected(),
+                    &y,
+                    warm_of(&mut state),
+                )?;
                 let stats = ReconstructStats {
                     solver_iterations: rec.report.iterations,
                     converged: rec.report.converged,
@@ -149,7 +158,14 @@ impl SamplingStrategy {
                 let plan = SamplingPlan::random_subset(n, m_eff, indices, seed)?;
                 let y = plan.measure(&flat);
                 drop(sampling_span);
-                let rec = decoder.reconstruct(rows, cols, plan.selected(), &y)?;
+                let rec = decode_subset(
+                    decoder,
+                    rows,
+                    cols,
+                    plan.selected(),
+                    &y,
+                    warm_of(&mut state),
+                )?;
                 let stats = ReconstructStats {
                     solver_iterations: rec.report.iterations,
                     converged: rec.report.converged,
@@ -161,7 +177,14 @@ impl SamplingStrategy {
                 let plan = SamplingPlan::random_subset(n, m, &[], seed)?;
                 let y = plan.measure(&flat);
                 drop(sampling_span);
-                let rec = decoder.reconstruct(rows, cols, plan.selected(), &y)?;
+                let rec = decode_subset(
+                    decoder,
+                    rows,
+                    cols,
+                    plan.selected(),
+                    &y,
+                    warm_of(&mut state),
+                )?;
                 let stats = ReconstructStats {
                     solver_iterations: rec.report.iterations,
                     converged: rec.report.converged,
@@ -170,21 +193,54 @@ impl SamplingStrategy {
             }
             SamplingStrategy::ResampleMedian { rounds } => {
                 let rounds = (*rounds).max(1);
-                // Each round is seeded from its index alone, so the
-                // fan-out is bit-identical to the serial loop.
-                let recs = crate::par::maybe_par_map_indices(rounds, |r| {
-                    let plan =
-                        SamplingPlan::random_subset(n, m, &[], seed.wrapping_add(r as u64 * 77))?;
-                    let y = plan.measure(&flat);
-                    decoder.reconstruct(rows, cols, plan.selected(), &y)
-                });
+                let recs: Vec<Reconstruction> = match warm_of(&mut state) {
+                    // Warm rounds chain through one shared solver
+                    // state — round r seeds from round r−1's
+                    // coefficients of the same frame — so they must
+                    // run sequentially. Per-round plan seeds are the
+                    // same as the cold fan-out's.
+                    Some(warm) => {
+                        let mut recs = Vec::with_capacity(rounds);
+                        for r in 0..rounds {
+                            let plan = SamplingPlan::random_subset(
+                                n,
+                                m,
+                                &[],
+                                seed.wrapping_add(r as u64 * 77),
+                            )?;
+                            let y = plan.measure(&flat);
+                            recs.push(decoder.reconstruct_warm(
+                                rows,
+                                cols,
+                                plan.selected(),
+                                &y,
+                                warm,
+                            )?);
+                        }
+                        recs
+                    }
+                    // Each cold round is seeded from its index alone,
+                    // so the fan-out is bit-identical to the serial
+                    // loop.
+                    None => crate::par::maybe_par_map_indices(rounds, |r| {
+                        let plan = SamplingPlan::random_subset(
+                            n,
+                            m,
+                            &[],
+                            seed.wrapping_add(r as u64 * 77),
+                        )?;
+                        let y = plan.measure(&flat);
+                        decoder.reconstruct(rows, cols, plan.selected(), &y)
+                    })
+                    .into_iter()
+                    .collect::<Result<_>>()?,
+                };
                 let mut stats = ReconstructStats {
                     solver_iterations: 0,
                     converged: true,
                 };
                 let mut stacks: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); n];
                 for rec in recs {
-                    let rec = rec?;
                     stats.solver_iterations += rec.report.iterations;
                     stats.converged &= rec.report.converged;
                     for (stack, &v) in stacks.iter_mut().zip(rec.frame.as_slice()) {
@@ -199,8 +255,8 @@ impl SamplingStrategy {
             }
             SamplingStrategy::RpcaFilter { threshold } => {
                 let rpca_span = tel::span("strategy.rpca_filter");
-                let decomposition = match rpca_stream {
-                    Some(stream) => stream.push(measured)?,
+                let decomposition = match state.as_deref_mut() {
+                    Some(session) => session.rpca_stream.push(measured)?,
                     None => rpca(measured, &RpcaConfig::default())?,
                 };
                 let excluded = outlier_indices(&decomposition, *threshold);
@@ -210,7 +266,14 @@ impl SamplingStrategy {
                 let plan = SamplingPlan::random_subset(n, m_eff, &excluded, seed)?;
                 let y = plan.measure(&flat);
                 drop(sampling_span);
-                let rec = decoder.reconstruct(rows, cols, plan.selected(), &y)?;
+                let rec = decode_subset(
+                    decoder,
+                    rows,
+                    cols,
+                    plan.selected(),
+                    &y,
+                    warm_of(&mut state),
+                )?;
                 let stats = ReconstructStats {
                     solver_iterations: rec.report.iterations,
                     converged: rec.report.converged,
@@ -221,16 +284,52 @@ impl SamplingStrategy {
     }
 }
 
+/// The decode warm state carried by `state`, when the session opted in.
+fn warm_of<'a>(state: &'a mut Option<&mut SessionState>) -> Option<&'a mut DecodeWarmState> {
+    state.as_deref_mut().and_then(|s| s.decode_warm.as_mut())
+}
+
+/// Decodes one sampled subset, warm-started when the session carries
+/// decode state.
+fn decode_subset(
+    decoder: &Decoder,
+    rows: usize,
+    cols: usize,
+    selected: &[usize],
+    y: &[f64],
+    warm: Option<&mut DecodeWarmState>,
+) -> Result<Reconstruction> {
+    match warm {
+        Some(state) => decoder.reconstruct_warm(rows, cols, selected, y, state),
+        None => decoder.reconstruct(rows, cols, selected, y),
+    }
+}
+
+/// State a [`StrategySession`] carries across the frames of a sequence:
+/// the RPCA decomposition stream and (opt-in) decode-side warm starts.
+#[derive(Debug, Clone)]
+struct SessionState {
+    rpca_stream: RpcaStream,
+    decode_warm: Option<DecodeWarmState>,
+}
+
 /// A strategy plus the state it carries across the frames of a
-/// sequence. Today only [`SamplingStrategy::RpcaFilter`] is stateful —
-/// it warm-starts each frame's RPCA decomposition (subspace + sparse
-/// support) from the previous one — so for every other strategy a
-/// session behaves exactly like calling
+/// sequence. By default only [`SamplingStrategy::RpcaFilter`] is
+/// stateful — it warm-starts each frame's RPCA decomposition (subspace
+/// and sparse support) from the previous one — so for every other
+/// strategy a fresh session behaves exactly like calling
 /// [`SamplingStrategy::reconstruct`] per frame.
+///
+/// [`StrategySession::with_warm_decode`] additionally carries solver
+/// state across *decodes*: each resampling round and each frame seeds
+/// its solve from the previous solution's DCT coefficients, reuses one
+/// preallocated workspace, and skips the per-round power iteration.
+/// This trades bit-identity to the per-frame cold path for fewer
+/// solver iterations on correlated solves.
 #[derive(Debug, Clone)]
 pub struct StrategySession {
     strategy: SamplingStrategy,
-    rpca_stream: RpcaStream,
+    state: SessionState,
 }
 
 impl StrategySession {
@@ -238,13 +337,30 @@ impl StrategySession {
     pub fn new(strategy: SamplingStrategy) -> Self {
         StrategySession {
             strategy,
-            rpca_stream: RpcaStream::new(RpcaConfig::default()),
+            state: SessionState {
+                rpca_stream: RpcaStream::new(RpcaConfig::default()),
+                decode_warm: None,
+            },
         }
+    }
+
+    /// Enables decode-side warm starts (builder style): consecutive
+    /// decodes seed from the previous solution instead of from zero.
+    #[must_use]
+    pub fn with_warm_decode(mut self) -> Self {
+        self.state.decode_warm = Some(DecodeWarmState::new());
+        self
     }
 
     /// The wrapped strategy.
     pub fn strategy(&self) -> &SamplingStrategy {
         &self.strategy
+    }
+
+    /// Borrows the decode warm-start state (for its counters), when
+    /// enabled via [`StrategySession::with_warm_decode`].
+    pub fn decode_warm(&self) -> Option<&DecodeWarmState> {
+        self.state.decode_warm.as_ref()
     }
 
     /// Reconstructs the next frame of the sequence, updating the
@@ -273,13 +389,8 @@ impl StrategySession {
         decoder: &Decoder,
         seed: u64,
     ) -> Result<(Matrix, ReconstructStats)> {
-        self.strategy.reconstruct_traced_with(
-            measured,
-            m,
-            decoder,
-            seed,
-            Some(&mut self.rpca_stream),
-        )
+        self.strategy
+            .reconstruct_traced_with(measured, m, decoder, seed, Some(&mut self.state))
     }
 }
 
@@ -451,6 +562,49 @@ mod tests {
                 "warm-started frame {seed} diverged"
             );
         }
+    }
+
+    #[test]
+    fn warm_decode_session_tracks_cold_resample_median() {
+        let (truth, bad) = corrupted(16, 16, 0.05, 51);
+        let decoder = Decoder::default();
+        let strategy = SamplingStrategy::ResampleMedian { rounds: 5 };
+        let cold = strategy.reconstruct(&bad, 150, &decoder, 7).unwrap();
+        let mut session = StrategySession::new(strategy).with_warm_decode();
+        let warm = session.reconstruct(&bad, 150, &decoder, 7).unwrap();
+        // Warm rounds converge to (nearly) the same LASSO minimizers,
+        // so the merged frames agree to reconstruction accuracy even
+        // though the iterate paths differ.
+        let drift = rmse(&warm, &cold);
+        assert!(drift < 5e-3, "warm vs cold rmse {drift}");
+        assert!(
+            (rmse(&warm, &truth) - rmse(&cold, &truth)).abs() < 5e-3,
+            "warm {} vs cold {} accuracy",
+            rmse(&warm, &truth),
+            rmse(&cold, &truth)
+        );
+        let state = session.decode_warm().unwrap();
+        assert!(
+            state.warm_starts() >= 4,
+            "rounds after the first should warm-start, got {}",
+            state.warm_starts()
+        );
+    }
+
+    #[test]
+    fn warm_decode_carries_across_frames() {
+        let decoder = Decoder::default();
+        let mut session = StrategySession::new(SamplingStrategy::Oblivious).with_warm_decode();
+        for seed in 0..3u64 {
+            let (_, bad) = corrupted(16, 16, 0.03, 90 + seed);
+            session.reconstruct(&bad, 150, &decoder, seed).unwrap();
+        }
+        let state = session.decode_warm().unwrap();
+        assert_eq!(
+            state.warm_starts(),
+            2,
+            "frames after the first should warm-start"
+        );
     }
 
     #[test]

@@ -90,8 +90,35 @@ impl Cholesky {
                 b.len()
             )));
         }
-        // Forward: L y = b.
         let mut y = b.to_vec();
+        self.solve_in_place(&mut y);
+        Ok(y)
+    }
+
+    /// [`Cholesky::solve`] into a caller-owned buffer (resized to fit):
+    /// the allocation-free variant used inside solver iteration loops.
+    /// Results are bit-identical to [`Cholesky::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for a wrong-length rhs.
+    pub fn solve_into(&self, b: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "cholesky solve: expected rhs of length {n}, got {}",
+                b.len()
+            )));
+        }
+        out.clear();
+        out.extend_from_slice(b);
+        self.solve_in_place(out);
+        Ok(())
+    }
+
+    fn solve_in_place(&self, y: &mut [f64]) {
+        let n = self.dim();
+        // Forward: L y = b.
         for i in 0..n {
             let mut s = y[i];
             for j in 0..i {
@@ -107,7 +134,6 @@ impl Cholesky {
             }
             y[i] = s / self.l[(i, i)];
         }
-        Ok(y)
     }
 
     /// Log-determinant of the original matrix (`2·Σ log L_ii`).

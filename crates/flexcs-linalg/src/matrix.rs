@@ -326,11 +326,38 @@ impl Matrix {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
+        self.matvec_fill(x, &mut y);
         Ok(y)
+    }
+
+    /// [`Matrix::matvec`] into a caller-owned buffer (resized to fit):
+    /// the allocation-free variant solver inner loops call through
+    /// `LinearOperator::apply_into`. Results are bit-identical to
+    /// [`Matrix::matvec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() !=
+    /// self.cols()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "matvec_into: matrix is {}x{} but vector has length {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        out.resize(self.rows, 0.0);
+        self.matvec_fill(x, out);
+        Ok(())
+    }
+
+    fn matvec_fill(&self, x: &[f64], y: &mut [f64]) {
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
     }
 
     /// Transposed matrix-vector product `selfᵀ * x`.
@@ -349,6 +376,35 @@ impl Matrix {
             )));
         }
         let mut y = vec![0.0; self.cols];
+        self.matvec_transpose_fill(x, &mut y);
+        Ok(y)
+    }
+
+    /// [`Matrix::matvec_transpose`] into a caller-owned buffer (resized
+    /// and zeroed): the allocation-free variant solver inner loops call
+    /// through `LinearOperator::apply_transpose_into`. Results are
+    /// bit-identical to [`Matrix::matvec_transpose`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() !=
+    /// self.rows()`.
+    pub fn matvec_transpose_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "matvec_transpose: matrix is {}x{} but vector has length {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        out.clear();
+        out.resize(self.cols, 0.0);
+        self.matvec_transpose_fill(x, out);
+        Ok(())
+    }
+
+    fn matvec_transpose_fill(&self, x: &[f64], y: &mut [f64]) {
         for i in 0..self.rows {
             let xi = x[i];
             if xi == 0.0 {
@@ -359,7 +415,6 @@ impl Matrix {
                 *yj += a * xi;
             }
         }
-        Ok(y)
     }
 
     /// Extracts the sub-matrix with rows `r0..r1` and columns `c0..c1`.

@@ -31,12 +31,24 @@ pub fn norm_inf(a: &[f64]) -> f64 {
 
 /// `y += alpha * x` in place.
 ///
+/// Unrolled over four-lane chunks (`chunks_exact`) so the optimizer
+/// vectorizes the fused multiply-adds; per-element arithmetic is
+/// unchanged, so results are bit-identical to the scalar loop.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let mut yc = y.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    for (yk, xk) in yc.by_ref().zip(xc.by_ref()) {
+        yk[0] += alpha * xk[0];
+        yk[1] += alpha * xk[1];
+        yk[2] += alpha * xk[2];
+        yk[3] += alpha * xk[3];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi += alpha * xi;
     }
 }
@@ -68,6 +80,123 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
     a.iter().zip(b).map(|(x, y)| x - y).collect()
 }
 
+/// Elementwise difference `a - b` written into `out` (resized to fit) —
+/// the allocation-free counterpart of [`sub`] for solver inner loops.
+///
+/// # Panics
+///
+/// Panics if the input slices have different lengths.
+pub fn sub_into(out: &mut Vec<f64>, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "sub_into: length mismatch");
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(x, y)| x - y));
+}
+
+/// `‖a − b‖₂` without materializing the difference vector.
+///
+/// Accumulates `(a_i − b_i)²` strictly in index order (single
+/// accumulator), so the result is bit-identical to
+/// `norm2(&sub(a, b))` — solvers rely on that for reproducible
+/// stopping decisions.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn diff_norm2(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "diff_norm2: length mismatch");
+    // -0.0 is `Sum for f64`'s identity; starting there keeps even the
+    // empty case bit-identical to `norm2(&sub(a, b))`.
+    let mut s = -0.0;
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (ak, bk) in ac.by_ref().zip(bc.by_ref()) {
+        let d0 = ak[0] - bk[0];
+        s += d0 * d0;
+        let d1 = ak[1] - bk[1];
+        s += d1 * d1;
+        let d2 = ak[2] - bk[2];
+        s += d2 * d2;
+        let d3 = ak[3] - bk[3];
+        s += d3 * d3;
+    }
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        let d = x - y;
+        s += d * d;
+    }
+    s.sqrt()
+}
+
+/// Fused proximal-gradient step: `out[i] = soft(y[i] − step·g[i], t)`,
+/// the ISTA/FISTA inner-loop kernel (gradient descent at the momentum
+/// point followed by shrinkage) in one pass with no temporaries.
+///
+/// Per-element arithmetic matches the open-coded
+/// `y − step·g` + [`soft_threshold_mut`] sequence exactly, so results
+/// are bit-identical; the loop is unrolled over four-lane chunks.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn prox_grad_step_into(out: &mut [f64], y: &[f64], g: &[f64], step: f64, t: f64) {
+    assert_eq!(out.len(), y.len(), "prox_grad_step_into: length mismatch");
+    assert_eq!(out.len(), g.len(), "prox_grad_step_into: length mismatch");
+    #[inline(always)]
+    fn shrink(v: f64, t: f64) -> f64 {
+        if v > t {
+            v - t
+        } else if v < -t {
+            v + t
+        } else {
+            0.0
+        }
+    }
+    let mut oc = out.chunks_exact_mut(4);
+    let mut yc = y.chunks_exact(4);
+    let mut gc = g.chunks_exact(4);
+    for ((ok, yk), gk) in oc.by_ref().zip(yc.by_ref()).zip(gc.by_ref()) {
+        ok[0] = shrink(yk[0] - step * gk[0], t);
+        ok[1] = shrink(yk[1] - step * gk[1], t);
+        ok[2] = shrink(yk[2] - step * gk[2], t);
+        ok[3] = shrink(yk[3] - step * gk[3], t);
+    }
+    for ((o, yi), gi) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(yc.remainder())
+        .zip(gc.remainder())
+    {
+        *o = shrink(yi - step * gi, t);
+    }
+}
+
+/// FISTA momentum extrapolation:
+/// `y[i] = xn[i] + beta·(xn[i] − xo[i])` with no temporaries.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn momentum_into(y: &mut [f64], xn: &[f64], xo: &[f64], beta: f64) {
+    assert_eq!(y.len(), xn.len(), "momentum_into: length mismatch");
+    assert_eq!(y.len(), xo.len(), "momentum_into: length mismatch");
+    let mut yc = y.chunks_exact_mut(4);
+    let mut nc = xn.chunks_exact(4);
+    let mut oc = xo.chunks_exact(4);
+    for ((yk, nk), ok) in yc.by_ref().zip(nc.by_ref()).zip(oc.by_ref()) {
+        yk[0] = nk[0] + beta * (nk[0] - ok[0]);
+        yk[1] = nk[1] + beta * (nk[1] - ok[1]);
+        yk[2] = nk[2] + beta * (nk[2] - ok[2]);
+        yk[3] = nk[3] + beta * (nk[3] - ok[3]);
+    }
+    for ((yi, ni), oi) in yc
+        .into_remainder()
+        .iter_mut()
+        .zip(nc.remainder())
+        .zip(oc.remainder())
+    {
+        *yi = ni + beta * (ni - oi);
+    }
+}
+
 /// Soft-thresholding (shrinkage) operator applied entrywise:
 /// `sign(v) * max(|v| - t, 0)`.
 ///
@@ -88,15 +217,29 @@ pub fn soft_threshold(a: &[f64], t: f64) -> Vec<f64> {
 }
 
 /// In-place soft thresholding; see [`soft_threshold`].
+///
+/// Unrolled over four-lane chunks; per-element arithmetic (and hence
+/// every result bit) matches the scalar loop.
 pub fn soft_threshold_mut(a: &mut [f64], t: f64) {
-    for v in a.iter_mut() {
-        *v = if *v > t {
-            *v - t
-        } else if *v < -t {
-            *v + t
+    #[inline(always)]
+    fn shrink(v: f64, t: f64) -> f64 {
+        if v > t {
+            v - t
+        } else if v < -t {
+            v + t
         } else {
             0.0
-        };
+        }
+    }
+    let mut chunks = a.chunks_exact_mut(4);
+    for c in chunks.by_ref() {
+        c[0] = shrink(c[0], t);
+        c[1] = shrink(c[1], t);
+        c[2] = shrink(c[2], t);
+        c[3] = shrink(c[3], t);
+    }
+    for v in chunks.into_remainder() {
+        *v = shrink(*v, t);
     }
 }
 
@@ -228,5 +371,81 @@ mod tests {
     #[test]
     fn count_above_threshold() {
         assert_eq!(count_above(&[0.1, -0.5, 2.0], 0.4), 2);
+    }
+
+    /// Deterministic pseudo-random fill exercising both the unrolled
+    /// chunks and the remainder lanes (lengths not divisible by 4).
+    fn ramp(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as f64) * 0.7 + phase).sin() * 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn sub_into_matches_sub() {
+        for n in [0, 1, 3, 4, 7, 16, 33] {
+            let a = ramp(n, 0.1);
+            let b = ramp(n, 1.9);
+            let mut out = vec![f64::NAN; 2]; // stale content must be discarded
+            sub_into(&mut out, &a, &b);
+            assert_eq!(out, sub(&a, &b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn diff_norm2_bit_identical_to_sub_then_norm2() {
+        for n in [0, 1, 3, 4, 7, 16, 33, 100] {
+            let a = ramp(n, 0.3);
+            let b = ramp(n, 2.7);
+            let fused = diff_norm2(&a, &b);
+            let reference = norm2(&sub(&a, &b));
+            assert_eq!(fused.to_bits(), reference.to_bits(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn prox_grad_step_bit_identical_to_open_coded() {
+        for n in [0, 1, 3, 4, 7, 16, 33] {
+            let y = ramp(n, 0.5);
+            let g = ramp(n, 1.1);
+            let (step, t) = (0.37, 0.25);
+            let mut fused = vec![0.0; n];
+            prox_grad_step_into(&mut fused, &y, &g, step, t);
+            let mut reference: Vec<f64> = y.iter().zip(&g).map(|(yi, gi)| yi - step * gi).collect();
+            soft_threshold_mut(&mut reference, t);
+            for (a, b) in fused.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn momentum_into_matches_open_coded() {
+        for n in [0, 1, 3, 4, 7, 16, 33] {
+            let xn = ramp(n, 0.2);
+            let xo = ramp(n, 1.4);
+            let beta = 0.61;
+            let mut y = vec![0.0; n];
+            momentum_into(&mut y, &xn, &xo, beta);
+            let reference: Vec<f64> = xn
+                .iter()
+                .zip(&xo)
+                .map(|(a, b)| a + beta * (a - b))
+                .collect();
+            for (a, b) in y.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_unrolled_handles_remainders() {
+        for n in [0, 1, 3, 4, 5, 8, 11] {
+            let x = ramp(n, 0.9);
+            let mut y = ramp(n, 2.2);
+            let reference: Vec<f64> = y.iter().zip(&x).map(|(yi, xi)| yi + 1.75 * xi).collect();
+            axpy(1.75, &x, &mut y);
+            assert_eq!(y, reference, "n = {n}");
+        }
     }
 }

@@ -9,6 +9,7 @@ use crate::error::{Result, SolverError};
 use crate::op::{check_measurements, LinearOperator};
 use crate::report::{Recovery, SolveReport};
 use crate::tel;
+use crate::workspace::SolveWorkspace;
 use flexcs_linalg::vecops;
 use flexcs_linalg::{Cholesky, Matrix};
 
@@ -95,57 +96,78 @@ fn gram_rho(a: &Matrix, rho: f64) -> Matrix {
 /// [`SolverError::InvalidParameter`] for bad configuration values, and
 /// propagates factorization failures.
 pub fn admm_bpdn(op: &dyn LinearOperator, b: &[f64], config: &AdmmConfig) -> Result<Recovery> {
+    admm_bpdn_in(op, b, config, &mut SolveWorkspace::new())
+}
+
+/// [`admm_bpdn`] with a caller-provided [`SolveWorkspace`]: the inner
+/// loop performs zero heap allocation (the former per-iteration
+/// `z.clone()` is double-buffered in the workspace) and results are
+/// bit-identical to the allocating wrapper.
+///
+/// # Errors
+///
+/// See [`admm_bpdn`].
+pub fn admm_bpdn_in(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    config: &AdmmConfig,
+    ws: &mut SolveWorkspace,
+) -> Result<Recovery> {
     check_measurements(op, b)?;
     config.validate()?;
     let n = op.cols();
     let mut rho = config.rho;
     let a = op.to_dense();
     let mut chol = Cholesky::factor(&gram_rho(&a, rho))?;
-    let atb = op.apply_transpose(b);
-    // Over-relaxation constant (Boyd et al. recommend 1.5–1.8).
+    op.apply_transpose_into(b, &mut ws.weights); // Aᵀb, fixed across the loop.
+                                                 // Over-relaxation constant (Boyd et al. recommend 1.5–1.8).
     let alpha = 1.8;
 
-    let mut z = vec![0.0; n];
-    let mut u = vec![0.0; n];
-    let mut x = vec![0.0; n];
+    for buf in [&mut ws.z, &mut ws.z_old, &mut ws.u, &mut ws.x] {
+        buf.clear();
+        buf.resize(n, 0.0);
+    }
     let mut iterations = 0;
     let mut converged = false;
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
         // x-update: (AᵀA + ρI) x = Aᵀb + ρ(z − u), via
         // x = q/ρ − Aᵀ (ρI + AAᵀ)⁻¹ A q / ρ with q the rhs.
-        let q: Vec<f64> = atb
-            .iter()
-            .zip(z.iter().zip(&u))
-            .map(|(t, (zi, ui))| t + rho * (zi - ui))
-            .collect();
-        let aq = op.apply(&q);
-        let w = chol.solve(&aq)?;
-        let atw = op.apply_transpose(&w);
+        ws.q.clear();
+        ws.q.extend(
+            ws.weights
+                .iter()
+                .zip(ws.z.iter().zip(&ws.u))
+                .map(|(t, (zi, ui))| t + rho * (zi - ui)),
+        );
+        op.apply_into(&ws.q, &mut ws.ax);
+        chol.solve_into(&ws.ax, &mut ws.w_m)?;
+        op.apply_transpose_into(&ws.w_m, &mut ws.grad);
         for i in 0..n {
-            x[i] = (q[i] - atw[i]) / rho;
+            ws.x[i] = (ws.q[i] - ws.grad[i]) / rho;
         }
-        // z-update on the over-relaxed point.
-        let z_old = z.clone();
+        // z-update on the over-relaxed point; the previous z moves into
+        // the double buffer instead of being cloned.
+        std::mem::swap(&mut ws.z, &mut ws.z_old);
         for i in 0..n {
-            let xh = alpha * x[i] + (1.0 - alpha) * z_old[i];
-            z[i] = xh + u[i];
+            let xh = alpha * ws.x[i] + (1.0 - alpha) * ws.z_old[i];
+            ws.z[i] = xh + ws.u[i];
         }
-        vecops::soft_threshold_mut(&mut z, config.lambda / rho);
+        vecops::soft_threshold_mut(&mut ws.z, config.lambda / rho);
         // Dual update (same relaxed point).
         for i in 0..n {
-            let xh = alpha * x[i] + (1.0 - alpha) * z_old[i];
-            u[i] += xh - z[i];
+            let xh = alpha * ws.x[i] + (1.0 - alpha) * ws.z_old[i];
+            ws.u[i] += xh - ws.z[i];
         }
         // Residuals.
-        let prim = vecops::norm2(&vecops::sub(&x, &z));
-        let dual = rho * vecops::norm2(&vecops::sub(&z, &z_old));
-        let scale = vecops::norm2(&x).max(vecops::norm2(&z)).max(1.0);
+        let prim = vecops::diff_norm2(&ws.x, &ws.z);
+        let dual = rho * vecops::diff_norm2(&ws.z, &ws.z_old);
+        let scale = vecops::norm2(&ws.x).max(vecops::norm2(&ws.z)).max(1.0);
         if tel::enabled() {
             tel::iteration(
                 "admm_bpdn",
                 iterations,
-                config.lambda * vecops::norm1(&z),
+                config.lambda * vecops::norm1(&ws.z),
                 prim.max(dual),
                 rho,
             );
@@ -166,7 +188,7 @@ pub fn admm_bpdn(op: &dyn LinearOperator, b: &[f64], config: &AdmmConfig) -> Res
             }
             if new_rho != rho {
                 let ratio = rho / new_rho;
-                for ui in u.iter_mut() {
+                for ui in ws.u.iter_mut() {
                     *ui *= ratio;
                 }
                 rho = new_rho;
@@ -175,11 +197,11 @@ pub fn admm_bpdn(op: &dyn LinearOperator, b: &[f64], config: &AdmmConfig) -> Res
         }
     }
     tel::solve_done("admm_bpdn", iterations, converged);
-    let ax = op.apply(&z);
-    let residual = vecops::norm2(&vecops::sub(&ax, b));
-    let objective = config.lambda * vecops::norm1(&z) + 0.5 * residual * residual;
+    op.apply_into(&ws.z, &mut ws.ax);
+    let residual = vecops::diff_norm2(&ws.ax, b);
+    let objective = config.lambda * vecops::norm1(&ws.z) + 0.5 * residual * residual;
     Ok(Recovery::new(
-        z,
+        ws.z.clone(),
         SolveReport::new(iterations, residual, converged, objective),
     ))
 }
@@ -215,6 +237,23 @@ pub fn admm_basis_pursuit(
     b: &[f64],
     config: &AdmmConfig,
 ) -> Result<Recovery> {
+    admm_basis_pursuit_in(op, b, config, &mut SolveWorkspace::new())
+}
+
+/// [`admm_basis_pursuit`] with a caller-provided [`SolveWorkspace`]:
+/// the inner loop performs zero heap allocation (the former
+/// per-iteration `z.clone()` is double-buffered in the workspace) and
+/// results are bit-identical to the allocating wrapper.
+///
+/// # Errors
+///
+/// See [`admm_basis_pursuit`].
+pub fn admm_basis_pursuit_in(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    config: &AdmmConfig,
+    ws: &mut SolveWorkspace,
+) -> Result<Recovery> {
     check_measurements(op, b)?;
     config.validate()?;
     let n = op.cols();
@@ -223,40 +262,40 @@ pub fn admm_basis_pursuit(
     // AAᵀ with a whisper of regularization for numerical rank safety.
     let chol = Cholesky::factor(&gram_rho(&a, 1e-12))?;
 
-    // Projection of v onto {x : A x = b}: v - Aᵀ(AAᵀ)⁻¹(A v - b).
-    let project = |v: &[f64]| -> Result<Vec<f64>> {
-        let av = op.apply(v);
-        let defect = vecops::sub(&av, b);
-        let w = chol.solve(&defect)?;
-        let atw = op.apply_transpose(&w);
-        Ok(vecops::sub(v, &atw))
-    };
-
-    let mut z = vec![0.0; n];
-    let mut u = vec![0.0; n];
-    let mut x;
+    for buf in [&mut ws.z, &mut ws.z_old, &mut ws.u] {
+        buf.clear();
+        buf.resize(n, 0.0);
+    }
     let mut iterations = 0;
     let mut converged = false;
     loop {
         iterations += 1;
-        let v = vecops::sub(&z, &u);
-        x = project(&v)?;
-        let z_old = z.clone();
+        // x-update: project v = z − u onto {x : A x = b}, i.e.
+        // x = v − Aᵀ(AAᵀ)⁻¹(A v − b).
+        vecops::sub_into(&mut ws.y, &ws.z, &ws.u);
+        op.apply_into(&ws.y, &mut ws.ax);
+        vecops::sub_into(&mut ws.r, &ws.ax, b);
+        chol.solve_into(&ws.r, &mut ws.w_m)?;
+        op.apply_transpose_into(&ws.w_m, &mut ws.grad);
+        vecops::sub_into(&mut ws.x, &ws.y, &ws.grad);
+        // z-update; the previous z moves into the double buffer instead
+        // of being cloned.
+        std::mem::swap(&mut ws.z, &mut ws.z_old);
         for i in 0..n {
-            z[i] = x[i] + u[i];
+            ws.z[i] = ws.x[i] + ws.u[i];
         }
-        vecops::soft_threshold_mut(&mut z, 1.0 / rho);
+        vecops::soft_threshold_mut(&mut ws.z, 1.0 / rho);
         for i in 0..n {
-            u[i] += x[i] - z[i];
+            ws.u[i] += ws.x[i] - ws.z[i];
         }
-        let prim = vecops::norm2(&vecops::sub(&x, &z));
-        let dual = rho * vecops::norm2(&vecops::sub(&z, &z_old));
-        let scale = vecops::norm2(&x).max(vecops::norm2(&z)).max(1.0);
+        let prim = vecops::diff_norm2(&ws.x, &ws.z);
+        let dual = rho * vecops::diff_norm2(&ws.z, &ws.z_old);
+        let scale = vecops::norm2(&ws.x).max(vecops::norm2(&ws.z)).max(1.0);
         if tel::enabled() {
             tel::iteration(
                 "admm_bp",
                 iterations,
-                vecops::norm1(&x),
+                vecops::norm1(&ws.x),
                 prim.max(dual),
                 rho,
             );
@@ -272,11 +311,11 @@ pub fn admm_basis_pursuit(
     tel::solve_done("admm_bp", iterations, converged);
     // Report x (feasible) rather than z (sparse but infeasible); callers
     // get an exact-measurement solution whose L1 norm ADMM minimized.
-    let ax = op.apply(&x);
-    let residual = vecops::norm2(&vecops::sub(&ax, b));
-    let objective = vecops::norm1(&x);
+    op.apply_into(&ws.x, &mut ws.ax);
+    let residual = vecops::diff_norm2(&ws.ax, b);
+    let objective = vecops::norm1(&ws.x);
     Ok(Recovery::new(
-        x,
+        ws.x.clone(),
         SolveReport::new(iterations, residual, converged, objective),
     ))
 }

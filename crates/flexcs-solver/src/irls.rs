@@ -9,6 +9,7 @@ use crate::error::{Result, SolverError};
 use crate::op::{check_measurements, LinearOperator};
 use crate::report::{Recovery, SolveReport};
 use crate::tel;
+use crate::workspace::SolveWorkspace;
 use flexcs_linalg::vecops;
 use flexcs_linalg::{Cholesky, Matrix};
 
@@ -88,6 +89,24 @@ impl IrlsConfig {
 /// # }
 /// ```
 pub fn irls(op: &dyn LinearOperator, b: &[f64], config: &IrlsConfig) -> Result<Recovery> {
+    irls_in(op, b, config, &mut SolveWorkspace::new())
+}
+
+/// [`irls`] with a caller-provided [`SolveWorkspace`]: iterate, weight
+/// and Gram-system buffers are recycled across outer iterations (and
+/// across solves), leaving only the Cholesky factorization's own
+/// allocation per outer iteration. Results are bit-identical to the
+/// allocating wrapper.
+///
+/// # Errors
+///
+/// See [`irls`].
+pub fn irls_in(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    config: &IrlsConfig,
+    ws: &mut SolveWorkspace,
+) -> Result<Recovery> {
     check_measurements(op, b)?;
     config.validate()?;
     let m = op.rows();
@@ -101,7 +120,12 @@ pub fn irls(op: &dyn LinearOperator, b: &[f64], config: &IrlsConfig) -> Result<R
     }
     let a = op.to_dense();
     // Start from the minimum-L2-norm solution (W = I).
-    let mut x = vec![1.0; n];
+    ws.x.clear();
+    ws.x.resize(n, 1.0);
+    let g = match ws.gram.as_mut() {
+        Some(g) if g.rows() == m && g.cols() == m => g,
+        _ => ws.gram.insert(Matrix::zeros(m, m)),
+    };
     // ε anneals relative to the solution scale so that recovery is
     // invariant to measurement scaling (x(αb) = α·x(b)).
     let mut scale_est = 0.0;
@@ -111,15 +135,15 @@ pub fn irls(op: &dyn LinearOperator, b: &[f64], config: &IrlsConfig) -> Result<R
     for _ in 0..config.max_iterations {
         iterations += 1;
         // W = diag(|x| + eps); G = A W Aᵀ (m x m SPD).
-        let w: Vec<f64> = x.iter().map(|&v: &f64| v.abs() + eps).collect();
-        let mut g = Matrix::zeros(m, m);
+        ws.weights.clear();
+        ws.weights.extend(ws.x.iter().map(|&v: &f64| v.abs() + eps));
         for i in 0..m {
             for j in i..m {
                 let mut s = 0.0;
                 let ri = a.row(i);
                 let rj = a.row(j);
                 for t in 0..n {
-                    s += ri[t] * w[t] * rj[t];
+                    s += ri[t] * ws.weights[t] * rj[t];
                 }
                 g[(i, j)] = s;
                 g[(j, i)] = s;
@@ -130,20 +154,28 @@ pub fn irls(op: &dyn LinearOperator, b: &[f64], config: &IrlsConfig) -> Result<R
         for i in 0..m {
             g[(i, i)] += lift;
         }
-        let lambda = Cholesky::factor(&g)?.solve(b)?;
-        let at_lambda = op.apply_transpose(&lambda);
-        let x_next: Vec<f64> = at_lambda.iter().zip(&w).map(|(v, wi)| v * wi).collect();
+        Cholesky::factor(g)?.solve_into(b, &mut ws.w_m)?;
+        op.apply_transpose_into(&ws.w_m, &mut ws.grad);
+        ws.x_next.clear();
+        ws.x_next
+            .extend(ws.grad.iter().zip(&ws.weights).map(|(v, wi)| v * wi));
         if iterations == 1 {
             // Calibrate the annealing schedule to the first (min-norm)
             // solution's magnitude.
-            scale_est = vecops::norm_inf(&x_next).max(1e-12);
+            scale_est = vecops::norm_inf(&ws.x_next).max(1e-12);
             eps = config.epsilon_start * scale_est;
         }
-        let change = vecops::norm2(&vecops::sub(&x_next, &x));
-        let scale = vecops::norm2(&x_next).max(1e-12);
-        x = x_next;
+        let change = vecops::diff_norm2(&ws.x_next, &ws.x);
+        let scale = vecops::norm2(&ws.x_next).max(1e-12);
+        std::mem::swap(&mut ws.x, &mut ws.x_next);
         if tel::enabled() {
-            tel::iteration("irls", iterations, vecops::norm1(&x), change / scale, eps);
+            tel::iteration(
+                "irls",
+                iterations,
+                vecops::norm1(&ws.x),
+                change / scale,
+                eps,
+            );
         }
         let eps_floor = config.epsilon_min * scale_est.max(1e-12);
         if change <= config.tol.max(eps * 1e-3 / scale_est.max(1e-12)) * scale {
@@ -155,11 +187,11 @@ pub fn irls(op: &dyn LinearOperator, b: &[f64], config: &IrlsConfig) -> Result<R
         }
     }
     tel::solve_done("irls", iterations, converged);
-    let ax = op.apply(&x);
-    let residual = vecops::norm2(&vecops::sub(&ax, b));
+    op.apply_into(&ws.x, &mut ws.ax);
+    let residual = vecops::diff_norm2(&ws.ax, b);
     Ok(Recovery::new(
-        x.clone(),
-        SolveReport::new(iterations, residual, converged, vecops::norm1(&x)),
+        ws.x.clone(),
+        SolveReport::new(iterations, residual, converged, vecops::norm1(&ws.x)),
     ))
 }
 

@@ -9,6 +9,7 @@ use crate::error::{Result, SolverError};
 use crate::op::{check_measurements, LinearOperator};
 use crate::report::{Recovery, SolveReport};
 use crate::tel;
+use crate::workspace::{SolveWorkspace, WarmStart};
 use flexcs_linalg::vecops;
 
 /// Configuration for [`ista`] / [`fista`].
@@ -66,74 +67,118 @@ impl Default for IstaConfig {
     }
 }
 
-fn lasso_objective(op: &dyn LinearOperator, b: &[f64], x: &[f64], lambda: f64) -> (f64, f64) {
-    let ax = op.apply(x);
-    let r = vecops::sub(&ax, b);
-    let rn = vecops::norm2(&r);
+fn lasso_objective_in(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    x: &[f64],
+    lambda: f64,
+    ax: &mut Vec<f64>,
+    r: &mut Vec<f64>,
+) -> (f64, f64) {
+    op.apply_into(x, ax);
+    vecops::sub_into(r, ax, b);
+    let rn = vecops::norm2(r);
     (lambda * vecops::norm1(x) + 0.5 * rn * rn, rn)
 }
 
-fn run(
+fn run_in(
     op: &dyn LinearOperator,
     b: &[f64],
     config: &IstaConfig,
     accelerated: bool,
+    ws: &mut SolveWorkspace,
+    mut warm: Option<&mut WarmStart>,
 ) -> Result<Recovery> {
     check_measurements(op, b)?;
     config.validate()?;
     let n = op.cols();
     let l = match config.lipschitz {
         Some(l) => l,
-        None => {
-            let s = op.spectral_norm_estimate(30);
-            // Safety margin against power-iteration underestimation.
-            (s * s * 1.02).max(1e-12)
-        }
+        None => match warm.as_deref_mut() {
+            // Warm streams reuse the cached spectral norm across rounds;
+            // the first round computes it exactly like the cold branch.
+            Some(w) => w.lipschitz(op),
+            None => {
+                let s = op.spectral_norm_estimate(30);
+                // Safety margin against power-iteration underestimation.
+                (s * s * 1.02).max(1e-12)
+            }
+        },
     };
     let step = 1.0 / l;
     let thresh = config.lambda * step;
 
     let solver_name = if accelerated { "fista" } else { "ista" };
-    let mut x = vec![0.0; n];
-    let mut y = x.clone(); // Momentum point (equals x for plain ISTA).
+    // Seed the iterate from the previous round's solution when one is
+    // carried; zeros otherwise (identical to the cold start).
+    ws.x.clear();
+    let mut warmed = false;
+    if let Some(w) = warm.as_deref_mut() {
+        if let Some(seed) = w.seed(n) {
+            ws.x.extend_from_slice(seed);
+            warmed = true;
+        }
+    }
+    if warmed {
+        warm.as_deref_mut()
+            .expect("warmed implies warm")
+            .note_warm_start();
+    } else {
+        ws.x.resize(n, 0.0);
+    }
+    ws.y.clear();
+    ws.y.extend_from_slice(&ws.x); // Momentum point (equals x for plain ISTA).
     let mut t = 1.0_f64;
     let mut iterations = 0;
     let mut converged = false;
+    let mut restarts = 0u64;
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
         // Gradient step at y: y - step * Aᵀ(Ay - b).
-        let ay = op.apply(&y);
-        let r = vecops::sub(&ay, b);
-        let grad = op.apply_transpose(&r);
-        let mut x_next: Vec<f64> = y.iter().zip(&grad).map(|(yi, gi)| yi - step * gi).collect();
-        vecops::soft_threshold_mut(&mut x_next, thresh);
-        if x_next.iter().any(|v| !v.is_finite()) {
+        op.apply_into(&ws.y, &mut ws.ax);
+        vecops::sub_into(&mut ws.r, &ws.ax, b);
+        op.apply_transpose_into(&ws.r, &mut ws.grad);
+        ws.x_next.resize(n, 0.0);
+        vecops::prox_grad_step_into(&mut ws.x_next, &ws.y, &ws.grad, step, thresh);
+        if ws.x_next.iter().any(|v| !v.is_finite()) {
             return Err(SolverError::Diverged {
                 iteration: iterations,
             });
         }
         // Relative change stopping criterion.
-        let diff = vecops::sub(&x_next, &x);
-        let change = vecops::norm2(&diff);
-        let scale = vecops::norm2(&x_next).max(1e-12);
+        let change = vecops::diff_norm2(&ws.x_next, &ws.x);
+        let scale = vecops::norm2(&ws.x_next).max(1e-12);
         if accelerated {
+            // Gradient-scheme adaptive restart (O'Donoghue & Candès):
+            // drop momentum when it points against the descent
+            // direction. Only active on warm-started solves so the cold
+            // iterate sequence stays bit-identical to the historical
+            // implementation.
+            if warmed {
+                let mut s = 0.0;
+                for ((yi, xni), xi) in ws.y.iter().zip(&ws.x_next).zip(&ws.x) {
+                    s += (yi - xni) * (xni - xi);
+                }
+                if s > 0.0 {
+                    t = 1.0;
+                    restarts += 1;
+                }
+            }
             let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
             let beta = (t - 1.0) / t_next;
-            y = x_next
-                .iter()
-                .zip(&x)
-                .map(|(xn, xo)| xn + beta * (xn - xo))
-                .collect();
+            ws.y.resize(n, 0.0);
+            vecops::momentum_into(&mut ws.y, &ws.x_next, &ws.x, beta);
             t = t_next;
         } else {
-            y = x_next.clone();
+            ws.y.clear();
+            ws.y.extend_from_slice(&ws.x_next);
         }
-        x = x_next;
+        std::mem::swap(&mut ws.x, &mut ws.x_next);
         if tel::enabled() {
             // The gradient residual Ay − b is already at hand; reuse it
             // rather than re-applying the operator.
-            let rn = vecops::norm2(&r);
-            let obj = config.lambda * vecops::norm1(&x) + 0.5 * rn * rn;
+            let rn = vecops::norm2(&ws.r);
+            let obj = config.lambda * vecops::norm1(&ws.x) + 0.5 * rn * rn;
             tel::iteration(solver_name, iterations, obj, rn, step);
         }
         if change <= config.tol * scale {
@@ -142,9 +187,14 @@ fn run(
         }
     }
     tel::solve_done(solver_name, iterations, converged);
-    let (objective, residual) = lasso_objective(op, b, &x, config.lambda);
+    if let Some(w) = warm {
+        w.note_restarts(restarts);
+        w.finish_solve(&ws.x, iterations, warmed);
+    }
+    let (objective, residual) =
+        lasso_objective_in(op, b, &ws.x, config.lambda, &mut ws.ax, &mut ws.r);
     Ok(Recovery::new(
-        x,
+        ws.x.clone(),
         SolveReport::new(iterations, residual, converged, objective),
     ))
 }
@@ -158,7 +208,23 @@ fn run(
 /// [`SolverError::Diverged`] if iterates become non-finite (only possible
 /// with a user-supplied too-small Lipschitz constant).
 pub fn ista(op: &dyn LinearOperator, b: &[f64], config: &IstaConfig) -> Result<Recovery> {
-    run(op, b, config, false)
+    run_in(op, b, config, false, &mut SolveWorkspace::new(), None)
+}
+
+/// [`ista`] with a caller-provided [`SolveWorkspace`]: the inner loop
+/// performs zero heap allocation and results are bit-identical to the
+/// allocating wrapper.
+///
+/// # Errors
+///
+/// See [`ista`].
+pub fn ista_in(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    config: &IstaConfig,
+    ws: &mut SolveWorkspace,
+) -> Result<Recovery> {
+    run_in(op, b, config, false, ws, None)
 }
 
 /// FISTA (accelerated proximal gradient) for the LASSO.
@@ -183,7 +249,60 @@ pub fn ista(op: &dyn LinearOperator, b: &[f64], config: &IstaConfig) -> Result<R
 /// # }
 /// ```
 pub fn fista(op: &dyn LinearOperator, b: &[f64], config: &IstaConfig) -> Result<Recovery> {
-    run(op, b, config, true)
+    run_in(op, b, config, true, &mut SolveWorkspace::new(), None)
+}
+
+/// [`fista`] with a caller-provided [`SolveWorkspace`]: the inner loop
+/// performs zero heap allocation and results are bit-identical to the
+/// allocating wrapper.
+///
+/// # Errors
+///
+/// See [`ista`].
+pub fn fista_in(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    config: &IstaConfig,
+    ws: &mut SolveWorkspace,
+) -> Result<Recovery> {
+    run_in(op, b, config, true, ws, None)
+}
+
+/// Warm-started FISTA: seeds the iterate from the carried previous
+/// solution, reuses the cached spectral norm instead of re-running
+/// power iteration, and enables gradient-scheme adaptive restart so
+/// stale momentum cannot fight the warm start.
+///
+/// The first solve on a fresh (or shape-changed) [`WarmStart`] runs
+/// cold and is bit-identical to [`fista`]; each later solve over the
+/// same operator shape starts from the previous solution.
+///
+/// # Errors
+///
+/// See [`ista`].
+pub fn fista_warm(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    config: &IstaConfig,
+    ws: &mut SolveWorkspace,
+    warm: &mut WarmStart,
+) -> Result<Recovery> {
+    run_in(op, b, config, true, ws, Some(warm))
+}
+
+/// Warm-started ISTA; see [`fista_warm`] (no momentum, so no restarts).
+///
+/// # Errors
+///
+/// See [`ista`].
+pub fn ista_warm(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    config: &IstaConfig,
+    ws: &mut SolveWorkspace,
+    warm: &mut WarmStart,
+) -> Result<Recovery> {
+    run_in(op, b, config, false, ws, Some(warm))
 }
 
 #[cfg(test)]

@@ -58,20 +58,22 @@ mod report;
 mod reweighted;
 mod select;
 mod tel;
+mod workspace;
 
-pub use admm::{admm_basis_pursuit, admm_bpdn, AdmmConfig};
+pub use admm::{admm_basis_pursuit, admm_basis_pursuit_in, admm_bpdn, admm_bpdn_in, AdmmConfig};
 pub use error::{Result, SolverError};
 pub use greedy::{cosamp, omp, subspace_pursuit, GreedyConfig};
-pub use irls::{irls, IrlsConfig};
-pub use ista::{fista, ista, IstaConfig};
+pub use irls::{irls, irls_in, IrlsConfig};
+pub use ista::{fista, fista_in, fista_warm, ista, ista_in, ista_warm, IstaConfig};
 pub use lp::{lp_basis_pursuit, LpConfig};
 pub use op::{
     check_measurements, dense_submatrix, power_iteration_norm, DenseOperator, LinearOperator,
     NormCache,
 };
 pub use report::{Recovery, SolveReport};
-pub use reweighted::{reweighted_l1, ReweightedConfig};
+pub use reweighted::{reweighted_l1, reweighted_l1_in, ReweightedConfig};
 pub use select::SparseSolver;
+pub use workspace::{SolveWorkspace, WarmStart};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -38,6 +38,28 @@ pub trait LinearOperator {
     /// Implementations may panic if `y.len() != self.rows()`.
     fn apply_transpose(&self, y: &[f64]) -> Vec<f64>;
 
+    /// Computes `A·x` into a caller-owned buffer.
+    ///
+    /// The default delegates to [`apply`] and moves the result, so every
+    /// operator works; operators on the solver hot path (dense matrices,
+    /// the subsampled DCT) override it to write in place so the
+    /// workspace-based `*_in` solver entry points run allocation-free.
+    /// Overrides must produce bit-identical values to [`apply`].
+    ///
+    /// [`apply`]: LinearOperator::apply
+    fn apply_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        *out = self.apply(x);
+    }
+
+    /// Computes `Aᵀ·y` into a caller-owned buffer.
+    ///
+    /// Same contract as [`apply_into`], for the adjoint.
+    ///
+    /// [`apply_into`]: LinearOperator::apply_into
+    fn apply_transpose_into(&self, y: &[f64], out: &mut Vec<f64>) {
+        *out = self.apply_transpose(y);
+    }
+
     /// Materializes column `j` (defaults to `A·e_j`).
     fn column(&self, j: usize) -> Vec<f64> {
         let mut basis = Vec::new();
@@ -239,6 +261,18 @@ impl LinearOperator for DenseOperator {
         self.a
             .matvec_transpose(y)
             .expect("caller passes rows()-length input")
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        self.a
+            .matvec_into(x, out)
+            .expect("caller passes cols()-length input");
+    }
+
+    fn apply_transpose_into(&self, y: &[f64], out: &mut Vec<f64>) {
+        self.a
+            .matvec_transpose_into(y, out)
+            .expect("caller passes rows()-length input");
     }
 
     fn column_into(&self, j: usize, _basis: &mut Vec<f64>, out: &mut Vec<f64>) {

@@ -10,11 +10,13 @@
 //! in `u` over the column-scaled operator `A·W⁻¹`.
 
 use crate::error::{Result, SolverError};
-use crate::ista::{fista, IstaConfig};
+use crate::ista::{fista_in, IstaConfig};
 use crate::op::{check_measurements, LinearOperator};
 use crate::report::{Recovery, SolveReport};
 use crate::tel;
+use crate::workspace::SolveWorkspace;
 use flexcs_linalg::vecops;
+use std::cell::RefCell;
 
 /// Configuration for [`reweighted_l1`].
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +47,20 @@ impl Default for ReweightedConfig {
 struct ColumnScaled<'a> {
     op: &'a dyn LinearOperator,
     scale: Vec<f64>,
+    /// Scratch for the scaled input, so `apply_into` stays
+    /// allocation-free inside solver iteration loops (interior mutability
+    /// because `LinearOperator` applications take `&self`).
+    scratch: RefCell<Vec<f64>>,
+}
+
+impl<'a> ColumnScaled<'a> {
+    fn new(op: &'a dyn LinearOperator, scale: Vec<f64>) -> Self {
+        ColumnScaled {
+            op,
+            scale,
+            scratch: RefCell::new(Vec::new()),
+        }
+    }
 }
 
 impl LinearOperator for ColumnScaled<'_> {
@@ -57,16 +73,29 @@ impl LinearOperator for ColumnScaled<'_> {
     }
 
     fn apply(&self, x: &[f64]) -> Vec<f64> {
-        let scaled: Vec<f64> = x.iter().zip(&self.scale).map(|(v, s)| v * s).collect();
-        self.op.apply(&scaled)
+        let mut out = Vec::new();
+        self.apply_into(x, &mut out);
+        out
     }
 
     fn apply_transpose(&self, y: &[f64]) -> Vec<f64> {
-        let mut out = self.op.apply_transpose(y);
+        let mut out = Vec::new();
+        self.apply_transpose_into(y, &mut out);
+        out
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        let mut scaled = self.scratch.borrow_mut();
+        scaled.clear();
+        scaled.extend(x.iter().zip(&self.scale).map(|(v, s)| v * s));
+        self.op.apply_into(&scaled, out);
+    }
+
+    fn apply_transpose_into(&self, y: &[f64], out: &mut Vec<f64>) {
+        self.op.apply_transpose_into(y, out);
         for (v, s) in out.iter_mut().zip(&self.scale) {
             *v *= s;
         }
-        out
     }
 }
 
@@ -99,6 +128,23 @@ pub fn reweighted_l1(
     b: &[f64],
     config: &ReweightedConfig,
 ) -> Result<Recovery> {
+    reweighted_l1_in(op, b, config, &mut SolveWorkspace::new())
+}
+
+/// [`reweighted_l1`] with a caller-provided [`SolveWorkspace`] shared
+/// by the inner FISTA solves, so their iteration loops are
+/// allocation-free. Results are bit-identical to the allocating
+/// wrapper.
+///
+/// # Errors
+///
+/// See [`reweighted_l1`].
+pub fn reweighted_l1_in(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    config: &ReweightedConfig,
+    ws: &mut SolveWorkspace,
+) -> Result<Recovery> {
     check_measurements(op, b)?;
     if config.rounds == 0 {
         return Err(SolverError::InvalidParameter(
@@ -113,7 +159,7 @@ pub fn reweighted_l1(
     }
     let n = op.cols();
     // Round 0: plain LASSO.
-    let mut recovery = fista(op, b, &config.inner)?;
+    let mut recovery = fista_in(op, b, &config.inner, ws)?;
     let mut total_iterations = recovery.report.iterations;
     if tel::enabled() {
         // One event per reweighting round (the inner FISTA emits its own
@@ -135,8 +181,8 @@ pub fn reweighted_l1(
         // Inverse weights d_i = |x_i| + ε: large coefficients keep their
         // freedom, small ones are pushed toward zero.
         let scale: Vec<f64> = recovery.x.iter().map(|v| v.abs() + eps).collect();
-        let scaled_op = ColumnScaled { op, scale };
-        let inner = fista(&scaled_op, b, &config.inner)?;
+        let scaled_op = ColumnScaled::new(op, scale);
+        let inner = fista_in(&scaled_op, b, &config.inner, ws)?;
         total_iterations += inner.report.iterations;
         // Map back: x = D·u.
         let x: Vec<f64> = inner
@@ -146,8 +192,8 @@ pub fn reweighted_l1(
             .map(|(u, s)| u * s)
             .collect();
         let converged = inner.report.converged;
-        let ax = op.apply(&x);
-        let residual = vecops::norm2(&vecops::sub(&ax, b));
+        op.apply_into(&x, &mut ws.ax);
+        let residual = vecops::diff_norm2(&ws.ax, b);
         if tel::enabled() {
             tel::iteration("reweighted_l1", round, vecops::norm1(&x), residual, eps);
         }
@@ -168,6 +214,7 @@ pub fn reweighted_l1(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ista::fista;
     use crate::testutil::{gaussian_operator, sparse_signal};
 
     #[test]

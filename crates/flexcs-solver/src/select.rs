@@ -3,15 +3,16 @@
 //! The flexcs decoder lets callers pick any recovery algorithm through a
 //! single enum — the knob the `solver_ablation` bench sweeps.
 
-use crate::admm::{admm_basis_pursuit, admm_bpdn, AdmmConfig};
+use crate::admm::{admm_basis_pursuit, admm_basis_pursuit_in, admm_bpdn, admm_bpdn_in, AdmmConfig};
 use crate::error::Result;
 use crate::greedy::{cosamp, omp, subspace_pursuit, GreedyConfig};
-use crate::irls::{irls, IrlsConfig};
-use crate::ista::{fista, ista, IstaConfig};
+use crate::irls::{irls, irls_in, IrlsConfig};
+use crate::ista::{fista, fista_in, fista_warm, ista, ista_in, ista_warm, IstaConfig};
 use crate::lp::{lp_basis_pursuit, LpConfig};
 use crate::op::LinearOperator;
 use crate::report::Recovery;
-use crate::reweighted::{reweighted_l1, ReweightedConfig};
+use crate::reweighted::{reweighted_l1, reweighted_l1_in, ReweightedConfig};
+use crate::workspace::{SolveWorkspace, WarmStart};
 use std::fmt;
 
 /// A sparse-recovery algorithm plus its configuration.
@@ -74,6 +75,58 @@ impl SparseSolver {
             SparseSolver::Irls(c) => irls(op, b, c),
             SparseSolver::LpBasisPursuit(c) => lp_basis_pursuit(op, b, c),
             SparseSolver::ReweightedL1(c) => reweighted_l1(op, b, c),
+        }
+    }
+
+    /// [`SparseSolver::solve`] with a caller-provided [`SolveWorkspace`]
+    /// for the iterative solvers, which then run allocation-free inner
+    /// loops with bit-identical results. The greedy and LP solvers do
+    /// not use the workspace and behave exactly like [`solve`].
+    ///
+    /// [`solve`]: SparseSolver::solve
+    ///
+    /// # Errors
+    ///
+    /// See [`SparseSolver::solve`].
+    pub fn solve_in(
+        &self,
+        op: &dyn LinearOperator,
+        b: &[f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<Recovery> {
+        match self {
+            SparseSolver::Ista(c) => ista_in(op, b, c, ws),
+            SparseSolver::Fista(c) => fista_in(op, b, c, ws),
+            SparseSolver::AdmmBpdn(c) => admm_bpdn_in(op, b, c, ws),
+            SparseSolver::AdmmBasisPursuit(c) => admm_basis_pursuit_in(op, b, c, ws),
+            SparseSolver::Irls(c) => irls_in(op, b, c, ws),
+            SparseSolver::ReweightedL1(c) => reweighted_l1_in(op, b, c, ws),
+            other => other.solve(op, b),
+        }
+    }
+
+    /// [`SparseSolver::solve_in`] with cross-solve warm starting for the
+    /// proximal-gradient solvers (ISTA/FISTA): the iterate is seeded
+    /// from `warm`'s carried solution and the cached spectral norm
+    /// replaces per-solve power iteration. Solvers without a warm path
+    /// fall back to [`solve_in`].
+    ///
+    /// [`solve_in`]: SparseSolver::solve_in
+    ///
+    /// # Errors
+    ///
+    /// See [`SparseSolver::solve`].
+    pub fn solve_warm(
+        &self,
+        op: &dyn LinearOperator,
+        b: &[f64],
+        ws: &mut SolveWorkspace,
+        warm: &mut WarmStart,
+    ) -> Result<Recovery> {
+        match self {
+            SparseSolver::Ista(c) => ista_warm(op, b, c, ws, warm),
+            SparseSolver::Fista(c) => fista_warm(op, b, c, ws, warm),
+            other => other.solve_in(op, b, ws),
         }
     }
 

@@ -33,6 +33,12 @@ mod imp {
         });
     }
 
+    /// Bumps a named counter (warm starts, restarts, saved iterations).
+    #[inline]
+    pub(crate) fn counter(name: &str, delta: u64) {
+        flexcs_telemetry::counter(name, delta);
+    }
+
     /// Records the completion of one solve.
     pub(crate) fn solve_done(solver: &'static str, iterations: usize, converged: bool) {
         flexcs_telemetry::counter(&format!("solver.{solver}.solves"), 1);
@@ -55,6 +61,9 @@ mod imp {
 
     #[inline(always)]
     pub(crate) fn iteration(_: &'static str, _: usize, _: f64, _: f64, _: f64) {}
+
+    #[inline(always)]
+    pub(crate) fn counter(_: &str, _: u64) {}
 
     #[inline(always)]
     pub(crate) fn solve_done(_: &'static str, _: usize, _: bool) {}

@@ -2,8 +2,9 @@
 
 use flexcs_linalg::{vecops, Matrix};
 use flexcs_solver::{
-    admm_basis_pursuit, fista, irls, lp_basis_pursuit, omp, AdmmConfig, DenseOperator,
-    GreedyConfig, IrlsConfig, IstaConfig, LinearOperator, LpConfig,
+    admm_basis_pursuit, admm_bpdn, admm_bpdn_in, fista, fista_in, fista_warm, irls,
+    lp_basis_pursuit, omp, AdmmConfig, DenseOperator, GreedyConfig, IrlsConfig, IstaConfig,
+    LinearOperator, LpConfig, SolveWorkspace, WarmStart,
 };
 use proptest::prelude::*;
 
@@ -127,6 +128,69 @@ proptest! {
         // the exact LP is the expected regime.
         let diff = vecops::norm2(&vecops::sub(&r1.x, &r2.x));
         prop_assert!(diff < 2e-2 * (1.0 + vecops::norm2(&x)), "diff {diff}");
+    }
+
+    #[test]
+    fn warm_fista_matches_cold_solution(seed in 0u64..200) {
+        // Overdetermined LASSO (strongly convex): the minimizer is
+        // unique, so a warm-seeded solve must land on the same point as
+        // the cold one, well inside the solver tolerance.
+        let (m, n, k) = (40, 24, 4);
+        let op = gaussian_op(m, n, seed);
+        let x = sparse_truth(n, k, seed + 7);
+        let b = op.apply(&x);
+        let mut cfg = IstaConfig::with_lambda(1e-3);
+        cfg.max_iterations = 2000;
+        cfg.tol = 1e-12;
+        let cold = fista(&op, &b, &cfg).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let mut warm = WarmStart::new();
+        fista_warm(&op, &b, &cfg, &mut ws, &mut warm).unwrap(); // round 1: cold, records seed
+        let rewarmed = fista_warm(&op, &b, &cfg, &mut ws, &mut warm).unwrap();
+        let diff = vecops::norm2(&vecops::sub(&rewarmed.x, &cold.x));
+        prop_assert!(diff < 1e-8 * (1.0 + vecops::norm2(&cold.x)), "diff {diff}");
+    }
+
+    #[test]
+    fn warm_second_round_never_needs_more_iterations(seed in 0u64..200) {
+        // Re-solving the same instance from the previous solution must
+        // not cost more iterations than the cold solve did.
+        let (m, n, k) = (30, 60, 4);
+        let op = gaussian_op(m, n, seed);
+        let x = sparse_truth(n, k, seed + 8);
+        let b = op.apply(&x);
+        let mut cfg = IstaConfig::with_lambda(1e-3);
+        cfg.max_iterations = 1500;
+        let mut ws = SolveWorkspace::new();
+        let mut warm = WarmStart::new();
+        let first = fista_warm(&op, &b, &cfg, &mut ws, &mut warm).unwrap();
+        let second = fista_warm(&op, &b, &cfg, &mut ws, &mut warm).unwrap();
+        prop_assert!(
+            second.report.iterations <= first.report.iterations,
+            "warm {} vs cold {}", second.report.iterations, first.report.iterations
+        );
+        prop_assert_eq!(warm.warm_starts(), 1);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_wrappers(seed in 0u64..200) {
+        // One workspace carried across solvers and instances: every
+        // *_in result must match the allocating wrapper bit for bit.
+        let (m, n, k) = (20, 40, 3);
+        let mut ws = SolveWorkspace::new();
+        for round in 0..2u64 {
+            let op = gaussian_op(m, n, seed + round * 31);
+            let x = sparse_truth(n, k, seed + 9 + round);
+            let b = op.apply(&x);
+            let cfg = IstaConfig::with_lambda(1e-3);
+            let a = fista(&op, &b, &cfg).unwrap();
+            let a_in = fista_in(&op, &b, &cfg, &mut ws).unwrap();
+            prop_assert_eq!(a.x, a_in.x);
+            let admm_cfg = AdmmConfig::default();
+            let c = admm_bpdn(&op, &b, &admm_cfg).unwrap();
+            let c_in = admm_bpdn_in(&op, &b, &admm_cfg, &mut ws).unwrap();
+            prop_assert_eq!(c.x, c_in.x);
+        }
     }
 
     #[test]
