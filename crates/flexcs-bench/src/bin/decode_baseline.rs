@@ -11,10 +11,14 @@
 //!   threads are recorded alongside)
 //! - RPCA on a 64x64 low-rank + sparse frame, exact Jacobi vs the
 //!   randomized truncated SVD engine
+//! - per-kernel microbenchmarks: the scalar reference tier vs the
+//!   runtime-dispatched SIMD table (`kernel_*` fields), with the
+//!   selected tier recorded as `simd_tier`
 
 use flexcs_core::{rpca, Decoder, RpcaConfig, SamplingStrategy, StrategySession, SvdPolicy};
-use flexcs_linalg::Matrix;
+use flexcs_linalg::{simd, Matrix};
 use flexcs_transform::{Dct2d, DctPlan};
+use std::hint::black_box;
 use std::time::Instant;
 
 /// Median-of-reps wall time for `f`, in seconds.
@@ -28,6 +32,30 @@ fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     samples[reps / 2]
+}
+
+/// Times one kernel under both tables; returns ns/call as
+/// `(scalar, dispatched)`. Each side runs `inner` calls per sample
+/// (median of 15 samples) so sub-microsecond kernels stay measurable.
+fn bench_kernel(
+    inner: usize,
+    mut scalar_call: impl FnMut(),
+    mut dispatched_call: impl FnMut(),
+) -> (f64, f64) {
+    // Warm both paths (page in buffers, settle the dispatch table).
+    scalar_call();
+    dispatched_call();
+    let s = time_median(15, || {
+        for _ in 0..inner {
+            scalar_call();
+        }
+    }) / inner as f64;
+    let d = time_median(15, || {
+        for _ in 0..inner {
+            dispatched_call();
+        }
+    }) / inner as f64;
+    (s * 1e9, d * 1e9)
 }
 
 fn main() {
@@ -133,6 +161,71 @@ fn main() {
         rpca(&frame64, &rsvd_cfg).unwrap();
     });
 
+    // Per-kernel microbenchmarks: scalar reference tier vs the
+    // runtime-dispatched table on n=2048 slices — L1-resident, the
+    // size regime of the solver's inner loops. Elementwise kernels
+    // write into per-table scratch so both sides run the identical
+    // workload; reductions black_box their inputs and result so the
+    // statically known fn pointers cannot be folded away.
+    let nk = 2048usize;
+    let ka: Vec<f64> = (0..nk).map(|i| ((i as f64) * 0.13).sin()).collect();
+    let kb: Vec<f64> = (0..nk).map(|i| ((i as f64) * 0.29).cos()).collect();
+    let kc: Vec<f64> = (0..nk).map(|i| ((i as f64) * 0.07).sin() * 0.5).collect();
+    let inner = 400usize;
+    let disp = simd::kernels();
+    let scal = simd::scalar_kernels();
+
+    let (mut ys, mut yd) = (kb.clone(), kb.clone());
+    let (axpy_s, axpy_d) = bench_kernel(
+        inner,
+        || (scal.axpy)(0.5, black_box(&ka), black_box(&mut ys[..])),
+        || (disp.axpy)(0.5, black_box(&ka), black_box(&mut yd[..])),
+    );
+    let (dot_s, dot_d) = bench_kernel(
+        inner,
+        || {
+            black_box((scal.dot)(black_box(&ka), black_box(&kb)));
+        },
+        || {
+            black_box((disp.dot)(black_box(&ka), black_box(&kb)));
+        },
+    );
+    let (dn2_s, dn2_d) = bench_kernel(
+        inner,
+        || {
+            black_box((scal.diff_norm2_sq)(black_box(&ka), black_box(&kb)));
+        },
+        || {
+            black_box((disp.diff_norm2_sq)(black_box(&ka), black_box(&kb)));
+        },
+    );
+    let (mut ps, mut pd) = (vec![0.0; nk], vec![0.0; nk]);
+    let (prox_s, prox_d) = bench_kernel(
+        inner,
+        || (scal.prox_grad_step)(black_box(&mut ps[..]), &ka, &kb, 0.05, 0.01),
+        || (disp.prox_grad_step)(black_box(&mut pd[..]), &ka, &kb, 0.05, 0.01),
+    );
+    let (mut ss, mut sd) = (vec![0.0; nk], vec![0.0; nk]);
+    let (sas_s, sas_d) = bench_kernel(
+        inner,
+        || (scal.sub_add_scaled)(black_box(&mut ss[..]), &ka, &kb, &kc, 0.25),
+        || (disp.sub_add_scaled)(black_box(&mut sd[..]), &ka, &kb, &kc, 0.25),
+    );
+    let (mut hs, mut hd) = (vec![0.0; nk], vec![0.0; nk]);
+    let (shr_s, shr_d) = bench_kernel(
+        inner,
+        || (scal.sub_add_scaled_shrink)(black_box(&mut hs[..]), &ka, &kb, &kc, 0.25, 0.1),
+        || (disp.sub_add_scaled_shrink)(black_box(&mut hd[..]), &ka, &kb, &kc, 0.25, 0.1),
+    );
+    let kernel_rows: [(&str, f64, f64); 6] = [
+        ("axpy", axpy_s, axpy_d),
+        ("dot", dot_s, dot_d),
+        ("diff_norm2_sq", dn2_s, dn2_d),
+        ("prox_grad_step", prox_s, prox_d),
+        ("sub_add_scaled", sas_s, sas_d),
+        ("sub_add_scaled_shrink", shr_s, shr_d),
+    ];
+
     println!("{{");
     println!(
         "  \"_comment\": \"Decode-path performance baseline. Regenerate with \
@@ -143,9 +236,13 @@ fn main() {
          variant runs the same resample workload through a warm-decode session (each \
          round seeded from the previous solution over a reused workspace). rpca_64_* \
          compares the exact Jacobi L-update against the randomized truncated SVD \
-         engine on the same 64x64 low-rank + stuck-pixel frame.\","
+         engine on the same 64x64 low-rank + stuck-pixel frame. simd_tier is the \
+         kernel table selected at startup (FLEXCS_FORCE_SCALAR=1 pins it to \
+         'scalar'); kernel_* fields time each micro-kernel on n=2048 slices under \
+         the scalar reference tier vs the dispatched table.\","
     );
     println!("  \"hardware_threads\": {threads},");
+    println!("  \"simd_tier\": \"{}\",", simd::tier_name());
     println!(
         "  \"parallel_feature\": {},",
         flexcs_core::parallel_enabled()
@@ -172,6 +269,15 @@ fn main() {
     );
     println!("  \"rpca_64_exact_ms\": {:.2},", rpca_exact_s * 1e3);
     println!("  \"rpca_64_rsvd_ms\": {:.2},", rpca_rsvd_s * 1e3);
-    println!("  \"rpca_speedup\": {:.2}", rpca_exact_s / rpca_rsvd_s);
+    println!("  \"rpca_speedup\": {:.2},", rpca_exact_s / rpca_rsvd_s);
+    println!("  \"kernel_bench_n\": {nk},");
+    for (i, (name, s, d)) in kernel_rows.iter().enumerate() {
+        let comma = if i + 1 == kernel_rows.len() { "" } else { "," };
+        println!(
+            "  \"kernel_{name}\": {{ \"scalar_ns\": {s:.1}, \"dispatched_ns\": {d:.1}, \
+             \"speedup\": {:.2} }}{comma}",
+            s / d
+        );
+    }
     println!("}}");
 }

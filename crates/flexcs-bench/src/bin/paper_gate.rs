@@ -30,6 +30,7 @@ use flexcs_core::{
     ExperimentConfig, RpcaConfig, SamplingStrategy, SparseErrorModel, SvdPolicy,
 };
 use flexcs_datasets::{normalize_unit, thermal_frames, ThermalConfig};
+use flexcs_linalg::simd;
 use flexcs_telemetry::MemoryRecorder;
 use std::sync::Arc;
 
@@ -61,7 +62,15 @@ fn main() {
     let frames = thermal_frames(&ThermalConfig::default(), 3, seed);
 
     // ----- Headline sweep (Fig. 6a): 50 % sampling, 0/10/20 % errors.
-    println!("paper_gate: temperature imaging, 32x32, 50% sampling, 3 frames\n");
+    // The active kernel tier is logged up front so a gate transcript is
+    // attributable to the code path that produced it (the CI matrix
+    // runs this binary under both the detected tier and
+    // FLEXCS_FORCE_SCALAR=1).
+    println!(
+        "paper_gate: temperature imaging, 32x32, 50% sampling, 3 frames \
+         (simd tier: {})\n",
+        simd::tier_name()
+    );
     let errors = [0.0, 0.10, 0.20];
     let mut rows = Vec::new();
     let mut cs = Vec::new();
@@ -238,6 +247,15 @@ fn main() {
         "tel-rpca-sweeps",
         recorder.counter_value("rpca.sweeps") > 0 && !recorder.rpca_trace().is_empty(),
         format!("rpca.sweeps = {}", recorder.counter_value("rpca.sweeps")),
+    );
+    let tier_counter = format!("simd.tier.{}", simd::tier_name());
+    gate.check(
+        "tel-simd-tier",
+        recorder.counter_value(&tier_counter) > 0,
+        format!(
+            "{tier_counter} = {} (decode runs attributed to the active kernel tier)",
+            recorder.counter_value(&tier_counter)
+        ),
     );
     for span in ["decode.solve", "decode.inverse", "strategy.sampling"] {
         let summary = recorder.span_summary(span);

@@ -7,7 +7,7 @@
 use crate::basisop::{BasisKind, SubsampledDctOperator};
 use crate::error::Result;
 use crate::tel;
-use flexcs_linalg::Matrix;
+use flexcs_linalg::{simd, Matrix};
 use flexcs_solver::{
     IstaConfig, LinearOperator, SolveReport, SolveWorkspace, SparseSolver, WarmStart,
 };
@@ -195,6 +195,12 @@ impl Decoder {
         y: &[f64],
         warm: Option<&mut DecodeWarmState>,
     ) -> Result<Reconstruction> {
+        if tel::enabled() {
+            // Tag every decode with the micro-kernel tier that produced
+            // it, so perf traces are attributable to the hardware path
+            // (`simd.tier.scalar`, `simd.tier.x86_64-avx2+fma`, ...).
+            tel::counter(&format!("simd.tier.{}", simd::tier_name()), 1);
+        }
         let setup_span = tel::span("decode.setup");
         let plan = self.plan_for(rows, cols)?;
         let op = SubsampledDctOperator::with_plan(rows, cols, selected.to_vec(), self.basis, plan)?;

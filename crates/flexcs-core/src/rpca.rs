@@ -42,7 +42,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::tel;
-use flexcs_linalg::{spectral_norm_estimate, Matrix, Rsvd, RsvdConfig, Svd};
+use flexcs_linalg::{simd, spectral_norm_estimate, Matrix, Rsvd, RsvdConfig, Svd};
 
 /// Matrices with `min(rows, cols)` below this stay on the exact Jacobi
 /// SVD under [`SvdPolicy::Auto`] — the randomized machinery only pays
@@ -225,52 +225,44 @@ pub fn rpca_warm(
     // into in-place passes over the existing buffers.
     let mut target = Matrix::zeros(m, n);
     let d_sl = d.as_slice();
-    let len = d_sl.len();
+    // The three fused sweeps below run the dispatched SIMD kernels: the
+    // L-/S-update targets are elementwise (bit-identical to the scalar
+    // loops on every tier); the dual-update residual is a reduction
+    // (≤ 1e-12 relative across tiers, scalar tier exact).
+    let kern = simd::kernels();
     for _ in 0..config.max_iterations {
         iterations += 1;
         let inv_mu = 1.0 / mu;
         // L-update: singular-value shrinkage of D − S + Y/μ.
-        {
-            let t = target.as_mut_slice();
-            let s_sl = s.as_slice();
-            let y_sl = y.as_slice();
-            for idx in 0..len {
-                t[idx] = (d_sl[idx] - s_sl[idx]) + y_sl[idx] * inv_mu;
-            }
-        }
+        (kern.sub_add_scaled)(
+            target.as_mut_slice(),
+            d_sl,
+            s.as_slice(),
+            y.as_slice(),
+            inv_mu,
+        );
         let (l_next, l_rank) = engine.update(&target, inv_mu)?;
         low_rank = l_next;
         rank = l_rank;
         // S-update: entrywise soft threshold of D − L + Y/μ, written
         // straight into the sparse iterate (its old value is dead).
         let thr = lambda / mu;
-        {
-            let s_mut = s.as_mut_slice();
-            let l_sl = low_rank.as_slice();
-            let y_sl = y.as_slice();
-            for idx in 0..len {
-                let v = (d_sl[idx] - l_sl[idx]) + y_sl[idx] * inv_mu;
-                s_mut[idx] = if v > thr {
-                    v - thr
-                } else if v < -thr {
-                    v + thr
-                } else {
-                    0.0
-                };
-            }
-        }
+        (kern.sub_add_scaled_shrink)(
+            s.as_mut_slice(),
+            d_sl,
+            low_rank.as_slice(),
+            y.as_slice(),
+            inv_mu,
+            thr,
+        );
         // Dual update Y += μ(D − L − S), fused with the residual norm.
-        let mut z2 = 0.0;
-        {
-            let y_mut = y.as_mut_slice();
-            let l_sl = low_rank.as_slice();
-            let s_sl = s.as_slice();
-            for idx in 0..len {
-                let z = d_sl[idx] - l_sl[idx] - s_sl[idx];
-                y_mut[idx] += mu * z;
-                z2 += z * z;
-            }
-        }
+        let z2 = (kern.dual_update_residual_sq)(
+            y.as_mut_slice(),
+            d_sl,
+            low_rank.as_slice(),
+            s.as_slice(),
+            mu,
+        );
         let residual_ratio = z2.sqrt() / d_norm;
         if tel::enabled() {
             // The L-update already knows its retained rank — no second

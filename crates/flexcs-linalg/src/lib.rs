@@ -14,6 +14,8 @@
 //!
 //! - [`Matrix`]: dense row-major `f64` matrix with the usual algebra.
 //! - [`vecops`]: slice-level vector kernels (dot, norms, soft threshold).
+//! - [`simd`]: runtime-dispatched micro-kernel tiers (AVX2+FMA / NEON /
+//!   portable scalar) behind a `OnceLock`'d kernel table.
 //! - [`Lu`] / [`solve`]: partially pivoted LU for general square systems.
 //! - [`Cholesky`] / [`solve_spd`]: SPD solves for Gram systems.
 //! - [`Qr`] / [`solve_least_squares`]: Householder QR for least squares.
@@ -39,7 +41,12 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module's vector tiers opt
+// back in with a module-level `allow(unsafe_code)` (runtime-dispatched
+// `std::arch` intrinsics behind safe, length-checked wrappers). All
+// other code in the workspace stays on safe Rust, enforced by the
+// grep lint in scripts/check.sh.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 // Factorization kernels are written as index loops over sub-ranges of
 // rows/columns, mirroring the textbook algorithms (and keeping the
@@ -54,6 +61,7 @@ mod lu;
 mod matrix;
 mod qr;
 mod rsvd;
+pub mod simd;
 mod svd;
 pub mod vecops;
 

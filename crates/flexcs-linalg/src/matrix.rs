@@ -261,6 +261,10 @@ impl Matrix {
         }
         let (m, kk, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
+        // The inner panel update is a dispatched axpy (elementwise, so
+        // bit-identical to the historical open-coded loop on every
+        // tier); the table lookup is hoisted out of the block sweep.
+        let kern = crate::simd::kernels();
         for jb in (0..n).step_by(Self::MATMUL_BLOCK_J) {
             let j_end = (jb + Self::MATMUL_BLOCK_J).min(n);
             for kb in (0..kk).step_by(Self::MATMUL_BLOCK_K) {
@@ -274,9 +278,7 @@ impl Matrix {
                             continue;
                         }
                         let rrow = &rhs.data[k * n + jb..k * n + j_end];
-                        for (o, &r) in orow.iter_mut().zip(rrow) {
-                            *o += a * r;
-                        }
+                        (kern.axpy)(a, rrow, orow);
                     }
                 }
             }
@@ -354,9 +356,13 @@ impl Matrix {
     }
 
     fn matvec_fill(&self, x: &[f64], y: &mut [f64]) {
+        // Per-row dispatched dot product: a reduction, so vector tiers
+        // re-associate within the documented ≤ 1e-12 relative tolerance
+        // (the scalar tier reproduces the historical sum exactly).
+        let kern = crate::simd::kernels();
         for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = (kern.dot)(row, x);
         }
     }
 
@@ -405,15 +411,16 @@ impl Matrix {
     }
 
     fn matvec_transpose_fill(&self, x: &[f64], y: &mut [f64]) {
+        // Per-row dispatched axpy (elementwise, bit-identical across
+        // tiers), keeping the historical zero-coefficient row skip.
+        let kern = crate::simd::kernels();
         for i in 0..self.rows {
             let xi = x[i];
             if xi == 0.0 {
                 continue;
             }
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for (yj, &a) in y.iter_mut().zip(row) {
-                *yj += a * xi;
-            }
+            (kern.axpy)(xi, row, y);
         }
     }
 

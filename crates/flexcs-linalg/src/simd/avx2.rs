@@ -1,0 +1,537 @@
+//! x86_64 AVX2+FMA kernel tier.
+//!
+//! Every public entry point is a safe wrapper that checks slice lengths
+//! and then calls a `#[target_feature(enable = "avx2,fma")]` inner
+//! function. The wrappers are only ever reachable through the kernel
+//! table in [`super`], which selects this tier exclusively after
+//! `is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")`
+//! succeeds at process start, so the target-feature precondition holds
+//! at every call site.
+//!
+//! Numerical contract (see the tolerance policy in [`super`]):
+//!
+//! - **Elementwise kernels** use explicit `_mm256_mul_pd` +
+//!   `_mm256_add_pd`/`_mm256_sub_pd` sequences — never fused
+//!   multiply-add — so every lane performs exactly the scalar tier's
+//!   rounding sequence and results are bit-identical to
+//!   [`super::scalar`].
+//! - **Reductions** (`dot`, `diff_norm2_sq`, the dual-update residual)
+//!   run four/eight-wide FMA accumulators and therefore re-associate;
+//!   they agree with the scalar tier to ≤ 1e-12 relative. `dot` and
+//!   `diff_norm2_sq` share one accumulation structure, so
+//!   `diff_norm2_sq(a, b)` stays bit-identical to `dot(d, d)` of the
+//!   materialized difference *within this tier*.
+//! - Soft-threshold branches are mirrored with a blend sequence whose
+//!   last write corresponds to the scalar `v > t` arm, reproducing the
+//!   scalar branch priority bit for bit (including `t < 0` and NaN
+//!   inputs).
+#![allow(unsafe_code)]
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// `y += alpha * x`, bit-identical to the scalar tier.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { axpy_inner(alpha, x, y) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_inner(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let n = y.len();
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let va = _mm256_set1_pd(alpha);
+    let mut i = 0;
+    // SAFETY: i + 4 <= n == x.len() == y.len(); loads/stores stay in
+    // bounds and are unaligned-tolerant (`loadu`/`storeu`).
+    while i + 4 <= n {
+        let vx = _mm256_loadu_pd(xp.add(i));
+        let vy = _mm256_loadu_pd(yp.add(i));
+        // mul + add (not FMA) to match the scalar rounding sequence.
+        _mm256_storeu_pd(yp.add(i), _mm256_add_pd(vy, _mm256_mul_pd(va, vx)));
+        i += 4;
+    }
+    while i < n {
+        *yp.add(i) += alpha * *xp.add(i);
+        i += 1;
+    }
+}
+
+/// `a *= s`, bit-identical to the scalar tier.
+pub fn scale(a: &mut [f64], s: f64) {
+    // SAFETY: AVX2+FMA verified at tier selection.
+    unsafe { scale_inner(a, s) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn scale_inner(a: &mut [f64], s: f64) {
+    let n = a.len();
+    let ap = a.as_mut_ptr();
+    let vs = _mm256_set1_pd(s);
+    let mut i = 0;
+    // SAFETY: i + 4 <= n; in-bounds unaligned access.
+    while i + 4 <= n {
+        let v = _mm256_loadu_pd(ap.add(i));
+        _mm256_storeu_pd(ap.add(i), _mm256_mul_pd(v, vs));
+        i += 4;
+    }
+    while i < n {
+        *ap.add(i) *= s;
+        i += 1;
+    }
+}
+
+/// `out = a - b`, bit-identical to the scalar tier.
+pub fn sub(out: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    assert_eq!(out.len(), a.len(), "sub: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { sub_inner(out, a, b) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn sub_inner(out: &mut [f64], a: &[f64], b: &[f64]) {
+    let n = out.len();
+    let (op, ap, bp) = (out.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+    let mut i = 0;
+    // SAFETY: i + 4 <= n for all three equal-length slices.
+    while i + 4 <= n {
+        let va = _mm256_loadu_pd(ap.add(i));
+        let vb = _mm256_loadu_pd(bp.add(i));
+        _mm256_storeu_pd(op.add(i), _mm256_sub_pd(va, vb));
+        i += 4;
+    }
+    while i < n {
+        *op.add(i) = *ap.add(i) - *bp.add(i);
+        i += 1;
+    }
+}
+
+/// `out = a + b`, bit-identical to the scalar tier.
+pub fn add(out: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    assert_eq!(out.len(), a.len(), "add: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { add_inner(out, a, b) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn add_inner(out: &mut [f64], a: &[f64], b: &[f64]) {
+    let n = out.len();
+    let (op, ap, bp) = (out.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+    let mut i = 0;
+    // SAFETY: i + 4 <= n for all three equal-length slices.
+    while i + 4 <= n {
+        let va = _mm256_loadu_pd(ap.add(i));
+        let vb = _mm256_loadu_pd(bp.add(i));
+        _mm256_storeu_pd(op.add(i), _mm256_add_pd(va, vb));
+        i += 4;
+    }
+    while i < n {
+        *op.add(i) = *ap.add(i) + *bp.add(i);
+        i += 1;
+    }
+}
+
+/// Horizontal sum of a 256-bit accumulator in a fixed order:
+/// `(l0 + l2) + (l1 + l3)`. Shared by every reduction so their
+/// association order is mutually consistent.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hsum(acc: __m256d) -> f64 {
+    let lo = _mm256_castpd256_pd128(acc);
+    let hi = _mm256_extractf128_pd(acc, 1);
+    let pair = _mm_add_pd(lo, hi);
+    _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair))
+}
+
+/// Dot product with two four-lane FMA accumulators (re-associated
+/// reduction; ≤ 1e-12 relative vs the scalar tier).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { dot_inner(a, b) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_inner(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0;
+    // SAFETY: i + 8 <= n on both equal-length slices.
+    while i + 8 <= n {
+        let a0 = _mm256_loadu_pd(ap.add(i));
+        let b0 = _mm256_loadu_pd(bp.add(i));
+        acc0 = _mm256_fmadd_pd(a0, b0, acc0);
+        let a1 = _mm256_loadu_pd(ap.add(i + 4));
+        let b1 = _mm256_loadu_pd(bp.add(i + 4));
+        acc1 = _mm256_fmadd_pd(a1, b1, acc1);
+        i += 8;
+    }
+    if i + 4 <= n {
+        let a0 = _mm256_loadu_pd(ap.add(i));
+        let b0 = _mm256_loadu_pd(bp.add(i));
+        acc0 = _mm256_fmadd_pd(a0, b0, acc0);
+        i += 4;
+    }
+    let mut s = hsum(_mm256_add_pd(acc0, acc1));
+    while i < n {
+        s += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    s
+}
+
+/// `Σ (a_i − b_i)²` with the same accumulator structure as [`dot`], so
+/// the fused form matches `dot(d, d)` of the materialized difference
+/// bit for bit within this tier (re-associated vs scalar, ≤ 1e-12).
+pub fn diff_norm2_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "diff_norm2_sq: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { diff_norm2_sq_inner(a, b) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn diff_norm2_sq_inner(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0;
+    // SAFETY: i + 8 <= n on both equal-length slices.
+    while i + 8 <= n {
+        let d0 = _mm256_sub_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+        acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+        let d1 = _mm256_sub_pd(
+            _mm256_loadu_pd(ap.add(i + 4)),
+            _mm256_loadu_pd(bp.add(i + 4)),
+        );
+        acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+        i += 8;
+    }
+    if i + 4 <= n {
+        let d0 = _mm256_sub_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+        acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+        i += 4;
+    }
+    let mut s = hsum(_mm256_add_pd(acc0, acc1));
+    while i < n {
+        let d = *ap.add(i) - *bp.add(i);
+        s += d * d;
+        i += 1;
+    }
+    s
+}
+
+/// Four-lane soft threshold mirroring the scalar branch priority: start
+/// from zero, blend in the `v < -t` arm, then let the `v > t` arm
+/// overwrite — identical to `if v > t {v-t} else if v < -t {v+t} else
+/// {0}` for every input, including `t < 0` (both masks set: the `v > t`
+/// arm wins, as in the scalar chain) and NaN (neither mask set: 0).
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn shrink_pd(v: __m256d, t: __m256d, neg_t: __m256d) -> __m256d {
+    let pos = _mm256_cmp_pd::<_CMP_GT_OQ>(v, t);
+    let neg = _mm256_cmp_pd::<_CMP_LT_OQ>(v, neg_t);
+    let r = _mm256_blendv_pd(_mm256_setzero_pd(), _mm256_add_pd(v, t), neg);
+    _mm256_blendv_pd(r, _mm256_sub_pd(v, t), pos)
+}
+
+/// In-place entrywise soft threshold, bit-identical to the scalar tier.
+pub fn soft_threshold(a: &mut [f64], t: f64) {
+    // SAFETY: AVX2+FMA verified at tier selection.
+    unsafe { soft_threshold_inner(a, t) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn soft_threshold_inner(a: &mut [f64], t: f64) {
+    let n = a.len();
+    let ap = a.as_mut_ptr();
+    let vt = _mm256_set1_pd(t);
+    let vnt = _mm256_set1_pd(-t);
+    let mut i = 0;
+    // SAFETY: i + 4 <= n; in-bounds unaligned access.
+    while i + 4 <= n {
+        let v = _mm256_loadu_pd(ap.add(i));
+        _mm256_storeu_pd(ap.add(i), shrink_pd(v, vt, vnt));
+        i += 4;
+    }
+    while i < n {
+        *ap.add(i) = super::scalar::shrink(*ap.add(i), t);
+        i += 1;
+    }
+}
+
+/// Fused proximal-gradient step, bit-identical to the scalar tier
+/// (`y − step·g` as mul-then-sub, then the shrink blend).
+pub fn prox_grad_step(out: &mut [f64], y: &[f64], g: &[f64], step: f64, t: f64) {
+    assert_eq!(out.len(), y.len(), "prox_grad_step: length mismatch");
+    assert_eq!(out.len(), g.len(), "prox_grad_step: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { prox_grad_step_inner(out, y, g, step, t) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn prox_grad_step_inner(out: &mut [f64], y: &[f64], g: &[f64], step: f64, t: f64) {
+    let n = out.len();
+    let (op, yp, gp) = (out.as_mut_ptr(), y.as_ptr(), g.as_ptr());
+    let vs = _mm256_set1_pd(step);
+    let vt = _mm256_set1_pd(t);
+    let vnt = _mm256_set1_pd(-t);
+    let mut i = 0;
+    // SAFETY: i + 4 <= n on all three equal-length slices.
+    while i + 4 <= n {
+        let vy = _mm256_loadu_pd(yp.add(i));
+        let vg = _mm256_loadu_pd(gp.add(i));
+        let v = _mm256_sub_pd(vy, _mm256_mul_pd(vs, vg));
+        _mm256_storeu_pd(op.add(i), shrink_pd(v, vt, vnt));
+        i += 4;
+    }
+    while i < n {
+        *op.add(i) = super::scalar::shrink(*yp.add(i) - step * *gp.add(i), t);
+        i += 1;
+    }
+}
+
+/// FISTA momentum extrapolation, bit-identical to the scalar tier.
+pub fn momentum(y: &mut [f64], xn: &[f64], xo: &[f64], beta: f64) {
+    assert_eq!(y.len(), xn.len(), "momentum: length mismatch");
+    assert_eq!(y.len(), xo.len(), "momentum: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { momentum_inner(y, xn, xo, beta) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn momentum_inner(y: &mut [f64], xn: &[f64], xo: &[f64], beta: f64) {
+    let n = y.len();
+    let (yp, np, op) = (y.as_mut_ptr(), xn.as_ptr(), xo.as_ptr());
+    let vb = _mm256_set1_pd(beta);
+    let mut i = 0;
+    // SAFETY: i + 4 <= n on all three equal-length slices.
+    while i + 4 <= n {
+        let vn = _mm256_loadu_pd(np.add(i));
+        let vo = _mm256_loadu_pd(op.add(i));
+        let d = _mm256_sub_pd(vn, vo);
+        _mm256_storeu_pd(yp.add(i), _mm256_add_pd(vn, _mm256_mul_pd(vb, d)));
+        i += 4;
+    }
+    while i < n {
+        let (ni, oi) = (*np.add(i), *op.add(i));
+        *yp.add(i) = ni + beta * (ni - oi);
+        i += 1;
+    }
+}
+
+/// DCT butterfly split lane loop, bit-identical to the scalar tier.
+pub fn butterfly_split(alpha: &mut [f64], beta: &mut [f64], x: &[f64], y: &[f64], inv: f64) {
+    let w = alpha.len();
+    assert_eq!(beta.len(), w, "butterfly_split: length mismatch");
+    assert_eq!(x.len(), w, "butterfly_split: length mismatch");
+    assert_eq!(y.len(), w, "butterfly_split: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { butterfly_split_inner(alpha, beta, x, y, inv) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn butterfly_split_inner(
+    alpha: &mut [f64],
+    beta: &mut [f64],
+    x: &[f64],
+    y: &[f64],
+    inv: f64,
+) {
+    let w = alpha.len();
+    let (aptr, bptr, xp, yp) = (
+        alpha.as_mut_ptr(),
+        beta.as_mut_ptr(),
+        x.as_ptr(),
+        y.as_ptr(),
+    );
+    let vi = _mm256_set1_pd(inv);
+    let mut j = 0;
+    // SAFETY: j + 4 <= w on all four equal-length slices.
+    while j + 4 <= w {
+        let vx = _mm256_loadu_pd(xp.add(j));
+        let vy = _mm256_loadu_pd(yp.add(j));
+        _mm256_storeu_pd(aptr.add(j), _mm256_add_pd(vx, vy));
+        _mm256_storeu_pd(bptr.add(j), _mm256_mul_pd(_mm256_sub_pd(vx, vy), vi));
+        j += 4;
+    }
+    while j < w {
+        let (xv, yv) = (*xp.add(j), *yp.add(j));
+        *aptr.add(j) = xv + yv;
+        *bptr.add(j) = (xv - yv) * inv;
+        j += 1;
+    }
+}
+
+/// DCT inverse butterfly merge lane loop, bit-identical to the scalar
+/// tier.
+pub fn butterfly_merge(
+    top: &mut [f64],
+    bottom: &mut [f64],
+    alpha: &[f64],
+    beta: &[f64],
+    twice_cos: f64,
+) {
+    let w = top.len();
+    assert_eq!(bottom.len(), w, "butterfly_merge: length mismatch");
+    assert_eq!(alpha.len(), w, "butterfly_merge: length mismatch");
+    assert_eq!(beta.len(), w, "butterfly_merge: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { butterfly_merge_inner(top, bottom, alpha, beta, twice_cos) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn butterfly_merge_inner(
+    top: &mut [f64],
+    bottom: &mut [f64],
+    alpha: &[f64],
+    beta: &[f64],
+    twice_cos: f64,
+) {
+    let w = top.len();
+    let (tp, bp, ap, btp) = (
+        top.as_mut_ptr(),
+        bottom.as_mut_ptr(),
+        alpha.as_ptr(),
+        beta.as_ptr(),
+    );
+    let vc = _mm256_set1_pd(twice_cos);
+    let vh = _mm256_set1_pd(0.5);
+    let mut j = 0;
+    // SAFETY: j + 4 <= w on all four equal-length slices.
+    while j + 4 <= w {
+        let va = _mm256_loadu_pd(ap.add(j));
+        let diff = _mm256_mul_pd(vc, _mm256_loadu_pd(btp.add(j)));
+        _mm256_storeu_pd(tp.add(j), _mm256_mul_pd(vh, _mm256_add_pd(va, diff)));
+        _mm256_storeu_pd(bp.add(j), _mm256_mul_pd(vh, _mm256_sub_pd(va, diff)));
+        j += 4;
+    }
+    while j < w {
+        let diff = twice_cos * *btp.add(j);
+        let av = *ap.add(j);
+        *tp.add(j) = 0.5 * (av + diff);
+        *bp.add(j) = 0.5 * (av - diff);
+        j += 1;
+    }
+}
+
+/// Fused RPCA L-update target `out = (a − b) + c·k`, bit-identical to
+/// the scalar tier.
+pub fn sub_add_scaled(out: &mut [f64], a: &[f64], b: &[f64], c: &[f64], k: f64) {
+    let n = out.len();
+    assert_eq!(a.len(), n, "sub_add_scaled: length mismatch");
+    assert_eq!(b.len(), n, "sub_add_scaled: length mismatch");
+    assert_eq!(c.len(), n, "sub_add_scaled: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { sub_add_scaled_inner(out, a, b, c, k) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn sub_add_scaled_inner(out: &mut [f64], a: &[f64], b: &[f64], c: &[f64], k: f64) {
+    let n = out.len();
+    let (op, ap, bp, cp) = (out.as_mut_ptr(), a.as_ptr(), b.as_ptr(), c.as_ptr());
+    let vk = _mm256_set1_pd(k);
+    let mut i = 0;
+    // SAFETY: i + 4 <= n on all four equal-length slices.
+    while i + 4 <= n {
+        let d = _mm256_sub_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+        let s = _mm256_mul_pd(_mm256_loadu_pd(cp.add(i)), vk);
+        _mm256_storeu_pd(op.add(i), _mm256_add_pd(d, s));
+        i += 4;
+    }
+    while i < n {
+        *op.add(i) = (*ap.add(i) - *bp.add(i)) + *cp.add(i) * k;
+        i += 1;
+    }
+}
+
+/// Fused RPCA S-update `out = shrink((a − b) + c·k, thr)`, bit-identical
+/// to the scalar tier.
+pub fn sub_add_scaled_shrink(out: &mut [f64], a: &[f64], b: &[f64], c: &[f64], k: f64, thr: f64) {
+    let n = out.len();
+    assert_eq!(a.len(), n, "sub_add_scaled_shrink: length mismatch");
+    assert_eq!(b.len(), n, "sub_add_scaled_shrink: length mismatch");
+    assert_eq!(c.len(), n, "sub_add_scaled_shrink: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { sub_add_scaled_shrink_inner(out, a, b, c, k, thr) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn sub_add_scaled_shrink_inner(
+    out: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    k: f64,
+    thr: f64,
+) {
+    let n = out.len();
+    let (op, ap, bp, cp) = (out.as_mut_ptr(), a.as_ptr(), b.as_ptr(), c.as_ptr());
+    let vk = _mm256_set1_pd(k);
+    let vt = _mm256_set1_pd(thr);
+    let vnt = _mm256_set1_pd(-thr);
+    let mut i = 0;
+    // SAFETY: i + 4 <= n on all four equal-length slices.
+    while i + 4 <= n {
+        let d = _mm256_sub_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+        let v = _mm256_add_pd(d, _mm256_mul_pd(_mm256_loadu_pd(cp.add(i)), vk));
+        _mm256_storeu_pd(op.add(i), shrink_pd(v, vt, vnt));
+        i += 4;
+    }
+    while i < n {
+        let v = (*ap.add(i) - *bp.add(i)) + *cp.add(i) * k;
+        *op.add(i) = super::scalar::shrink(v, thr);
+        i += 1;
+    }
+}
+
+/// Fused RPCA dual update `y += mu·z`, `z = d − l − s`, returning `Σ z²`
+/// (elementwise part bit-identical; the returned sum re-associates,
+/// ≤ 1e-12 relative vs the scalar tier).
+pub fn dual_update_residual_sq(y: &mut [f64], d: &[f64], l: &[f64], s: &[f64], mu: f64) -> f64 {
+    let n = y.len();
+    assert_eq!(d.len(), n, "dual_update_residual_sq: length mismatch");
+    assert_eq!(l.len(), n, "dual_update_residual_sq: length mismatch");
+    assert_eq!(s.len(), n, "dual_update_residual_sq: length mismatch");
+    // SAFETY: AVX2+FMA verified at tier selection; lengths checked.
+    unsafe { dual_update_residual_sq_inner(y, d, l, s, mu) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dual_update_residual_sq_inner(
+    y: &mut [f64],
+    d: &[f64],
+    l: &[f64],
+    s: &[f64],
+    mu: f64,
+) -> f64 {
+    let n = y.len();
+    let (yp, dp, lp, sp) = (y.as_mut_ptr(), d.as_ptr(), l.as_ptr(), s.as_ptr());
+    let vm = _mm256_set1_pd(mu);
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    // SAFETY: i + 4 <= n on all four equal-length slices.
+    while i + 4 <= n {
+        let z = _mm256_sub_pd(
+            _mm256_sub_pd(_mm256_loadu_pd(dp.add(i)), _mm256_loadu_pd(lp.add(i))),
+            _mm256_loadu_pd(sp.add(i)),
+        );
+        let vy = _mm256_loadu_pd(yp.add(i));
+        // mul + add (not FMA) so the y update matches scalar exactly.
+        _mm256_storeu_pd(yp.add(i), _mm256_add_pd(vy, _mm256_mul_pd(vm, z)));
+        acc = _mm256_fmadd_pd(z, z, acc);
+        i += 4;
+    }
+    let mut z2 = hsum(acc);
+    while i < n {
+        let z = *dp.add(i) - *lp.add(i) - *sp.add(i);
+        *yp.add(i) += mu * z;
+        z2 += z * z;
+        i += 1;
+    }
+    z2
+}

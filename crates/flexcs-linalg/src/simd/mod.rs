@@ -1,0 +1,333 @@
+//! Runtime-dispatched SIMD micro-kernel layer for the decode hot path.
+//!
+//! Every hot inner loop of the decode stack — the `vecops` fused
+//! kernels, the blocked-matmul / matvec panels, the Lee-DCT butterfly
+//! lane loops, and the RPCA shrinkage/residual updates — funnels
+//! through the [`Kernels`] table returned by [`kernels`]. The table is
+//! selected exactly once per process (a [`OnceLock`]) from:
+//!
+//! 1. **`FLEXCS_FORCE_SCALAR`** — if set to anything other than
+//!    `""`/`"0"`/`"false"`, the portable [`scalar`] tier is used
+//!    regardless of CPU features (for A/B testing both paths on one
+//!    host).
+//! 2. **x86_64 AVX2+FMA** — selected when
+//!    `is_x86_feature_detected!("avx2")` and `("fma")` both pass.
+//! 3. **aarch64 NEON** — selected when
+//!    `is_aarch64_feature_detected!("neon")` passes.
+//! 4. **Portable scalar** — the historical Rust loops, retained
+//!    verbatim in [`scalar`]; always the fallback.
+//!
+//! ## Tolerance policy
+//!
+//! - *Elementwise* kernels (axpy, scale, sub/add, soft-threshold,
+//!   prox-grad step, momentum, DCT butterflies, RPCA shrink targets)
+//!   are **bit-identical** across tiers: vector tiers use explicit
+//!   mul/add/sub intrinsics — never fused multiply-add — so each lane
+//!   performs the exact scalar rounding sequence.
+//! - *Reductions* (`dot`, `diff_norm2_sq`, the RPCA dual residual) may
+//!   **re-associate** (wide accumulators, FMA) and are pinned to the
+//!   scalar tier at ≤ 1e-12 relative error by property tests
+//!   (`flexcs-linalg/tests/simd_props.rs`). Within one tier,
+//!   `diff_norm2_sq(a, b)` is still bit-identical to `dot(d, d)` of the
+//!   materialized difference — callers rely on that for fused-vs-staged
+//!   equivalence.
+//!
+//! ## Adding a kernel
+//!
+//! 1. Add the reference loop to [`scalar`] (move it verbatim from the
+//!    call site; it stays the semantic baseline).
+//! 2. Add a `fn` pointer field to [`Kernels`] and wire it in the
+//!    `SCALAR` table (plus `AVX2_FMA`/`NEON` if vectorized — a new
+//!    field may simply reuse the scalar fn in vector tiers until a
+//!    vector implementation exists).
+//! 3. If vectorized: elementwise ⇒ mul/add only (bit-identity);
+//!    reduction ⇒ document re-association and extend the ≤ 1e-12
+//!    proptests. Every intrinsic block needs a `// SAFETY:` comment.
+//! 4. Call it via `simd::kernels()` from the hot loop.
+//!
+//! All `unsafe` in the workspace lives in this module's vector tiers
+//! (`scripts/check.sh` enforces this with a grep lint).
+
+use std::sync::OnceLock;
+
+pub mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+/// Which micro-kernel tier the process selected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimdTier {
+    /// Portable scalar reference tier (always available).
+    Scalar,
+    /// x86_64 AVX2 + FMA tier (4-wide `f64`).
+    Avx2Fma,
+    /// aarch64 NEON tier (2-wide `f64`).
+    Neon,
+}
+
+impl SimdTier {
+    /// Stable identifier recorded in telemetry (`simd.tier.<name>`) and
+    /// in `BENCH_decode.json` (`simd_tier`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Avx2Fma => "x86_64-avx2+fma",
+            SimdTier::Neon => "aarch64-neon",
+        }
+    }
+}
+
+/// Lee-DCT butterfly lane loop: two output lanes from two input lanes
+/// and one scalar coefficient (`butterfly_split` / `butterfly_merge`).
+pub type ButterflyFn = fn(&mut [f64], &mut [f64], &[f64], &[f64], f64);
+
+/// RPCA L-update target `out = (a − b) + c·k`.
+pub type SubAddScaledFn = fn(&mut [f64], &[f64], &[f64], &[f64], f64);
+
+/// RPCA S-update `out = shrink((a − b) + c·k, thr)`.
+pub type SubAddScaledShrinkFn = fn(&mut [f64], &[f64], &[f64], &[f64], f64, f64);
+
+/// RPCA dual update `y += mu·(d − l − s)`, returning the residual `Σ z²`.
+pub type DualUpdateFn = fn(&mut [f64], &[f64], &[f64], &[f64], f64) -> f64;
+
+/// Table of micro-kernel entry points for one tier.
+///
+/// All fields are safe `fn` pointers; the vector tiers do their own
+/// length checking before entering `target_feature` code. Callers grab
+/// the process-wide table once via [`kernels`] (or [`scalar_kernels`]
+/// for an explicit reference baseline, e.g. microbenchmarks).
+pub struct Kernels {
+    /// Tier this table belongs to.
+    pub tier: SimdTier,
+    /// `y += alpha * x` (elementwise, bit-identical across tiers).
+    pub axpy: fn(alpha: f64, x: &[f64], y: &mut [f64]),
+    /// `a *= s` (elementwise, bit-identical across tiers).
+    pub scale: fn(a: &mut [f64], s: f64),
+    /// `out = a - b` (elementwise, bit-identical across tiers).
+    pub sub: fn(out: &mut [f64], a: &[f64], b: &[f64]),
+    /// `out = a + b` (elementwise, bit-identical across tiers).
+    pub add: fn(out: &mut [f64], a: &[f64], b: &[f64]),
+    /// Dot product (reduction, ≤ 1e-12 relative across tiers).
+    pub dot: fn(a: &[f64], b: &[f64]) -> f64,
+    /// `Σ (a_i − b_i)²` (reduction, ≤ 1e-12 relative across tiers;
+    /// bit-identical to `dot(d, d)` within a tier).
+    pub diff_norm2_sq: fn(a: &[f64], b: &[f64]) -> f64,
+    /// In-place soft threshold (elementwise, bit-identical).
+    pub soft_threshold: fn(a: &mut [f64], t: f64),
+    /// `out[i] = shrink(y[i] − step·g[i], t)` (elementwise,
+    /// bit-identical).
+    pub prox_grad_step: fn(out: &mut [f64], y: &[f64], g: &[f64], step: f64, t: f64),
+    /// `y[i] = xn[i] + beta·(xn[i] − xo[i])` (elementwise,
+    /// bit-identical).
+    pub momentum: fn(y: &mut [f64], xn: &[f64], xo: &[f64], beta: f64),
+    /// Lee-DCT forward butterfly lane loop: `alpha = x + y`,
+    /// `beta = (x − y)·inv` (elementwise, bit-identical).
+    pub butterfly_split: ButterflyFn,
+    /// Lee-DCT inverse butterfly lane loop: `top = 0.5·(alpha + c·beta)`,
+    /// `bottom = 0.5·(alpha − c·beta)` (elementwise, bit-identical).
+    pub butterfly_merge: ButterflyFn,
+    /// RPCA L-update target `out = (a − b) + c·k` (elementwise,
+    /// bit-identical).
+    pub sub_add_scaled: SubAddScaledFn,
+    /// RPCA S-update `out = shrink((a − b) + c·k, thr)` (elementwise,
+    /// bit-identical).
+    pub sub_add_scaled_shrink: SubAddScaledShrinkFn,
+    /// RPCA dual update `y += mu·z`, `z = d − l − s`, returns `Σ z²`
+    /// (update elementwise bit-identical; returned sum is a reduction,
+    /// ≤ 1e-12 relative).
+    pub dual_update_residual_sq: DualUpdateFn,
+}
+
+/// Portable scalar reference table (always available on every target).
+static SCALAR: Kernels = Kernels {
+    tier: SimdTier::Scalar,
+    axpy: scalar::axpy,
+    scale: scalar::scale,
+    sub: scalar::sub,
+    add: scalar::add,
+    dot: scalar::dot,
+    diff_norm2_sq: scalar::diff_norm2_sq,
+    soft_threshold: scalar::soft_threshold,
+    prox_grad_step: scalar::prox_grad_step,
+    momentum: scalar::momentum,
+    butterfly_split: scalar::butterfly_split,
+    butterfly_merge: scalar::butterfly_merge,
+    sub_add_scaled: scalar::sub_add_scaled,
+    sub_add_scaled_shrink: scalar::sub_add_scaled_shrink,
+    dual_update_residual_sq: scalar::dual_update_residual_sq,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_FMA: Kernels = Kernels {
+    tier: SimdTier::Avx2Fma,
+    axpy: avx2::axpy,
+    scale: avx2::scale,
+    sub: avx2::sub,
+    add: avx2::add,
+    dot: avx2::dot,
+    diff_norm2_sq: avx2::diff_norm2_sq,
+    soft_threshold: avx2::soft_threshold,
+    prox_grad_step: avx2::prox_grad_step,
+    momentum: avx2::momentum,
+    butterfly_split: avx2::butterfly_split,
+    butterfly_merge: avx2::butterfly_merge,
+    sub_add_scaled: avx2::sub_add_scaled,
+    sub_add_scaled_shrink: avx2::sub_add_scaled_shrink,
+    dual_update_residual_sq: avx2::dual_update_residual_sq,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON: Kernels = Kernels {
+    tier: SimdTier::Neon,
+    axpy: neon::axpy,
+    scale: neon::scale,
+    sub: neon::sub,
+    add: neon::add,
+    dot: neon::dot,
+    diff_norm2_sq: neon::diff_norm2_sq,
+    soft_threshold: neon::soft_threshold,
+    prox_grad_step: neon::prox_grad_step,
+    momentum: neon::momentum,
+    butterfly_split: neon::butterfly_split,
+    butterfly_merge: neon::butterfly_merge,
+    sub_add_scaled: neon::sub_add_scaled,
+    sub_add_scaled_shrink: neon::sub_add_scaled_shrink,
+    dual_update_residual_sq: neon::dual_update_residual_sq,
+};
+
+/// Interprets the `FLEXCS_FORCE_SCALAR` environment value: unset,
+/// empty, `"0"`, or (case-insensitive) `"false"` leave runtime
+/// detection on; anything else forces the scalar tier.
+fn force_scalar(value: Option<&str>) -> bool {
+    match value {
+        None => false,
+        Some(s) => !(s.is_empty() || s == "0" || s.eq_ignore_ascii_case("false")),
+    }
+}
+
+fn select() -> &'static Kernels {
+    let env = std::env::var("FLEXCS_FORCE_SCALAR").ok();
+    if force_scalar(env.as_deref()) {
+        return &SCALAR;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return &AVX2_FMA;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return &NEON;
+        }
+    }
+    &SCALAR
+}
+
+/// Process-wide kernel table: selected on first call (see the module
+/// docs for the selection order) and fixed for the process lifetime.
+pub fn kernels() -> &'static Kernels {
+    static KERNELS: OnceLock<&'static Kernels> = OnceLock::new();
+    KERNELS.get_or_init(select)
+}
+
+/// The scalar reference table, regardless of what [`kernels`] selected.
+/// Used by microbenchmarks and property tests as the baseline side.
+pub fn scalar_kernels() -> &'static Kernels {
+    &SCALAR
+}
+
+/// The tier [`kernels`] selected for this process.
+pub fn tier() -> SimdTier {
+    kernels().tier
+}
+
+/// Stable name of the selected tier (see [`SimdTier::name`]).
+pub fn tier_name() -> &'static str {
+    kernels().tier.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_scalar_parsing() {
+        assert!(!force_scalar(None));
+        assert!(!force_scalar(Some("")));
+        assert!(!force_scalar(Some("0")));
+        assert!(!force_scalar(Some("false")));
+        assert!(!force_scalar(Some("FALSE")));
+        assert!(force_scalar(Some("1")));
+        assert!(force_scalar(Some("true")));
+        assert!(force_scalar(Some("yes")));
+    }
+
+    #[test]
+    fn selected_tier_is_consistent() {
+        let k = kernels();
+        assert_eq!(k.tier, tier());
+        assert_eq!(k.tier.name(), tier_name());
+        // The scalar table always reports the scalar tier.
+        assert_eq!(scalar_kernels().tier, SimdTier::Scalar);
+        assert_eq!(SimdTier::Scalar.name(), "scalar");
+    }
+
+    #[test]
+    fn dispatched_elementwise_kernels_match_scalar_bitwise() {
+        let k = kernels();
+        let s = scalar_kernels();
+        let n = 37; // odd length exercises every remainder path
+        let a: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 19) as f64 - 9.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 53 + 7) % 23) as f64 - 11.0).collect();
+
+        let mut y0 = b.clone();
+        let mut y1 = b.clone();
+        (k.axpy)(0.75, &a, &mut y0);
+        (s.axpy)(0.75, &a, &mut y1);
+        assert_eq!(y0, y1);
+
+        let mut o0 = vec![0.0; n];
+        let mut o1 = vec![0.0; n];
+        (k.prox_grad_step)(&mut o0, &a, &b, 0.3, 1.5);
+        (s.prox_grad_step)(&mut o1, &a, &b, 0.3, 1.5);
+        assert_eq!(o0, o1);
+
+        let mut t0 = a.clone();
+        let mut t1 = a.clone();
+        (k.soft_threshold)(&mut t0, 2.0);
+        (s.soft_threshold)(&mut t1, 2.0);
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn dispatched_reductions_match_scalar_closely() {
+        let k = kernels();
+        let s = scalar_kernels();
+        let n = 1001;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).cos()).collect();
+        let (d0, d1) = ((k.dot)(&a, &b), (s.dot)(&a, &b));
+        assert!((d0 - d1).abs() <= 1e-12 * d1.abs().max(1.0));
+        let (n0, n1) = ((k.diff_norm2_sq)(&a, &b), (s.diff_norm2_sq)(&a, &b));
+        assert!((n0 - n1).abs() <= 1e-12 * n1.abs().max(1.0));
+    }
+
+    #[test]
+    fn diff_norm2_sq_bit_identical_to_dot_of_difference_within_tier() {
+        let k = kernels();
+        let n = 37;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.71).sin() * 3.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos() * 2.0).collect();
+        let mut d = vec![0.0; n];
+        (k.sub)(&mut d, &a, &b);
+        let fused = (k.diff_norm2_sq)(&a, &b);
+        let staged = (k.dot)(&d, &d);
+        assert_eq!(fused.to_bits(), staged.to_bits());
+    }
+}

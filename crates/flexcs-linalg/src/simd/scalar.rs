@@ -1,0 +1,239 @@
+//! Portable scalar reference tier.
+//!
+//! These are the historical `vecops`/`matrix`/DCT/RPCA inner loops,
+//! retained verbatim as the semantic baseline every vectorized tier is
+//! validated against: elementwise kernels must reproduce these bit for
+//! bit, reductions to ≤ 1e-12 relative (see the module docs in
+//! [`super`]). The four-lane `chunks_exact` unrolling is part of the
+//! reference semantics — per-element arithmetic is unchanged by it —
+//! and also lets the autovectorizer emit decent code on targets with no
+//! hand-written tier.
+
+/// `y += alpha * x` (reference for [`super::Kernels::axpy`]).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    let mut yc = y.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    for (yk, xk) in yc.by_ref().zip(xc.by_ref()) {
+        yk[0] += alpha * xk[0];
+        yk[1] += alpha * xk[1];
+        yk[2] += alpha * xk[2];
+        yk[3] += alpha * xk[3];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `a *= s` entrywise (reference for [`super::Kernels::scale`]).
+pub fn scale(a: &mut [f64], s: f64) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+/// `out = a - b` entrywise (reference for [`super::Kernels::sub`]).
+pub fn sub(out: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    assert_eq!(out.len(), a.len(), "sub: length mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// `out = a + b` entrywise (reference for [`super::Kernels::add`]).
+pub fn add(out: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    assert_eq!(out.len(), a.len(), "add: length mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// Dot product (reference for [`super::Kernels::dot`]): strict
+/// index-order accumulation from the `Sum for f64` identity `-0.0`.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `Σ (a_i − b_i)²` (reference for [`super::Kernels::diff_norm2_sq`]).
+///
+/// Accumulates strictly in index order from `-0.0`, so the result is
+/// bit-identical to [`dot`] of the materialized difference with itself.
+pub fn diff_norm2_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "diff_norm2_sq: length mismatch");
+    // -0.0 is `Sum for f64`'s identity; starting there keeps even the
+    // empty case bit-identical to `dot(&sub(a, b), &sub(a, b))`.
+    let mut s = -0.0;
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (ak, bk) in ac.by_ref().zip(bc.by_ref()) {
+        let d0 = ak[0] - bk[0];
+        s += d0 * d0;
+        let d1 = ak[1] - bk[1];
+        s += d1 * d1;
+        let d2 = ak[2] - bk[2];
+        s += d2 * d2;
+        let d3 = ak[3] - bk[3];
+        s += d3 * d3;
+    }
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+/// Soft-threshold shrinkage `sign(v)·max(|v| − t, 0)`.
+#[inline(always)]
+pub fn shrink(v: f64, t: f64) -> f64 {
+    if v > t {
+        v - t
+    } else if v < -t {
+        v + t
+    } else {
+        0.0
+    }
+}
+
+/// In-place entrywise soft threshold (reference for
+/// [`super::Kernels::soft_threshold`]).
+pub fn soft_threshold(a: &mut [f64], t: f64) {
+    let mut chunks = a.chunks_exact_mut(4);
+    for c in chunks.by_ref() {
+        c[0] = shrink(c[0], t);
+        c[1] = shrink(c[1], t);
+        c[2] = shrink(c[2], t);
+        c[3] = shrink(c[3], t);
+    }
+    for v in chunks.into_remainder() {
+        *v = shrink(*v, t);
+    }
+}
+
+/// Fused proximal-gradient step `out[i] = shrink(y[i] − step·g[i], t)`
+/// (reference for [`super::Kernels::prox_grad_step`]).
+pub fn prox_grad_step(out: &mut [f64], y: &[f64], g: &[f64], step: f64, t: f64) {
+    assert_eq!(out.len(), y.len(), "prox_grad_step: length mismatch");
+    assert_eq!(out.len(), g.len(), "prox_grad_step: length mismatch");
+    let mut oc = out.chunks_exact_mut(4);
+    let mut yc = y.chunks_exact(4);
+    let mut gc = g.chunks_exact(4);
+    for ((ok, yk), gk) in oc.by_ref().zip(yc.by_ref()).zip(gc.by_ref()) {
+        ok[0] = shrink(yk[0] - step * gk[0], t);
+        ok[1] = shrink(yk[1] - step * gk[1], t);
+        ok[2] = shrink(yk[2] - step * gk[2], t);
+        ok[3] = shrink(yk[3] - step * gk[3], t);
+    }
+    for ((o, yi), gi) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(yc.remainder())
+        .zip(gc.remainder())
+    {
+        *o = shrink(yi - step * gi, t);
+    }
+}
+
+/// FISTA momentum `y[i] = xn[i] + beta·(xn[i] − xo[i])` (reference for
+/// [`super::Kernels::momentum`]).
+pub fn momentum(y: &mut [f64], xn: &[f64], xo: &[f64], beta: f64) {
+    assert_eq!(y.len(), xn.len(), "momentum: length mismatch");
+    assert_eq!(y.len(), xo.len(), "momentum: length mismatch");
+    let mut yc = y.chunks_exact_mut(4);
+    let mut nc = xn.chunks_exact(4);
+    let mut oc = xo.chunks_exact(4);
+    for ((yk, nk), ok) in yc.by_ref().zip(nc.by_ref()).zip(oc.by_ref()) {
+        yk[0] = nk[0] + beta * (nk[0] - ok[0]);
+        yk[1] = nk[1] + beta * (nk[1] - ok[1]);
+        yk[2] = nk[2] + beta * (nk[2] - ok[2]);
+        yk[3] = nk[3] + beta * (nk[3] - ok[3]);
+    }
+    for ((yi, ni), oi) in yc
+        .into_remainder()
+        .iter_mut()
+        .zip(nc.remainder())
+        .zip(oc.remainder())
+    {
+        *yi = ni + beta * (ni - oi);
+    }
+}
+
+/// DCT butterfly split `alpha = x + y`, `beta = (x − y)·inv` (reference
+/// for [`super::Kernels::butterfly_split`]): the lane loop of the
+/// multi-lane Lee forward recursion.
+pub fn butterfly_split(alpha: &mut [f64], beta: &mut [f64], x: &[f64], y: &[f64], inv: f64) {
+    let w = alpha.len();
+    assert_eq!(beta.len(), w, "butterfly_split: length mismatch");
+    assert_eq!(x.len(), w, "butterfly_split: length mismatch");
+    assert_eq!(y.len(), w, "butterfly_split: length mismatch");
+    for j in 0..w {
+        alpha[j] = x[j] + y[j];
+        beta[j] = (x[j] - y[j]) * inv;
+    }
+}
+
+/// DCT inverse butterfly merge `top = 0.5·(alpha + c·beta)`,
+/// `bottom = 0.5·(alpha − c·beta)` with `c = twice_cos` (reference for
+/// [`super::Kernels::butterfly_merge`]): the lane loop of the
+/// multi-lane Lee inverse recursion.
+pub fn butterfly_merge(
+    top: &mut [f64],
+    bottom: &mut [f64],
+    alpha: &[f64],
+    beta: &[f64],
+    twice_cos: f64,
+) {
+    let w = top.len();
+    assert_eq!(bottom.len(), w, "butterfly_merge: length mismatch");
+    assert_eq!(alpha.len(), w, "butterfly_merge: length mismatch");
+    assert_eq!(beta.len(), w, "butterfly_merge: length mismatch");
+    for j in 0..w {
+        let diff = twice_cos * beta[j];
+        top[j] = 0.5 * (alpha[j] + diff);
+        bottom[j] = 0.5 * (alpha[j] - diff);
+    }
+}
+
+/// Fused RPCA L-update target `out = (a − b) + c·k` (reference for
+/// [`super::Kernels::sub_add_scaled`]).
+pub fn sub_add_scaled(out: &mut [f64], a: &[f64], b: &[f64], c: &[f64], k: f64) {
+    let n = out.len();
+    assert_eq!(a.len(), n, "sub_add_scaled: length mismatch");
+    assert_eq!(b.len(), n, "sub_add_scaled: length mismatch");
+    assert_eq!(c.len(), n, "sub_add_scaled: length mismatch");
+    for idx in 0..n {
+        out[idx] = (a[idx] - b[idx]) + c[idx] * k;
+    }
+}
+
+/// Fused RPCA S-update `out = shrink((a − b) + c·k, thr)` (reference
+/// for [`super::Kernels::sub_add_scaled_shrink`]).
+pub fn sub_add_scaled_shrink(out: &mut [f64], a: &[f64], b: &[f64], c: &[f64], k: f64, thr: f64) {
+    let n = out.len();
+    assert_eq!(a.len(), n, "sub_add_scaled_shrink: length mismatch");
+    assert_eq!(b.len(), n, "sub_add_scaled_shrink: length mismatch");
+    assert_eq!(c.len(), n, "sub_add_scaled_shrink: length mismatch");
+    for idx in 0..n {
+        let v = (a[idx] - b[idx]) + c[idx] * k;
+        out[idx] = shrink(v, thr);
+    }
+}
+
+/// Fused RPCA dual update `y += mu·z` with `z = d − l − s`, returning
+/// `Σ z²` (reference for [`super::Kernels::dual_update_residual_sq`]):
+/// strict index-order accumulation from `0.0`.
+pub fn dual_update_residual_sq(y: &mut [f64], d: &[f64], l: &[f64], s: &[f64], mu: f64) -> f64 {
+    let n = y.len();
+    assert_eq!(d.len(), n, "dual_update_residual_sq: length mismatch");
+    assert_eq!(l.len(), n, "dual_update_residual_sq: length mismatch");
+    assert_eq!(s.len(), n, "dual_update_residual_sq: length mismatch");
+    let mut z2 = 0.0;
+    for idx in 0..n {
+        let z = d[idx] - l[idx] - s[idx];
+        y[idx] += mu * z;
+        z2 += z * z;
+    }
+    z2
+}

@@ -3,15 +3,24 @@
 //! Solver inner loops (ISTA/FISTA, ADMM, OMP) operate on plain slices for
 //! zero-overhead interop with [`crate::Matrix`] storage. These helpers keep
 //! that code readable without committing to a heavier `Vector` newtype.
+//!
+//! The hot kernels (axpy, dot, fused prox/momentum steps, shrinkage)
+//! delegate to the runtime-dispatched tier in [`crate::simd`]:
+//! elementwise results are bit-identical across tiers, reductions agree
+//! to ≤ 1e-12 relative (see the tolerance policy there).
+
+use crate::simd;
 
 /// Dot product of two equal-length slices.
+///
+/// Dispatched reduction (see [`crate::simd`]): vector tiers re-associate
+/// and agree with the scalar reference to ≤ 1e-12 relative.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    (simd::kernels().dot)(a, b)
 }
 
 /// Euclidean norm.
@@ -31,33 +40,20 @@ pub fn norm_inf(a: &[f64]) -> f64 {
 
 /// `y += alpha * x` in place.
 ///
-/// Unrolled over four-lane chunks (`chunks_exact`) so the optimizer
-/// vectorizes the fused multiply-adds; per-element arithmetic is
-/// unchanged, so results are bit-identical to the scalar loop.
+/// Dispatched elementwise kernel (see [`crate::simd`]); results are
+/// bit-identical to the scalar reference loop on every tier.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    let mut yc = y.chunks_exact_mut(4);
-    let mut xc = x.chunks_exact(4);
-    for (yk, xk) in yc.by_ref().zip(xc.by_ref()) {
-        yk[0] += alpha * xk[0];
-        yk[1] += alpha * xk[1];
-        yk[2] += alpha * xk[2];
-        yk[3] += alpha * xk[3];
-    }
-    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
-        *yi += alpha * xi;
-    }
+    (simd::kernels().axpy)(alpha, x, y)
 }
 
-/// Scales a slice in place.
+/// Scales a slice in place (dispatched elementwise kernel,
+/// bit-identical across tiers).
 pub fn scale(a: &mut [f64], s: f64) {
-    for v in a {
-        *v *= s;
-    }
+    (simd::kernels().scale)(a, s)
 }
 
 /// Elementwise sum, returning a new vector.
@@ -88,42 +84,25 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// Panics if the input slices have different lengths.
 pub fn sub_into(out: &mut Vec<f64>, a: &[f64], b: &[f64]) {
     assert_eq!(a.len(), b.len(), "sub_into: length mismatch");
-    out.clear();
-    out.extend(a.iter().zip(b).map(|(x, y)| x - y));
+    // In the solver hot loops `out` is already the right length, so this
+    // resize is a no-op and the dispatched kernel writes in one pass.
+    out.resize(a.len(), 0.0);
+    (simd::kernels().sub)(out, a, b);
 }
 
 /// `‖a − b‖₂` without materializing the difference vector.
 ///
-/// Accumulates `(a_i − b_i)²` strictly in index order (single
-/// accumulator), so the result is bit-identical to
-/// `norm2(&sub(a, b))` — solvers rely on that for reproducible
-/// stopping decisions.
+/// Dispatched reduction: every tier accumulates `(a_i − b_i)²` with the
+/// exact same structure as its [`dot`] kernel, so the result stays
+/// bit-identical to `norm2(&sub(a, b))` — solvers rely on that for
+/// reproducible stopping decisions. Across tiers the value agrees to
+/// ≤ 1e-12 relative (see [`crate::simd`]).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn diff_norm2(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "diff_norm2: length mismatch");
-    // -0.0 is `Sum for f64`'s identity; starting there keeps even the
-    // empty case bit-identical to `norm2(&sub(a, b))`.
-    let mut s = -0.0;
-    let mut ac = a.chunks_exact(4);
-    let mut bc = b.chunks_exact(4);
-    for (ak, bk) in ac.by_ref().zip(bc.by_ref()) {
-        let d0 = ak[0] - bk[0];
-        s += d0 * d0;
-        let d1 = ak[1] - bk[1];
-        s += d1 * d1;
-        let d2 = ak[2] - bk[2];
-        s += d2 * d2;
-        let d3 = ak[3] - bk[3];
-        s += d3 * d3;
-    }
-    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
-        let d = x - y;
-        s += d * d;
-    }
-    s.sqrt()
+    (simd::kernels().diff_norm2_sq)(a, b).sqrt()
 }
 
 /// Fused proximal-gradient step: `out[i] = soft(y[i] − step·g[i], t)`,
@@ -132,69 +111,25 @@ pub fn diff_norm2(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Per-element arithmetic matches the open-coded
 /// `y − step·g` + [`soft_threshold_mut`] sequence exactly, so results
-/// are bit-identical; the loop is unrolled over four-lane chunks.
+/// are bit-identical on every tier (dispatched elementwise kernel, see
+/// [`crate::simd`]).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn prox_grad_step_into(out: &mut [f64], y: &[f64], g: &[f64], step: f64, t: f64) {
-    assert_eq!(out.len(), y.len(), "prox_grad_step_into: length mismatch");
-    assert_eq!(out.len(), g.len(), "prox_grad_step_into: length mismatch");
-    #[inline(always)]
-    fn shrink(v: f64, t: f64) -> f64 {
-        if v > t {
-            v - t
-        } else if v < -t {
-            v + t
-        } else {
-            0.0
-        }
-    }
-    let mut oc = out.chunks_exact_mut(4);
-    let mut yc = y.chunks_exact(4);
-    let mut gc = g.chunks_exact(4);
-    for ((ok, yk), gk) in oc.by_ref().zip(yc.by_ref()).zip(gc.by_ref()) {
-        ok[0] = shrink(yk[0] - step * gk[0], t);
-        ok[1] = shrink(yk[1] - step * gk[1], t);
-        ok[2] = shrink(yk[2] - step * gk[2], t);
-        ok[3] = shrink(yk[3] - step * gk[3], t);
-    }
-    for ((o, yi), gi) in oc
-        .into_remainder()
-        .iter_mut()
-        .zip(yc.remainder())
-        .zip(gc.remainder())
-    {
-        *o = shrink(yi - step * gi, t);
-    }
+    (simd::kernels().prox_grad_step)(out, y, g, step, t)
 }
 
 /// FISTA momentum extrapolation:
-/// `y[i] = xn[i] + beta·(xn[i] − xo[i])` with no temporaries.
+/// `y[i] = xn[i] + beta·(xn[i] − xo[i])` with no temporaries
+/// (dispatched elementwise kernel, bit-identical across tiers).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn momentum_into(y: &mut [f64], xn: &[f64], xo: &[f64], beta: f64) {
-    assert_eq!(y.len(), xn.len(), "momentum_into: length mismatch");
-    assert_eq!(y.len(), xo.len(), "momentum_into: length mismatch");
-    let mut yc = y.chunks_exact_mut(4);
-    let mut nc = xn.chunks_exact(4);
-    let mut oc = xo.chunks_exact(4);
-    for ((yk, nk), ok) in yc.by_ref().zip(nc.by_ref()).zip(oc.by_ref()) {
-        yk[0] = nk[0] + beta * (nk[0] - ok[0]);
-        yk[1] = nk[1] + beta * (nk[1] - ok[1]);
-        yk[2] = nk[2] + beta * (nk[2] - ok[2]);
-        yk[3] = nk[3] + beta * (nk[3] - ok[3]);
-    }
-    for ((yi, ni), oi) in yc
-        .into_remainder()
-        .iter_mut()
-        .zip(nc.remainder())
-        .zip(oc.remainder())
-    {
-        *yi = ni + beta * (ni - oi);
-    }
+    (simd::kernels().momentum)(y, xn, xo, beta)
 }
 
 /// Soft-thresholding (shrinkage) operator applied entrywise:
@@ -203,44 +138,18 @@ pub fn momentum_into(y: &mut [f64], xn: &[f64], xo: &[f64], beta: f64) {
 /// This is the proximal operator of `t * ||.||_1` and the core of
 /// ISTA/FISTA and ADMM L1 solvers.
 pub fn soft_threshold(a: &[f64], t: f64) -> Vec<f64> {
-    a.iter()
-        .map(|&v| {
-            if v > t {
-                v - t
-            } else if v < -t {
-                v + t
-            } else {
-                0.0
-            }
-        })
-        .collect()
+    let mut out = a.to_vec();
+    soft_threshold_mut(&mut out, t);
+    out
 }
 
 /// In-place soft thresholding; see [`soft_threshold`].
 ///
-/// Unrolled over four-lane chunks; per-element arithmetic (and hence
-/// every result bit) matches the scalar loop.
+/// Dispatched elementwise kernel: every result bit matches the scalar
+/// reference loop on every tier (vector tiers mirror the branch
+/// priority with a blend sequence).
 pub fn soft_threshold_mut(a: &mut [f64], t: f64) {
-    #[inline(always)]
-    fn shrink(v: f64, t: f64) -> f64 {
-        if v > t {
-            v - t
-        } else if v < -t {
-            v + t
-        } else {
-            0.0
-        }
-    }
-    let mut chunks = a.chunks_exact_mut(4);
-    for c in chunks.by_ref() {
-        c[0] = shrink(c[0], t);
-        c[1] = shrink(c[1], t);
-        c[2] = shrink(c[2], t);
-        c[3] = shrink(c[3], t);
-    }
-    for v in chunks.into_remainder() {
-        *v = shrink(*v, t);
-    }
+    (simd::kernels().soft_threshold)(a, t)
 }
 
 /// Indices of the `k` largest-magnitude entries (unsorted order).

@@ -1,0 +1,207 @@
+//! Property tests pinning every dispatched SIMD kernel to its scalar
+//! reference tier.
+//!
+//! Contract (see `flexcs_linalg::simd`): elementwise kernels are
+//! **bit-identical** to the scalar tier on every input; reductions may
+//! re-associate but must agree to **≤ 1e-12 relative**. The suite runs
+//! against whichever tier the process selected — under the CI
+//! `FLEXCS_FORCE_SCALAR=1` leg the dispatched table *is* the scalar
+//! table and the comparisons degenerate to exact self-consistency, so
+//! both legs together cover both paths.
+//!
+//! Lengths are drawn across 0..=67 (via full-length draws sliced to
+//! an independent length) to hit the empty case, the
+//! sub-vector-width remainders, and full vector blocks of every tier
+//! (4/8-wide AVX2, 2/4-wide NEON, 4-wide scalar unrolling).
+
+use flexcs_linalg::simd;
+use proptest::prelude::*;
+
+const REL_TOL: f64 = 1e-12;
+
+/// Maximum vector length drawn by the suite; each case slices its
+/// full-length draws down to an independently drawn `n in 0..=67`
+/// (the vendored proptest has no dependent-length combinator).
+const MAX_LEN: usize = 68;
+
+/// Strategy: one full-length bounded vector (sliced to length by cases).
+fn full_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0..100.0f64, MAX_LEN)
+}
+
+fn assert_bits_eq(dispatched: &[f64], scalar: &[f64], kernel: &str) {
+    assert_eq!(dispatched.len(), scalar.len(), "{kernel}: length drift");
+    for (i, (d, s)) in dispatched.iter().zip(scalar).enumerate() {
+        assert_eq!(
+            d.to_bits(),
+            s.to_bits(),
+            "{kernel}[{i}]: {d:?} vs scalar {s:?}"
+        );
+    }
+}
+
+fn assert_rel_close(dispatched: f64, scalar: f64, kernel: &str) {
+    let tol = REL_TOL * scalar.abs().max(1.0);
+    assert!(
+        (dispatched - scalar).abs() <= tol,
+        "{kernel}: {dispatched} vs scalar {scalar} (tol {tol})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn axpy_bit_identical(va in full_vec(), vb in full_vec(), n in 0usize..MAX_LEN, alpha in -10.0..10.0f64) {
+        let (x, y) = (va[..n].to_vec(), vb[..n].to_vec());
+        let k = simd::kernels();
+        let s = simd::scalar_kernels();
+        let mut yd = y.clone();
+        let mut ys = y;
+        (k.axpy)(alpha, &x, &mut yd);
+        (s.axpy)(alpha, &x, &mut ys);
+        assert_bits_eq(&yd, &ys, "axpy");
+    }
+
+    #[test]
+    fn scale_bit_identical(va in full_vec(), n in 0usize..MAX_LEN, s in -10.0..10.0f64) {
+        let mut a = va[..n].to_vec();
+        let mut b = a.clone();
+        (simd::kernels().scale)(&mut a, s);
+        (simd::scalar_kernels().scale)(&mut b, s);
+        assert_bits_eq(&a, &b, "scale");
+    }
+
+    #[test]
+    fn sub_and_add_bit_identical(va in full_vec(), vb in full_vec(), n in 0usize..MAX_LEN) {
+        let (a, b) = (va[..n].to_vec(), vb[..n].to_vec());
+        let k = simd::kernels();
+        let s = simd::scalar_kernels();
+        let n = a.len();
+        let (mut od, mut os) = (vec![0.0; n], vec![0.0; n]);
+        (k.sub)(&mut od, &a, &b);
+        (s.sub)(&mut os, &a, &b);
+        assert_bits_eq(&od, &os, "sub");
+        (k.add)(&mut od, &a, &b);
+        (s.add)(&mut os, &a, &b);
+        assert_bits_eq(&od, &os, "add");
+    }
+
+    #[test]
+    fn soft_threshold_bit_identical(va in full_vec(), n in 0usize..MAX_LEN, t in 0.0..50.0f64) {
+        let mut d = va[..n].to_vec();
+        let mut s = va[..n].to_vec();
+        (simd::kernels().soft_threshold)(&mut d, t);
+        (simd::scalar_kernels().soft_threshold)(&mut s, t);
+        assert_bits_eq(&d, &s, "soft_threshold");
+    }
+
+    #[test]
+    fn prox_grad_step_bit_identical(va in full_vec(), vb in full_vec(), n in 0usize..MAX_LEN, step in 0.0..2.0f64, t in 0.0..10.0f64) {
+        let (y, g) = (va[..n].to_vec(), vb[..n].to_vec());
+        let n = y.len();
+        let (mut od, mut os) = (vec![0.0; n], vec![0.0; n]);
+        (simd::kernels().prox_grad_step)(&mut od, &y, &g, step, t);
+        (simd::scalar_kernels().prox_grad_step)(&mut os, &y, &g, step, t);
+        assert_bits_eq(&od, &os, "prox_grad_step");
+    }
+
+    #[test]
+    fn momentum_bit_identical(va in full_vec(), vb in full_vec(), n in 0usize..MAX_LEN, beta in 0.0..1.0f64) {
+        let (xn, xo) = (va[..n].to_vec(), vb[..n].to_vec());
+        let n = xn.len();
+        let (mut yd, mut ys) = (vec![0.0; n], vec![0.0; n]);
+        (simd::kernels().momentum)(&mut yd, &xn, &xo, beta);
+        (simd::scalar_kernels().momentum)(&mut ys, &xn, &xo, beta);
+        assert_bits_eq(&yd, &ys, "momentum");
+    }
+
+    #[test]
+    fn butterfly_split_bit_identical(va in full_vec(), vb in full_vec(), n in 0usize..MAX_LEN, inv in 0.5..20.0f64) {
+        let (x, y) = (va[..n].to_vec(), vb[..n].to_vec());
+        let w = x.len();
+        let (mut ad, mut bd) = (vec![0.0; w], vec![0.0; w]);
+        let (mut as_, mut bs) = (vec![0.0; w], vec![0.0; w]);
+        (simd::kernels().butterfly_split)(&mut ad, &mut bd, &x, &y, inv);
+        (simd::scalar_kernels().butterfly_split)(&mut as_, &mut bs, &x, &y, inv);
+        assert_bits_eq(&ad, &as_, "butterfly_split alpha");
+        assert_bits_eq(&bd, &bs, "butterfly_split beta");
+    }
+
+    #[test]
+    fn butterfly_merge_bit_identical(va in full_vec(), vb in full_vec(), n in 0usize..MAX_LEN, c in -2.0..2.0f64) {
+        let (alpha, beta) = (va[..n].to_vec(), vb[..n].to_vec());
+        let w = alpha.len();
+        let (mut td, mut bd) = (vec![0.0; w], vec![0.0; w]);
+        let (mut ts, mut bs) = (vec![0.0; w], vec![0.0; w]);
+        (simd::kernels().butterfly_merge)(&mut td, &mut bd, &alpha, &beta, c);
+        (simd::scalar_kernels().butterfly_merge)(&mut ts, &mut bs, &alpha, &beta, c);
+        assert_bits_eq(&td, &ts, "butterfly_merge top");
+        assert_bits_eq(&bd, &bs, "butterfly_merge bottom");
+    }
+
+    #[test]
+    fn sub_add_scaled_bit_identical(va in full_vec(), vb in full_vec(), vc in full_vec(), n in 0usize..MAX_LEN, k in -5.0..5.0f64) {
+        let (a, b, c) = (va[..n].to_vec(), vb[..n].to_vec(), vc[..n].to_vec());
+        let n = a.len();
+        let (mut od, mut os) = (vec![0.0; n], vec![0.0; n]);
+        (simd::kernels().sub_add_scaled)(&mut od, &a, &b, &c, k);
+        (simd::scalar_kernels().sub_add_scaled)(&mut os, &a, &b, &c, k);
+        assert_bits_eq(&od, &os, "sub_add_scaled");
+    }
+
+    #[test]
+    fn sub_add_scaled_shrink_bit_identical(va in full_vec(), vb in full_vec(), vc in full_vec(), n in 0usize..MAX_LEN, k in -5.0..5.0f64, thr in 0.0..10.0f64) {
+        let (a, b, c) = (va[..n].to_vec(), vb[..n].to_vec(), vc[..n].to_vec());
+        let n = a.len();
+        let (mut od, mut os) = (vec![0.0; n], vec![0.0; n]);
+        (simd::kernels().sub_add_scaled_shrink)(&mut od, &a, &b, &c, k, thr);
+        (simd::scalar_kernels().sub_add_scaled_shrink)(&mut os, &a, &b, &c, k, thr);
+        assert_bits_eq(&od, &os, "sub_add_scaled_shrink");
+    }
+
+    #[test]
+    fn dot_within_reduction_tolerance(va in full_vec(), vb in full_vec(), n in 0usize..MAX_LEN) {
+        let (a, b) = (va[..n].to_vec(), vb[..n].to_vec());
+        let d = (simd::kernels().dot)(&a, &b);
+        let s = (simd::scalar_kernels().dot)(&a, &b);
+        assert_rel_close(d, s, "dot");
+    }
+
+    #[test]
+    fn diff_norm2_sq_within_reduction_tolerance(va in full_vec(), vb in full_vec(), n in 0usize..MAX_LEN) {
+        let (a, b) = (va[..n].to_vec(), vb[..n].to_vec());
+        let d = (simd::kernels().diff_norm2_sq)(&a, &b);
+        let s = (simd::scalar_kernels().diff_norm2_sq)(&a, &b);
+        assert_rel_close(d, s, "diff_norm2_sq");
+    }
+
+    #[test]
+    fn dual_update_residual_consistent(va in full_vec(), vb in full_vec(), vc in full_vec(), n in 0usize..MAX_LEN, mu in 0.1..10.0f64) {
+        let (d, l, s) = (va[..n].to_vec(), vb[..n].to_vec(), vc[..n].to_vec());
+        // y starts from d (any equal-length buffer works); the updated
+        // dual is elementwise (bit-identical), the returned Σz² is a
+        // reduction (≤ 1e-12 relative).
+        let mut yd = d.clone();
+        let mut ys = d.clone();
+        let zd = (simd::kernels().dual_update_residual_sq)(&mut yd, &d, &l, &s, mu);
+        let zs = (simd::scalar_kernels().dual_update_residual_sq)(&mut ys, &d, &l, &s, mu);
+        assert_bits_eq(&yd, &ys, "dual_update y");
+        assert_rel_close(zd, zs, "dual_update residual");
+    }
+
+    #[test]
+    fn diff_norm2_sq_matches_staged_dot_within_tier(va in full_vec(), vb in full_vec(), n in 0usize..MAX_LEN) {
+        let (a, b) = (va[..n].to_vec(), vb[..n].to_vec());
+        // Cross-kernel invariant solvers rely on: the fused reduction is
+        // bit-identical to dot(d, d) of the materialized difference
+        // *within the selected tier* (both tiers share one accumulation
+        // structure per table).
+        let k = simd::kernels();
+        let mut d = vec![0.0; a.len()];
+        (k.sub)(&mut d, &a, &b);
+        let fused = (k.diff_norm2_sq)(&a, &b);
+        let staged = (k.dot)(&d, &d);
+        prop_assert_eq!(fused.to_bits(), staged.to_bits());
+    }
+}

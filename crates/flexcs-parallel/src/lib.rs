@@ -25,14 +25,21 @@
 mod tel;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, OnceLock};
 
 /// Number of worker threads used by the `par_map` family: the machine's
 /// available parallelism, or 1 when that cannot be determined.
+///
+/// The OS query is made once and cached in a [`OnceLock`] — the fan-out
+/// points sit inside per-frame decode loops, and
+/// `available_parallelism` is a syscall on most platforms.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Maps `f` over `0..count` on a scoped thread pool, returning results

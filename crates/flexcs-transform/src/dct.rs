@@ -9,7 +9,7 @@
 //! repeated frames do not reallocate.
 
 use crate::error::{Result, TransformError};
-use flexcs_linalg::Matrix;
+use flexcs_linalg::{simd, Matrix};
 use std::f64::consts::PI;
 use std::sync::{Mutex, OnceLock};
 
@@ -256,9 +256,7 @@ impl DctPlan {
                 out.copy_from_slice(x);
                 self.with_scratch(|s| lee_forward(out, s, &self.inv_levels));
                 out[0] *= self.a0;
-                for v in out.iter_mut().skip(1) {
-                    *v *= self.ak;
-                }
+                (simd::kernels().scale)(&mut out[1..], self.ak);
             }
             DctKernel::Dense => dense_matvec(self.matrix(), x, out),
         }
@@ -269,9 +267,7 @@ impl DctPlan {
             DctKernel::Fast => {
                 out.copy_from_slice(x);
                 out[0] *= self.inv_a0;
-                for v in out.iter_mut().skip(1) {
-                    *v *= self.inv_ak;
-                }
+                (simd::kernels().scale)(&mut out[1..], self.inv_ak);
                 self.with_scratch(|s| lee_inverse(out, s, &self.levels));
             }
             DctKernel::Dense => dense_matvec_transpose(self.matrix(), x, out),
@@ -303,20 +299,24 @@ impl DctPlan {
 }
 
 fn dense_matvec(c: &Matrix, x: &[f64], out: &mut [f64]) {
+    // Dispatched per-row dot (a reduction: vector tiers re-associate
+    // within ≤ 1e-12 relative; the scalar tier matches history exactly).
+    let kern = simd::kernels();
     for (k, o) in out.iter_mut().enumerate() {
-        *o = c.row(k).iter().zip(x).map(|(a, b)| a * b).sum();
+        *o = (kern.dot)(c.row(k), x);
     }
 }
 
 fn dense_matvec_transpose(c: &Matrix, x: &[f64], out: &mut [f64]) {
     out.fill(0.0);
+    // Dispatched per-row axpy (elementwise, bit-identical across tiers),
+    // keeping the historical zero-coefficient skip.
+    let kern = simd::kernels();
     for (i, &xi) in x.iter().enumerate() {
         if xi == 0.0 {
             continue;
         }
-        for (o, &a) in out.iter_mut().zip(c.row(i)) {
-            *o += a * xi;
-        }
+        (kern.axpy)(xi, c.row(i), out);
     }
 }
 
@@ -440,6 +440,10 @@ fn lee_forward_cols(v: &mut [f64], s: &mut [f64], w: usize, inv_levels: &[Vec<f6
     }
     let half = n / 2;
     let recip = &inv_levels[0];
+    // Lane loops run the dispatched elementwise kernels (bit-identical
+    // across tiers); the n = 2 / n = 4 fused base cases above stay
+    // scalar — their intermediates live entirely in registers.
+    let kern = simd::kernels();
     let (alpha, beta) = s.split_at_mut(half * w);
     for i in 0..half {
         let inv = recip[i];
@@ -449,10 +453,7 @@ fn lee_forward_cols(v: &mut [f64], s: &mut [f64], w: usize, inv_levels: &[Vec<f6
         );
         let x = &v[i * w..(i + 1) * w];
         let y = &v[(n - 1 - i) * w..(n - i) * w];
-        for j in 0..w {
-            arow[j] = x[j] + y[j];
-            brow[j] = (x[j] - y[j]) * inv;
-        }
+        (kern.butterfly_split)(arow, brow, x, y, inv);
     }
     {
         let (va, vb) = v.split_at_mut(half * w);
@@ -463,9 +464,7 @@ fn lee_forward_cols(v: &mut [f64], s: &mut [f64], w: usize, inv_levels: &[Vec<f6
         v[i * 2 * w..(i * 2 + 1) * w].copy_from_slice(&alpha[i * w..(i + 1) * w]);
         let dst = &mut v[(i * 2 + 1) * w..(i * 2 + 2) * w];
         let (b0, b1) = (&beta[i * w..(i + 1) * w], &beta[(i + 1) * w..(i + 2) * w]);
-        for j in 0..w {
-            dst[j] = b0[j] + b1[j];
-        }
+        (kern.add)(dst, b0, b1);
     }
     v[(n - 2) * w..(n - 1) * w].copy_from_slice(&alpha[(half - 1) * w..half * w]);
     v[(n - 1) * w..n * w].copy_from_slice(&beta[(half - 1) * w..half * w]);
@@ -512,6 +511,8 @@ fn lee_inverse_cols(v: &mut [f64], s: &mut [f64], w: usize, levels: &[Vec<f64>])
     }
     let half = n / 2;
     let cosines = &levels[0];
+    // Dispatched elementwise lane kernels, as in the forward recursion.
+    let kern = simd::kernels();
     let (alpha, beta) = s.split_at_mut(half * w);
     for i in 0..half {
         alpha[i * w..(i + 1) * w].copy_from_slice(&v[i * 2 * w..(i * 2 + 1) * w]);
@@ -522,9 +523,7 @@ fn lee_inverse_cols(v: &mut [f64], s: &mut [f64], w: usize, levels: &[Vec<f64>])
         let dst = &mut head[i * w..];
         let next = &tail[..w];
         let src = &v[(i * 2 + 1) * w..(i * 2 + 2) * w];
-        for j in 0..w {
-            dst[j] = src[j] - next[j];
-        }
+        (kern.sub)(dst, src, next);
     }
     {
         let (va, vb) = v.split_at_mut(half * w);
@@ -537,11 +536,7 @@ fn lee_inverse_cols(v: &mut [f64], s: &mut [f64], w: usize, levels: &[Vec<f64>])
         let (head, tail) = v.split_at_mut((n - 1 - i) * w);
         let top = &mut head[i * w..(i + 1) * w];
         let bottom = &mut tail[..w];
-        for j in 0..w {
-            let diff = twice_cos * brow[j];
-            top[j] = 0.5 * (arow[j] + diff);
-            bottom[j] = 0.5 * (arow[j] - diff);
-        }
+        (kern.butterfly_merge)(top, bottom, arow, brow, twice_cos);
     }
 }
 
@@ -708,12 +703,9 @@ impl Dct2d {
                 s.aux2.resize(rows * cols, 0.0);
                 transpose_into(frame.as_slice(), &mut s.aux, rows, cols);
                 lee_forward_cols(&mut s.aux, &mut s.aux2, rows, &plan.inv_levels);
-                for v in s.aux[..rows].iter_mut() {
-                    *v *= plan.a0;
-                }
-                for v in s.aux[rows..].iter_mut() {
-                    *v *= plan.ak;
-                }
+                let kern = simd::kernels();
+                (kern.scale)(&mut s.aux[..rows], plan.a0);
+                (kern.scale)(&mut s.aux[rows..], plan.ak);
                 transpose_into(&s.aux, out.as_mut_slice(), cols, rows);
             }
             DctKernel::Dense => {
@@ -734,12 +726,9 @@ impl Dct2d {
                 s.aux.resize(rows * cols, 0.0);
                 s.aux2.resize(rows * cols, 0.0);
                 transpose_into(out.as_slice(), &mut s.aux, rows, cols);
-                for v in s.aux[..rows].iter_mut() {
-                    *v *= plan.inv_a0;
-                }
-                for v in s.aux[rows..].iter_mut() {
-                    *v *= plan.inv_ak;
-                }
+                let kern = simd::kernels();
+                (kern.scale)(&mut s.aux[..rows], plan.inv_a0);
+                (kern.scale)(&mut s.aux[rows..], plan.inv_ak);
                 lee_inverse_cols(&mut s.aux, &mut s.aux2, rows, &plan.levels);
                 transpose_into(&s.aux, out.as_mut_slice(), cols, rows);
             }
@@ -765,21 +754,14 @@ impl Dct2d {
             DctKernel::Fast => {
                 s.aux.resize(rows * cols, 0.0);
                 let data = m.as_mut_slice();
+                let kern = simd::kernels();
                 if forward {
                     lee_forward_cols(data, &mut s.aux, cols, &plan.inv_levels);
-                    for v in data[..cols].iter_mut() {
-                        *v *= plan.a0;
-                    }
-                    for v in data[cols..].iter_mut() {
-                        *v *= plan.ak;
-                    }
+                    (kern.scale)(&mut data[..cols], plan.a0);
+                    (kern.scale)(&mut data[cols..], plan.ak);
                 } else {
-                    for v in data[..cols].iter_mut() {
-                        *v *= plan.inv_a0;
-                    }
-                    for v in data[cols..].iter_mut() {
-                        *v *= plan.inv_ak;
-                    }
+                    (kern.scale)(&mut data[..cols], plan.inv_a0);
+                    (kern.scale)(&mut data[cols..], plan.inv_ak);
                     lee_inverse_cols(data, &mut s.aux, cols, &plan.levels);
                 }
             }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Lint gate: clippy with warnings denied (in both telemetry modes), plus
-# rustfmt in check mode. Run before sending changes; CI treats all three
-# as hard failures.
+# Lint gate: clippy with warnings denied (in both telemetry modes),
+# rustfmt in check mode, and an unsafe-confinement grep. Run before
+# sending changes; CI treats all four as hard failures.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +10,20 @@ if ! command -v cargo >/dev/null 2>&1; then
   exit 1
 fi
 
+# All `unsafe` must live in the SIMD kernel module (see
+# flexcs-linalg/src/simd/mod.rs for the dispatch contract). The grep
+# ignores mentions of the `unsafe_code` lint name, which is how the
+# rest of the workspace *denies* unsafe.
+unsafe_leaks=$(grep -rn 'unsafe' --include='*.rs' crates \
+  | grep -v 'crates/flexcs-linalg/src/simd/' \
+  | grep -v 'unsafe_code' || true)
+if [[ -n "$unsafe_leaks" ]]; then
+  echo "check.sh: 'unsafe' outside crates/flexcs-linalg/src/simd/:" >&2
+  echo "$unsafe_leaks" >&2
+  exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --features telemetry -- -D warnings
 cargo fmt --all -- --check
-echo "check.sh: clippy + fmt clean"
+echo "check.sh: clippy + fmt + unsafe-confinement clean"
