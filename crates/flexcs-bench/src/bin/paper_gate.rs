@@ -10,6 +10,9 @@
 //! - every robustness strategy (testing-based exclusion, median
 //!   resampling, RPCA filtering) beats the no-strategy oblivious pass
 //!   under blind errors;
+//! - frames decoded through the `flexcs-serve` engine come back
+//!   bit-identical to the direct decoder path, so the RMSE claims hold
+//!   unchanged for served traffic;
 //! - the telemetry layer actually observed the run: solver iteration
 //!   counts, residual traces, RPCA sweeps and per-stage timings are all
 //!   present in the exported snapshot.
@@ -227,6 +230,68 @@ fn main() {
         ),
     );
 
+    // ----- Service-path equivalence: the same measurements decoded
+    // through the flexcs-serve engine must come back bit-identical to
+    // the direct decoder path — the serving layer adds scheduling and
+    // session management, never numerics — so every RMSE claim above
+    // holds unchanged for frames served by the engine.
+    println!("\nserve-path equivalence (engine vs direct decoder):\n");
+    {
+        use flexcs_core::{DecodeWarmState, SamplingPlan};
+        use flexcs_serve::{Engine, EngineConfig, FrameRequest, SessionConfig};
+
+        let engine = Engine::new(EngineConfig::default());
+        let tenant = engine.register_tenant(SessionConfig::named("paper-gate"));
+        let direct = Decoder::default();
+        let mut warm = DecodeWarmState::new();
+        let mut inputs = Vec::new();
+        for (k, frame) in frames.iter().enumerate() {
+            let truth = normalize_unit(frame);
+            let n = truth.rows() * truth.cols();
+            let plan = SamplingPlan::random_subset(n, n / 2, &[], seed + k as u64)
+                .expect("sampling plan builds");
+            let req = FrameRequest {
+                rows: truth.rows(),
+                cols: truth.cols(),
+                selected: plan.selected().to_vec(),
+                y: plan.measure(&truth.to_flat()),
+            };
+            inputs.push((truth, req));
+        }
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|(_, req)| {
+                engine
+                    .submit(tenant, req.clone())
+                    .expect("engine is running")
+                    .accepted()
+                    .expect("queue has room")
+            })
+            .collect();
+        for (k, ((truth, req), handle)) in inputs.iter().zip(handles).enumerate() {
+            let served = handle.wait().expect("serve decode succeeds");
+            let reference = direct
+                .reconstruct_warm(req.rows, req.cols, &req.selected, &req.y, &mut warm)
+                .expect("direct decode succeeds");
+            let identical = served.frame == reference.frame;
+            gate.check(
+                "serve-path-identical",
+                identical,
+                format!(
+                    "frame {k}: engine rmse {:.4} vs direct {:.4}{}",
+                    rmse(&served.frame, truth),
+                    rmse(&reference.frame, truth),
+                    if identical {
+                        " (bit-identical)"
+                    } else {
+                        " (FRAMES DIFFER)"
+                    }
+                ),
+            );
+        }
+        engine.shutdown();
+    }
+
     // ----- The telemetry layer must have observed all of the above.
     println!("\ntelemetry coverage:\n");
     let fista_iters = recorder.counter_value("solver.fista.iterations");
@@ -255,6 +320,14 @@ fn main() {
         format!(
             "{tier_counter} = {} (decode runs attributed to the active kernel tier)",
             recorder.counter_value(&tier_counter)
+        ),
+    );
+    gate.check(
+        "tel-serve-frames",
+        recorder.counter_value("serve.frames") > 0 && recorder.counter_value("serve.submitted") > 0,
+        format!(
+            "serve.frames = {} (engine decodes attributed by the serve layer)",
+            recorder.counter_value("serve.frames")
         ),
     );
     for span in ["decode.solve", "decode.inverse", "strategy.sampling"] {

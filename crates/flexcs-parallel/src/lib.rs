@@ -27,19 +27,37 @@ mod tel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, OnceLock};
 
-/// Number of worker threads used by the `par_map` family: the machine's
-/// available parallelism, or 1 when that cannot be determined.
+/// Number of worker threads used by the `par_map` family: the
+/// `FLEXCS_THREADS` environment override when set to a positive
+/// integer, otherwise the machine's available parallelism (or 1 when
+/// that cannot be determined).
 ///
-/// The OS query is made once and cached in a [`OnceLock`] — the fan-out
-/// points sit inside per-frame decode loops, and
-/// `available_parallelism` is a syscall on most platforms.
+/// The override pins the pool size for reproducible scheduler
+/// benchmarks and CI determinism — e.g. `FLEXCS_THREADS=2` makes a
+/// run on a 64-core builder schedule exactly like a 2-core target.
+/// Unparsable or zero values are ignored in favour of the detected
+/// count.
+///
+/// The env read and OS query are made once and cached in a
+/// [`OnceLock`] — the fan-out points sit inside per-frame decode
+/// loops, and `available_parallelism` is a syscall on most platforms.
 pub fn default_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
+        let detected = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1);
+        resolve_threads(std::env::var("FLEXCS_THREADS").ok().as_deref(), detected)
     })
+}
+
+/// Applies the `FLEXCS_THREADS` override to the detected thread count.
+/// Pure so the policy is unit-testable despite the [`OnceLock`] cache.
+fn resolve_threads(env_override: Option<&str>, detected: usize) -> usize {
+    match env_override.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => detected,
+    }
 }
 
 /// Maps `f` over `0..count` on a scoped thread pool, returning results
@@ -210,6 +228,22 @@ mod tests {
             i * i
         });
         assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn env_override_wins_when_valid() {
+        assert_eq!(resolve_threads(Some("4"), 16), 4);
+        assert_eq!(resolve_threads(Some(" 2 "), 16), 2);
+        assert_eq!(resolve_threads(Some("1"), 16), 1);
+    }
+
+    #[test]
+    fn invalid_or_missing_override_falls_back_to_detected() {
+        assert_eq!(resolve_threads(None, 8), 8);
+        assert_eq!(resolve_threads(Some("0"), 8), 8);
+        assert_eq!(resolve_threads(Some("-3"), 8), 8);
+        assert_eq!(resolve_threads(Some("lots"), 8), 8);
+        assert_eq!(resolve_threads(Some(""), 8), 8);
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Error type for the serving engine.
+
+use flexcs_core::CoreError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the multi-tenant decode engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The tenant id was never registered with this engine.
+    UnknownTenant(usize),
+    /// The engine has been shut down and accepts no further frames.
+    EngineStopped,
+    /// The request was malformed before it reached the decoder
+    /// (mismatched measurement/index lengths and the like).
+    BadRequest(String),
+    /// The decoder returned an error for this frame.
+    Decode(CoreError),
+    /// The decode of this frame panicked; the worker survived, the
+    /// tenant's warm-start state was reset, and only this frame failed.
+    DecodePanic(String),
+    /// The worker processing this frame disappeared before completing
+    /// it (the completion guard fired on drop).
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant(id) => write!(f, "unknown tenant id {id}"),
+            ServeError::EngineStopped => f.write_str("engine has been shut down"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Decode(e) => write!(f, "decode failure: {e}"),
+            ServeError::DecodePanic(msg) => write!(f, "decode panicked: {msg}"),
+            ServeError::WorkerLost => f.write_str("worker lost before completing the frame"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Decode(e)
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-tenant decode sessions and the pluggable decode backend.
+//!
+//! A [`Session`] owns everything expensive a tenant's decodes can
+//! amortize: the tenant's [`Decoder`] (whose internal `Dct2d` plan
+//! cache persists across frames), and a [`DecodeWarmState`] carrying
+//! the solver workspace arena plus the previous solution and cached
+//! spectral norm. The engine guarantees exclusive access — a session
+//! is locked by exactly one worker at a time and its frames are
+//! decoded in FIFO submission order — so per-tenant results are
+//! bit-identical to running the same sequence serially, regardless of
+//! how many workers the engine runs or which worker stole the batch.
+
+use crate::error::ServeError;
+use flexcs_core::{DecodeWarmState, Decoder, Reconstruction};
+
+/// A frame submitted for decoding: measurements taken at a subset of
+/// pixel indices of a `rows x cols` frame (the paper's identity-subset
+/// scan).
+#[derive(Debug, Clone)]
+pub struct FrameRequest {
+    /// Frame height.
+    pub rows: usize,
+    /// Frame width.
+    pub cols: usize,
+    /// Sampled pixel indices, ascending (the sampling plan Φ_M).
+    pub selected: Vec<usize>,
+    /// Measurements at `selected`, same length.
+    pub y: Vec<f64>,
+}
+
+impl FrameRequest {
+    /// Cheap structural validation done at submit time, before the
+    /// request ever reaches a worker.
+    pub(crate) fn validate(&self) -> Result<(), ServeError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(ServeError::BadRequest(format!(
+                "frame shape {}x{} has a zero dimension",
+                self.rows, self.cols
+            )));
+        }
+        if self.selected.len() != self.y.len() {
+            return Err(ServeError::BadRequest(format!(
+                "{} selected indices but {} measurements",
+                self.selected.len(),
+                self.y.len()
+            )));
+        }
+        if self.selected.is_empty() {
+            return Err(ServeError::BadRequest("no measurements".to_string()));
+        }
+        Ok(())
+    }
+
+    /// Shape key used by the scheduler's same-shape batching.
+    pub(crate) fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// Configuration for one tenant session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Human-readable tenant name (telemetry labels).
+    pub name: String,
+    /// Decoder configuration the tenant's frames run through.
+    pub decoder: Decoder,
+    /// Seed each solve from the tenant's previous solution (cross-frame
+    /// warm starts). On by default; the first frame after a shape
+    /// change runs cold automatically.
+    pub warm_decode: bool,
+}
+
+impl SessionConfig {
+    /// Default session (FISTA decoder, warm decode on) with a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        SessionConfig {
+            name: name.into(),
+            decoder: Decoder::default(),
+            warm_decode: true,
+        }
+    }
+
+    /// Replaces the decoder (builder style).
+    #[must_use]
+    pub fn with_decoder(mut self, decoder: Decoder) -> Self {
+        self.decoder = decoder;
+        self
+    }
+
+    /// Disables cross-frame warm starts (builder style).
+    #[must_use]
+    pub fn cold(mut self) -> Self {
+        self.warm_decode = false;
+        self
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig::named("tenant")
+    }
+}
+
+/// Live per-tenant state, exclusively held by one worker at a time.
+#[derive(Debug)]
+pub struct Session {
+    name: String,
+    decoder: Decoder,
+    warm: DecodeWarmState,
+    warm_decode: bool,
+    frames_decoded: u64,
+}
+
+impl Session {
+    pub(crate) fn new(config: SessionConfig) -> Self {
+        Session {
+            name: config.name,
+            decoder: config.decoder,
+            warm: DecodeWarmState::new(),
+            warm_decode: config.warm_decode,
+            frames_decoded: 0,
+        }
+    }
+
+    /// Tenant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's decoder (plan cache included).
+    pub fn decoder(&self) -> &Decoder {
+        &self.decoder
+    }
+
+    /// Whether this session seeds solves from the previous solution.
+    pub fn warm_decode(&self) -> bool {
+        self.warm_decode
+    }
+
+    /// Split borrow for warm decodes: the decoder plus the mutable
+    /// warm-start state.
+    pub fn warm_parts(&mut self) -> (&Decoder, &mut DecodeWarmState) {
+        (&self.decoder, &mut self.warm)
+    }
+
+    /// Frames this session has decoded (successfully or not).
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames_decoded
+    }
+
+    /// Solves seeded from a previous solution so far.
+    pub fn warm_starts(&self) -> u64 {
+        self.warm.warm_starts()
+    }
+
+    pub(crate) fn note_frame(&mut self) {
+        self.frames_decoded += 1;
+    }
+
+    /// Called after a decode panic: the workspace and carried solution
+    /// may be mid-update, so the next solve must run cold on fresh
+    /// buffers rather than inherit torn state.
+    pub(crate) fn reset_after_panic(&mut self) {
+        self.warm = DecodeWarmState::new();
+    }
+}
+
+/// Pluggable decode implementation.
+///
+/// The engine routes every frame through the session's backend; the
+/// default [`WarmDecodeBackend`] calls the real decoder. Tests inject
+/// failing or panicking backends to exercise the scheduler's fault
+/// paths, and benches inject instrumented ones.
+pub trait DecodeBackend: Send + Sync {
+    /// Decodes one frame using (and updating) the tenant's session
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder failures; the engine maps them onto
+    /// [`ServeError::Decode`] for the frame's handle.
+    fn decode(
+        &self,
+        req: &FrameRequest,
+        session: &mut Session,
+    ) -> flexcs_core::Result<Reconstruction>;
+}
+
+/// Default backend: the flexcs-core decoder, warm-started across the
+/// tenant's frames when the session asks for it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmDecodeBackend;
+
+impl DecodeBackend for WarmDecodeBackend {
+    fn decode(
+        &self,
+        req: &FrameRequest,
+        session: &mut Session,
+    ) -> flexcs_core::Result<Reconstruction> {
+        if session.warm_decode() {
+            let (decoder, warm) = session.warm_parts();
+            decoder.reconstruct_warm(req.rows, req.cols, &req.selected, &req.y, warm)
+        } else {
+            session
+                .decoder()
+                .reconstruct(req.rows, req.cols, &req.selected, &req.y)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_malformed_requests() {
+        let bad_shape = FrameRequest {
+            rows: 0,
+            cols: 4,
+            selected: vec![0],
+            y: vec![1.0],
+        };
+        assert!(matches!(
+            bad_shape.validate(),
+            Err(ServeError::BadRequest(_))
+        ));
+        let mismatched = FrameRequest {
+            rows: 4,
+            cols: 4,
+            selected: vec![0, 1],
+            y: vec![1.0],
+        };
+        assert!(matches!(
+            mismatched.validate(),
+            Err(ServeError::BadRequest(_))
+        ));
+        let empty = FrameRequest {
+            rows: 4,
+            cols: 4,
+            selected: vec![],
+            y: vec![],
+        };
+        assert!(matches!(empty.validate(), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn session_resets_warm_state_after_panic() {
+        let mut s = Session::new(SessionConfig::named("t"));
+        s.note_frame();
+        assert_eq!(s.frames_decoded(), 1);
+        s.reset_after_panic();
+        assert_eq!(s.warm_starts(), 0);
+    }
+}

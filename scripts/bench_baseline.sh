@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_decode.json: the decode-path performance baseline
-# (fast vs dense DCT kernels, blocked matmul, resample-median loop).
+# (fast vs dense DCT kernels, blocked matmul, resample-median loop)
+# merged with the multi-tenant serving benchmark (engine vs naive
+# thread-per-frame baseline at 1k streams, plus the 100k-session
+# scale run).
 #
 # Intermediate output is staged under the git-ignored artifacts/
 # directory so an interrupted run never leaves a half-written tracked
@@ -17,7 +20,20 @@ if ! command -v cargo >/dev/null 2>&1; then
 fi
 
 mkdir -p artifacts
-cargo run --release -p flexcs-bench --bin decode_baseline > artifacts/BENCH_decode.json
+cargo build --release -p flexcs-bench --bin decode_baseline --bin bench_serve
+./target/release/decode_baseline > artifacts/decode_baseline.json
+./target/release/bench_serve > artifacts/bench_serve.json
+python3 - <<'PY'
+import json
+
+with open("artifacts/decode_baseline.json") as f:
+    merged = json.load(f)
+with open("artifacts/bench_serve.json") as f:
+    merged.update(json.load(f))
+with open("artifacts/BENCH_decode.json", "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+PY
 mv artifacts/BENCH_decode.json BENCH_decode.json
 echo "wrote BENCH_decode.json:"
 cat BENCH_decode.json

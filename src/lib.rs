@@ -22,6 +22,7 @@
 //! | [`datasets`] | `flexcs-datasets` | synthetic thermal / tactile / ultrasound generators |
 //! | [`nn`] | `flexcs-nn` | from-scratch ResNet, Adam, training loop |
 //! | [`core`] | `flexcs-core` | sampling Φ, error injection, decoder, RPCA, strategies, Fig. 7 pipeline |
+//! | [`serve`] | `flexcs-serve` | multi-tenant batched decode engine: sessions, work-stealing scheduler, backpressure, latency metrics |
 //!
 //! ## Quickstart
 //!
@@ -52,5 +53,6 @@ pub use flexcs_core as core;
 pub use flexcs_datasets as datasets;
 pub use flexcs_linalg as linalg;
 pub use flexcs_nn as nn;
+pub use flexcs_serve as serve;
 pub use flexcs_solver as solver;
 pub use flexcs_transform as transform;
