@@ -8,6 +8,8 @@
 use crate::error::{CircuitError, Result};
 use crate::mna::{Assembler, OperatingPoint, GMIN};
 use crate::netlist::{Circuit, Element, ElementId, NodeId};
+use crate::solver::SolverPolicy;
+use crate::sparse::{CsrMatrix, SparseLu, SymbolicLu, Triplets};
 use flexcs_linalg::{Complex, ComplexMatrix};
 
 /// Result of an AC sweep: node phasors per frequency point.
@@ -64,6 +66,21 @@ impl Circuit {
     /// voltage source, [`CircuitError::InvalidParameter`] for an empty or
     /// non-positive frequency list, and propagates DC/solve failures.
     pub fn ac_sweep(&self, excite: ElementId, freqs: &[f64]) -> Result<AcSweep> {
+        self.ac_sweep_with(excite, freqs, SolverPolicy::Auto)
+    }
+
+    /// Like [`Circuit::ac_sweep`] with an explicit linear-solver policy
+    /// for both the DC operating point and the per-frequency solves.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::ac_sweep`].
+    pub fn ac_sweep_with(
+        &self,
+        excite: ElementId,
+        freqs: &[f64],
+        policy: SolverPolicy,
+    ) -> Result<AcSweep> {
         if freqs.is_empty() || freqs.iter().any(|f| !(*f > 0.0)) {
             return Err(CircuitError::InvalidParameter(
                 "frequencies must be positive and non-empty".to_string(),
@@ -75,8 +92,8 @@ impl Circuit {
                 excite.0
             )));
         }
-        let op = self.dc_operating_point()?;
-        self.ac_sweep_at(excite, freqs, &op)
+        let op = self.dc_operating_point_with(policy)?;
+        self.ac_sweep_at_with(excite, freqs, &op, policy)
     }
 
     /// Like [`Circuit::ac_sweep`] but reuses a pre-computed operating
@@ -91,6 +108,25 @@ impl Circuit {
         freqs: &[f64],
         op: &OperatingPoint,
     ) -> Result<AcSweep> {
+        self.ac_sweep_at_with(excite, freqs, op, SolverPolicy::Auto)
+    }
+
+    /// Like [`Circuit::ac_sweep_at`] with an explicit linear-solver
+    /// policy. The sparse path converts `(G + jωC)·x = b` into its
+    /// real-equivalent `2·dim` system `[G, −ωC; ωC, G]`; the sparsity
+    /// pattern is frequency-independent, so the symbolic factorization
+    /// is computed once and only values are refilled per frequency.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::ac_sweep`].
+    pub fn ac_sweep_at_with(
+        &self,
+        excite: ElementId,
+        freqs: &[f64],
+        op: &OperatingPoint,
+        policy: SolverPolicy,
+    ) -> Result<AcSweep> {
         let asm = Assembler::new(self);
         let dim = asm.dim();
         let n_free = asm.n_free;
@@ -103,16 +139,18 @@ impl Circuit {
             }
         };
 
-        // Frequency-independent conductance part G and capacitance list.
-        let mut g = vec![0.0; dim * dim];
+        // Frequency-independent conductance entries G (coordinate list,
+        // duplicates sum) and capacitance list.
+        let mut entries: Vec<(usize, usize, f64)> = Vec::new();
         let mut caps: Vec<(Option<usize>, Option<usize>, f64)> = Vec::new();
-        let add_g = |g: &mut Vec<f64>, i: Option<usize>, j: Option<usize>, v: f64| {
-            if let (Some(i), Some(j)) = (i, j) {
-                g[i * dim + j] += v;
-            }
-        };
+        let add_g =
+            |entries: &mut Vec<(usize, usize, f64)>, i: Option<usize>, j: Option<usize>, v: f64| {
+                if let (Some(i), Some(j)) = (i, j) {
+                    entries.push((i, j, v));
+                }
+            };
         for i in 0..n_free {
-            g[i * dim + i] += GMIN;
+            entries.push((i, i, GMIN));
         }
         let mut vsrc_branch = 0usize;
         let mut excite_branch = None;
@@ -121,10 +159,10 @@ impl Circuit {
                 Element::Resistor { a, b, ohms } => {
                     let gg = 1.0 / ohms;
                     let (ia, ib) = (var(*a), var(*b));
-                    add_g(&mut g, ia, ia, gg);
-                    add_g(&mut g, ib, ib, gg);
-                    add_g(&mut g, ia, ib, -gg);
-                    add_g(&mut g, ib, ia, -gg);
+                    add_g(&mut entries, ia, ia, gg);
+                    add_g(&mut entries, ib, ib, gg);
+                    add_g(&mut entries, ia, ib, -gg);
+                    add_g(&mut entries, ib, ia, -gg);
                 }
                 Element::Capacitor { a, b, farads } => {
                     caps.push((var(*a), var(*b), *farads));
@@ -137,12 +175,12 @@ impl Circuit {
                     vsrc_branch += 1;
                     let (ip, in_) = (var(*p), var(*n));
                     if let Some(ip) = ip {
-                        g[ip * dim + branch] += 1.0;
-                        g[branch * dim + ip] += 1.0;
+                        entries.push((ip, branch, 1.0));
+                        entries.push((branch, ip, 1.0));
                     }
                     if let Some(in_) = in_ {
-                        g[in_ * dim + branch] -= 1.0;
-                        g[branch * dim + in_] -= 1.0;
+                        entries.push((in_, branch, -1.0));
+                        entries.push((branch, in_, -1.0));
                     }
                 }
                 Element::ISource { .. } => {
@@ -160,9 +198,9 @@ impl Circuit {
                     // Channel current i_sd(vg, vd, vs): KCL rows s (+) and
                     // d (−), columns per derivative.
                     for (row, sign) in [(is, 1.0), (id, -1.0)] {
-                        add_g(&mut g, row, ig, sign * pt.di_dvg);
-                        add_g(&mut g, row, id, sign * pt.di_dvd);
-                        add_g(&mut g, row, is, sign * pt.di_dvs);
+                        add_g(&mut entries, row, ig, sign * pt.di_dvg);
+                        add_g(&mut entries, row, id, sign * pt.di_dvd);
+                        add_g(&mut entries, row, is, sign * pt.di_dvs);
                     }
                     caps.push((ig, is, model.cgs(*w_over_l)));
                     caps.push((ig, id, model.cgd(*w_over_l)));
@@ -172,6 +210,28 @@ impl Circuit {
         let excite_branch = excite_branch
             .ok_or_else(|| CircuitError::InvalidElement("excited source not found".to_string()))?;
 
+        if policy.use_sparse(dim) {
+            let phasors = ac_sparse_phasors(
+                dim,
+                n_free,
+                self.node_count(),
+                &entries,
+                &caps,
+                excite_branch,
+                freqs,
+            )?;
+            return Ok(AcSweep {
+                freqs: freqs.to_vec(),
+                phasors,
+            });
+        }
+
+        // Dense path (historical behavior): scatter the coordinate list
+        // into a full matrix per frequency.
+        let mut g = vec![0.0; dim * dim];
+        for &(i, j, v) in &entries {
+            g[i * dim + j] += v;
+        }
         let mut phasors = Vec::with_capacity(freqs.len());
         for &f in freqs {
             let omega = std::f64::consts::TAU * f;
@@ -210,6 +270,95 @@ impl Circuit {
             phasors,
         })
     }
+}
+
+/// Stamps the real-equivalent system of `(G + jB)·(xr + j·xi) = b` at
+/// one frequency: block form `[G, −B; B, G]` over `2·dim` unknowns,
+/// where `B = ωC`. Entry *order* is deterministic and independent of
+/// `omega`, so the same call builds the pattern (into triplets) and the
+/// per-frequency values (into a flat vector).
+fn fill_real_system(
+    entries: &[(usize, usize, f64)],
+    caps: &[(Option<usize>, Option<usize>, f64)],
+    dim: usize,
+    omega: f64,
+    add: &mut dyn FnMut(usize, usize, f64),
+) {
+    for &(i, j, v) in entries {
+        add(i, j, v);
+        add(i + dim, j + dim, v);
+    }
+    for &(a, b, c) in caps {
+        // +jωc on the two diagonals, −jωc on the couplings; a complex
+        // entry `jb` at (r, c) lands as −b at (r, c+dim) and +b at
+        // (r+dim, c).
+        let bc = omega * c;
+        if let Some(a) = a {
+            add(a, a + dim, -bc);
+            add(a + dim, a, bc);
+        }
+        if let Some(b) = b {
+            add(b, b + dim, -bc);
+            add(b + dim, b, bc);
+        }
+        if let (Some(a), Some(b)) = (a, b) {
+            add(a, b + dim, bc);
+            add(a + dim, b, -bc);
+            add(b, a + dim, bc);
+            add(b + dim, a, -bc);
+        }
+    }
+}
+
+/// Sparse AC sweep over the real-equivalent system: symbolic analysis
+/// once at the first frequency, value-refill + numeric refactor per
+/// subsequent frequency.
+#[allow(clippy::too_many_arguments)]
+fn ac_sparse_phasors(
+    dim: usize,
+    n_free: usize,
+    node_count: usize,
+    entries: &[(usize, usize, f64)],
+    caps: &[(Option<usize>, Option<usize>, f64)],
+    excite_branch: usize,
+    freqs: &[f64],
+) -> Result<Vec<Vec<Complex>>> {
+    let mut tri = Triplets::new(2 * dim);
+    fill_real_system(
+        entries,
+        caps,
+        dim,
+        std::f64::consts::TAU * freqs[0],
+        &mut |i, j, v| tri.push(i, j, v),
+    );
+    let (mut csr, slots) = CsrMatrix::from_triplets(&tri);
+    let sym = SymbolicLu::analyze(&csr)?;
+    let mut lu = SparseLu::factor(&sym, &csr)?;
+    let mut tvals: Vec<f64> = Vec::with_capacity(tri.len());
+    let mut rhs = vec![0.0; 2 * dim];
+    rhs[excite_branch] = 1.0;
+    let mut phasors = Vec::with_capacity(freqs.len());
+    for (k, &f) in freqs.iter().enumerate() {
+        if k > 0 {
+            tvals.clear();
+            fill_real_system(
+                entries,
+                caps,
+                dim,
+                std::f64::consts::TAU * f,
+                &mut |_, _, v| tvals.push(v),
+            );
+            csr.set_values(&slots, &tvals);
+            lu.refactor(&sym, &csr)?;
+        }
+        let x = lu.solve_refined(&sym, &csr, &rhs)?;
+        let mut p = vec![Complex::ZERO; node_count];
+        for i in 0..n_free {
+            p[i + 1] = Complex::new(x[i], x[i + dim]);
+        }
+        phasors.push(p);
+    }
+    Ok(phasors)
 }
 
 /// Logarithmically spaced frequency points from `f_start` to `f_stop`
@@ -285,6 +434,41 @@ mod tests {
         let sweep = c.ac_sweep(vg, &[100.0]).unwrap();
         let gain = sweep.magnitude(out)[0];
         assert!(gain > 2.0, "gain {gain}");
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_rc_ladder() {
+        // Same circuit, forced Dense vs forced Sparse: phasors must
+        // agree to 1e-9 (the only difference is the linear solver).
+        let mut c = Circuit::new();
+        let src = c.node("in");
+        let v = c.add_vsource(src, NodeId::GROUND, Waveform::Dc(0.0));
+        let mut prev = src;
+        let mut taps = Vec::new();
+        for k in 0..12 {
+            let n = c.node(&format!("n{k}"));
+            c.add_resistor(prev, n, 500.0 + 100.0 * k as f64).unwrap();
+            c.add_capacitor(n, NodeId::GROUND, 1e-7).unwrap();
+            taps.push(n);
+            prev = n;
+        }
+        let freqs = [10.0, 320.0, 1e3, 3.2e4, 1e6];
+        let dense = c.ac_sweep_with(v, &freqs, SolverPolicy::Dense).unwrap();
+        let sparse = c.ac_sweep_with(v, &freqs, SolverPolicy::Sparse).unwrap();
+        for (k, &f) in freqs.iter().enumerate() {
+            for &n in &taps {
+                let d = dense.phasor(n, k);
+                let s = sparse.phasor(n, k);
+                assert!(
+                    (d.re - s.re).abs() < 1e-9 && (d.im - s.im).abs() < 1e-9,
+                    "mismatch at f={} node {:?}: dense {:?} sparse {:?}",
+                    f,
+                    n,
+                    d,
+                    s
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,9 +9,15 @@
 //! ("device defects/transient errors … usually show extreme results
 //! either very high or almost zero currents").
 
+use crate::cells::CellLibrary;
 use crate::error::{CircuitError, Result};
-use crate::scan::ScanSchedule;
+use crate::netlist::{Circuit, NodeId};
+use crate::scan::{ArrayScanResult, ScanSchedule};
+use crate::scan_driver::build_column_scanner_flushed;
 use crate::sensor::{linearity_fit, pixel_temperature_sweep, PixelBias, PtSensorModel};
+use crate::solver::SolverPolicy;
+use crate::transient::TransientConfig;
+use crate::waveform::Waveform;
 
 /// Per-pixel defect state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -353,6 +359,229 @@ impl ActiveMatrix {
     }
 }
 
+/// Configuration of the transistor-level array ([`TftArray`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TftArrayConfig {
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns (= scan cycles).
+    pub cols: usize,
+    /// Positive supply, volts (the pseudo-CMOS rails are `±vdd`).
+    pub vdd: f64,
+    /// Column-scan clock, hertz (paper: 10 kHz).
+    pub scan_clock_hz: f64,
+    /// Backward-Euler steps per scan cycle.
+    pub steps_per_cycle: usize,
+    /// Pt RTD model shared by all pixels.
+    pub sensor: PtSensorModel,
+    /// Temperature range represented by normalized scene values `[0, 1]`.
+    pub t_range: (f64, f64),
+    /// Per-row current-sense resistor to ground, ohms.
+    pub r_sense: f64,
+    /// Pixel access-TFT geometry `W/L`.
+    pub pixel_w_over_l: f64,
+}
+
+impl Default for TftArrayConfig {
+    /// The paper's operating point: 32x32 array, `VDD = 3 V`, 10 kHz
+    /// scan clock, 20–40 °C scene range.
+    fn default() -> Self {
+        TftArrayConfig {
+            rows: 32,
+            cols: 32,
+            vdd: 3.0,
+            scan_clock_hz: 10e3,
+            steps_per_cycle: 50,
+            sensor: PtSensorModel::default(),
+            t_range: (20.0, 40.0),
+            r_sense: 10_000.0,
+            pixel_w_over_l: 20.0,
+        }
+    }
+}
+
+/// Transistor-level active-matrix array: a pseudo-CMOS column scanner
+/// (shift register marching a one-hot token) plus one access TFT and Pt
+/// resistor per pixel, all in a single [`Circuit`].
+///
+/// Each pixel is `VDD ──[access TFT]── x ──[R_pt(T)]── row line`, the
+/// TFT gated by the scanner's *active-low* column select (p-type: the
+/// selected column's low `q_bar` gives the full `V_sg = VDD` drive;
+/// deselected columns sit at `V_sg = 0`, off). Every row line carries a
+/// sense resistor to ground, so the row-line voltage during cycle `c`
+/// reads pixel `(r, c)` directly. A full scene is scanned in `cols`
+/// clock cycles with one transient run — this is the full-array
+/// simulation the sparse MNA engine exists for: a 32×32 array is
+/// ~3 000 TFTs and ~1 800 MNA unknowns, far past the dense crossover.
+#[derive(Debug, Clone)]
+pub struct TftArray {
+    circuit: Circuit,
+    config: TftArrayConfig,
+    row_lines: Vec<NodeId>,
+    tft_count: usize,
+}
+
+impl TftArray {
+    /// Builds the array circuit for a normalized scene (`scene[r·cols +
+    /// c]` in `[0, 1]` maps linearly onto `t_range`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for zero dimensions,
+    /// non-positive clock/steps/sense values, a non-increasing
+    /// `t_range`, or a scene-length mismatch; propagates netlist-
+    /// construction failures.
+    pub fn build(config: TftArrayConfig, scene: &[f64]) -> Result<Self> {
+        if config.rows == 0 || config.cols == 0 {
+            return Err(CircuitError::InvalidParameter(
+                "array needs positive dimensions".to_string(),
+            ));
+        }
+        if !(config.scan_clock_hz > 0.0) || config.steps_per_cycle == 0 {
+            return Err(CircuitError::InvalidParameter(
+                "scan clock and steps per cycle must be positive".to_string(),
+            ));
+        }
+        if !(config.r_sense > 0.0) || !(config.vdd > 0.0) {
+            return Err(CircuitError::InvalidParameter(
+                "r_sense and vdd must be positive".to_string(),
+            ));
+        }
+        if config.t_range.1 <= config.t_range.0 {
+            return Err(CircuitError::InvalidParameter(
+                "t_range must be increasing".to_string(),
+            ));
+        }
+        if scene.len() != config.rows * config.cols {
+            return Err(CircuitError::InvalidParameter(format!(
+                "scene has {} pixels, array needs {}",
+                scene.len(),
+                config.rows * config.cols
+            )));
+        }
+        let mut ckt = Circuit::new();
+        let lib = CellLibrary::with_rails(&mut ckt, config.vdd, -config.vdd);
+        let clk = ckt.node("scan_clk");
+        ckt.add_vsource(
+            clk,
+            NodeId::GROUND,
+            Waveform::clock(0.0, config.vdd, config.scan_clock_hz),
+        );
+        // Power-up bring-up: the transient starts from the all-zero
+        // state (a `cols`-stage register of bistable latches has no
+        // reliably solvable DC point), and `cols` flush cycles shift the
+        // power-up garbage out before the token enters.
+        let scanner = build_column_scanner_flushed(
+            &mut ckt,
+            &lib,
+            config.cols,
+            clk,
+            config.scan_clock_hz,
+            config.vdd,
+            config.cols,
+        )?;
+        let row_lines: Vec<NodeId> = (0..config.rows)
+            .map(|r| ckt.node(&format!("row{r}")))
+            .collect();
+        for &rl in &row_lines {
+            ckt.add_resistor(rl, NodeId::GROUND, config.r_sense)?;
+        }
+        let (t0, t1) = config.t_range;
+        for r in 0..config.rows {
+            for c in 0..config.cols {
+                let x = ckt.fresh_node("px");
+                // p-type access TFT: source on VDD, drain at the pixel
+                // node, gate on the active-low column select.
+                ckt.add_tft(scanner.selects_bar[c], x, lib.vdd, config.pixel_w_over_l)?;
+                let t = t0 + scene[r * config.cols + c].clamp(0.0, 1.0) * (t1 - t0);
+                ckt.add_resistor(x, row_lines[r], config.sensor.resistance(t))?;
+            }
+        }
+        let tft_count = ckt.tft_count();
+        Ok(TftArray {
+            circuit: ckt,
+            config,
+            row_lines,
+            tft_count,
+        })
+    }
+
+    /// The underlying netlist.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Array configuration.
+    pub fn config(&self) -> &TftArrayConfig {
+        &self.config
+    }
+
+    /// Per-row sense nodes.
+    pub fn row_lines(&self) -> &[NodeId] {
+        &self.row_lines
+    }
+
+    /// Total TFTs in the circuit (scanner + pixels).
+    pub fn tft_count(&self) -> usize {
+        self.tft_count
+    }
+
+    /// Number of MNA unknowns the scan solves per Newton iteration.
+    pub fn unknowns(&self) -> usize {
+        crate::mna::Assembler::new(&self.circuit).dim()
+    }
+
+    /// Scans the whole array (one transient over `cols` clock cycles)
+    /// with the default solver policy — sparse for any full-scale array.
+    ///
+    /// # Errors
+    ///
+    /// See [`TftArray::scan_with`].
+    pub fn scan(&self) -> Result<ArrayScanResult> {
+        self.scan_with(SolverPolicy::Auto)
+    }
+
+    /// Like [`TftArray::scan`] with an explicit linear-solver policy.
+    ///
+    /// The transient starts from power-up (all-zero state) and runs
+    /// `cols` flush cycles before the token enters, then `cols` scan
+    /// cycles. Row lines are sampled at `(flush + c + 0.9)·T` — late in
+    /// scan cycle `c`, once the selected column has settled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-simulation failures.
+    pub fn scan_with(&self, policy: SolverPolicy) -> Result<ArrayScanResult> {
+        let period = 1.0 / self.config.scan_clock_hz;
+        let flush = self.config.cols as f64;
+        let t_stop = 2.0 * flush * period;
+        let dt = period / self.config.steps_per_cycle as f64;
+        let mut tc = TransientConfig::new(t_stop, dt);
+        tc.start_from_dc = false;
+        let result = self.circuit.transient_with(&tc, policy)?;
+        let mut frames = Vec::with_capacity(self.config.cols);
+        for c in 0..self.config.cols {
+            let t = (flush + c as f64 + 0.9) * period;
+            frames.push(
+                self.row_lines
+                    .iter()
+                    .map(|&n| {
+                        result
+                            .trace(n)
+                            .value_at(t)
+                            .expect("sample time within the run")
+                    })
+                    .collect(),
+            );
+        }
+        Ok(ArrayScanResult::new(
+            self.config.rows,
+            self.config.cols,
+            frames,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +667,67 @@ mod tests {
         // Stuck pixel shows its extreme wherever it lands in the order.
         let pos = order.iter().position(|&i| i == 9).unwrap();
         assert_eq!(sel[pos], 1.0);
+    }
+
+    #[test]
+    fn tft_array_rejects_bad_configs() {
+        let bad_dims = TftArrayConfig {
+            rows: 0,
+            ..TftArrayConfig::default()
+        };
+        assert!(TftArray::build(bad_dims, &[]).is_err());
+        let bad_clock = TftArrayConfig {
+            rows: 2,
+            cols: 2,
+            scan_clock_hz: 0.0,
+            ..TftArrayConfig::default()
+        };
+        assert!(TftArray::build(bad_clock, &[0.0; 4]).is_err());
+        let ok = TftArrayConfig {
+            rows: 2,
+            cols: 2,
+            ..TftArrayConfig::default()
+        };
+        // Scene-length mismatch.
+        assert!(TftArray::build(ok, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn tft_array_scan_reads_scene() {
+        // 2x3 array: column 0 has (cold, hot) pixels, column 1 the
+        // reverse, column 2 equal. A hotter pixel has more Pt
+        // resistance, so its selected-cycle row voltage is lower.
+        let config = TftArrayConfig {
+            rows: 2,
+            cols: 3,
+            ..TftArrayConfig::default()
+        };
+        let scene = [0.0, 1.0, 0.5, 1.0, 0.0, 0.5];
+        let array = TftArray::build(config, &scene).unwrap();
+        // 3 scanner stages x 60 TFTs + 6 pixel access TFTs.
+        assert_eq!(array.tft_count(), 3 * 60 + 6);
+        assert_eq!(array.row_lines().len(), 2);
+        assert!(array.unknowns() > 0);
+        let scan = array.scan().unwrap();
+        let v = |r: usize, c: usize| scan.row_voltage(r, c);
+        // All selected readings are a real signal above the sense floor.
+        for c in 0..3 {
+            for r in 0..2 {
+                assert!(v(r, c) > 0.05, "pixel ({r},{c}) reads {}", v(r, c));
+            }
+        }
+        assert!(v(0, 0) > v(1, 0), "cycle 0: cold row must read higher");
+        assert!(v(0, 1) < v(1, 1), "cycle 1: hot row must read lower");
+        assert!(
+            (v(0, 2) - v(1, 2)).abs() < 0.01,
+            "cycle 2: equal pixels read {} vs {}",
+            v(0, 2),
+            v(1, 2)
+        );
+        // The measurement mapping picks the scheduled pixels.
+        let schedule = ScanSchedule::from_selected(2, 3, &[0, 4]).unwrap();
+        let m = scan.measurements(&schedule).unwrap();
+        assert_eq!(m, vec![v(0, 0), v(1, 1)]);
     }
 
     #[test]

@@ -241,11 +241,24 @@ impl CellLibrary {
     ///
     /// Propagates netlist-construction failures.
     pub fn dff(&self, ckt: &mut Circuit, d: NodeId, clk: NodeId) -> Result<NodeId> {
+        let (q, _) = self.dff_c(ckt, d, clk)?;
+        Ok(q)
+    }
+
+    /// Like [`CellLibrary::dff`] but returns both `(q, q_bar)`. The
+    /// complemented output comes from the slave latch's internal NAND
+    /// pair, so it costs no extra transistors — which is how the
+    /// active-matrix scan driver gets the low-enabled (active-low)
+    /// column selects the paper's p-type access TFTs need.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist-construction failures.
+    pub fn dff_c(&self, ckt: &mut Circuit, d: NodeId, clk: NodeId) -> Result<(NodeId, NodeId)> {
         let clk_bar = self.inverter(ckt, clk)?;
         // Master transparent while clk low, slave while clk high.
         let (qm, _) = self.d_latch(ckt, d, clk_bar)?;
-        let (q, _) = self.d_latch(ckt, qm, clk)?;
-        Ok(q)
+        self.d_latch(ckt, qm, clk)
     }
 }
 

@@ -63,12 +63,16 @@ mod scan;
 mod scan_driver;
 mod sensor;
 mod shift_register;
+mod solver;
+pub mod sparse;
 mod transient;
 mod variation;
 mod waveform;
 
 pub use ac::{log_frequencies, AcSweep};
-pub use active_matrix::{ActiveMatrix, ActiveMatrixConfig, PixelCalibration, PixelDefect};
+pub use active_matrix::{
+    ActiveMatrix, ActiveMatrixConfig, PixelCalibration, PixelDefect, TftArray, TftArrayConfig,
+};
 pub use amplifier::{build_self_biased_amplifier, Amplifier, AmplifierConfig};
 pub use cells::{CellLibrary, PseudoCmosSizing};
 pub use device::{CntTftModel, TftOperatingPoint};
@@ -79,15 +83,17 @@ pub use ring_oscillator::{
     build_ring_oscillator, measure_oscillation, ring_oscillator_frequency,
     ring_oscillator_frequency_with_model, OscillationMeasurement, RingOscillator,
 };
-pub use scan::ScanSchedule;
+pub use scan::{ArrayScanResult, ScanSchedule};
 pub use scan_driver::{bitstream_waveform, build_column_scanner, serial_row_stream, ColumnScanner};
 pub use sensor::{
     linearity_fit, pixel_access_model, pixel_temperature_sweep, read_pixel_current, PixelBias,
     PtSensorModel,
 };
 pub use shift_register::{build_shift_register, ShiftRegister};
+pub use solver::{SolverPolicy, SPARSE_CROSSOVER};
 pub use transient::{TransientConfig, TransientResult};
 pub use variation::{
-    amplifier_gain_spread, inverter_yield, ring_frequency_spread, MonteCarloStats, VariationModel,
+    amplifier_gain_spread, inverter_yield, ring_frequency_spread, scan_chain_yield,
+    MonteCarloStats, VariationModel,
 };
 pub use waveform::{Trace, Waveform};

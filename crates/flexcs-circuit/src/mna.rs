@@ -8,7 +8,9 @@
 
 use crate::error::{CircuitError, Result};
 use crate::netlist::{Circuit, Element, ElementId, NodeId};
-use flexcs_linalg::{Lu, Matrix};
+use crate::solver::{LinearSolver, MnaSolver, SolverPolicy};
+use crate::sparse::{CsrMatrix, Triplets};
+use flexcs_linalg::Matrix;
 
 /// Conductance from every node to ground, for numerical robustness
 /// (floating gates would otherwise make the Jacobian singular).
@@ -52,6 +54,52 @@ impl OperatingPoint {
             .find(|(e, _)| *e == id.0)
             .map(|(_, i)| *i)
     }
+}
+
+/// A sink for Jacobian stamps. Assembly is generic over the sink so the
+/// same stamping code serves the dense matrix, the sparse pattern
+/// builder, the sparse value-refill pass, and residual-only evaluation
+/// (which discards the Jacobian entirely).
+pub(crate) trait Stamper {
+    /// Adds `v` to Jacobian entry `(i, j)`.
+    fn add(&mut self, i: usize, j: usize, v: f64);
+}
+
+/// Stamps into a dense matrix.
+pub(crate) struct DenseStamper<'m>(pub &'m mut Matrix);
+
+impl Stamper for DenseStamper<'_> {
+    fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.0[(i, j)] += v;
+    }
+}
+
+/// Records the full `(i, j, v)` stream — builds the sparse pattern.
+pub(crate) struct TripletStamper<'t>(pub &'t mut Triplets);
+
+impl Stamper for TripletStamper<'_> {
+    fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.0.push(i, j, v);
+    }
+}
+
+/// Records values only, in stamp order — refills a sparse matrix whose
+/// pattern (and slot map) came from an earlier [`TripletStamper`] pass
+/// over the same netlist. Stamp order is deterministic per netlist and
+/// companion mode, so the streams align.
+pub(crate) struct ValueStamper<'v>(pub &'v mut Vec<f64>);
+
+impl Stamper for ValueStamper<'_> {
+    fn add(&mut self, _i: usize, _j: usize, v: f64) {
+        self.0.push(v);
+    }
+}
+
+/// Discards stamps — residual-only evaluation for line searches.
+pub(crate) struct NullStamper;
+
+impl Stamper for NullStamper {
+    fn add(&mut self, _i: usize, _j: usize, _v: f64) {}
 }
 
 /// Shared assembly machinery for DC, transient and AC analyses.
@@ -118,32 +166,49 @@ impl<'a> Assembler<'a> {
     ) -> (Matrix, Vec<f64>) {
         let dim = self.dim();
         let mut j = Matrix::zeros(dim, dim);
+        let f = self.assemble_with(&mut DenseStamper(&mut j), x, t, companion, src_scale);
+        (j, f)
+    }
+
+    /// Builds `F(x)` while streaming the Jacobian stamps of `J(x)` into
+    /// `st`. The stamp call sequence is deterministic for a given
+    /// netlist and companion mode (`companion.is_some()`), which the
+    /// sparse backend's slot-map value refill relies on.
+    pub fn assemble_with<S: Stamper>(
+        &self,
+        st: &mut S,
+        x: &[f64],
+        t: f64,
+        companion: Option<(f64, &[f64])>,
+        src_scale: f64,
+    ) -> Vec<f64> {
+        let dim = self.dim();
         let mut f = vec![0.0; dim];
 
         // gmin to ground on every free node.
         for i in 0..self.n_free {
-            j[(i, i)] += self.gmin;
+            st.add(i, i, self.gmin);
             f[i] += self.gmin * x[i];
         }
 
         let stamp_conductance =
-            |j: &mut Matrix, f: &mut Vec<f64>, a: NodeId, b: NodeId, g: f64, ieq: f64| {
+            |st: &mut S, f: &mut Vec<f64>, a: NodeId, b: NodeId, g: f64, ieq: f64| {
                 // Current a -> b: g (va - vb) + ieq.
                 let va = self.v(x, a);
                 let vb = self.v(x, b);
                 let i = g * (va - vb) + ieq;
                 if let Some(ia) = self.var(a) {
                     f[ia] += i;
-                    j[(ia, ia)] += g;
+                    st.add(ia, ia, g);
                     if let Some(ib) = self.var(b) {
-                        j[(ia, ib)] -= g;
+                        st.add(ia, ib, -g);
                     }
                 }
                 if let Some(ib) = self.var(b) {
                     f[ib] -= i;
-                    j[(ib, ib)] += g;
+                    st.add(ib, ib, g);
                     if let Some(ia) = self.var(a) {
-                        j[(ib, ia)] -= g;
+                        st.add(ib, ia, -g);
                     }
                 }
             };
@@ -152,7 +217,7 @@ impl<'a> Assembler<'a> {
         for element in self.ckt.elements() {
             match element {
                 Element::Resistor { a, b, ohms } => {
-                    stamp_conductance(&mut j, &mut f, *a, *b, 1.0 / ohms, 0.0);
+                    stamp_conductance(st, &mut f, *a, *b, 1.0 / ohms, 0.0);
                 }
                 Element::Capacitor { a, b, farads } => {
                     if let Some((h, x_prev)) = companion {
@@ -160,7 +225,7 @@ impl<'a> Assembler<'a> {
                         let g = farads / h;
                         let va_p = self.v(x_prev, *a);
                         let vb_p = self.v(x_prev, *b);
-                        stamp_conductance(&mut j, &mut f, *a, *b, g, -g * (va_p - vb_p));
+                        stamp_conductance(st, &mut f, *a, *b, g, -g * (va_p - vb_p));
                     }
                 }
                 Element::VSource { p, n, waveform } => {
@@ -171,19 +236,19 @@ impl<'a> Assembler<'a> {
                     // KCL: branch current leaves p, enters n.
                     if let Some(ip) = self.var(*p) {
                         f[ip] += i_br;
-                        j[(ip, branch)] += 1.0;
+                        st.add(ip, branch, 1.0);
                     }
                     if let Some(in_) = self.var(*n) {
                         f[in_] -= i_br;
-                        j[(in_, branch)] -= 1.0;
+                        st.add(in_, branch, -1.0);
                     }
                     // Branch equation: v(p) - v(n) - value = 0.
                     f[branch] = self.v(x, *p) - self.v(x, *n) - value;
                     if let Some(ip) = self.var(*p) {
-                        j[(branch, ip)] += 1.0;
+                        st.add(branch, ip, 1.0);
                     }
                     if let Some(in_) = self.var(*n) {
-                        j[(branch, in_)] -= 1.0;
+                        st.add(branch, in_, -1.0);
                     }
                 }
                 Element::ISource { from, to, waveform } => {
@@ -209,22 +274,22 @@ impl<'a> Assembler<'a> {
                     // Channel current source → drain.
                     if let Some(is) = self.var(*s) {
                         f[is] += op.i_sd;
-                        j[(is, is)] += op.di_dvs;
+                        st.add(is, is, op.di_dvs);
                         if let Some(id) = self.var(*d) {
-                            j[(is, id)] += op.di_dvd;
+                            st.add(is, id, op.di_dvd);
                         }
                         if let Some(ig) = self.var(*g) {
-                            j[(is, ig)] += op.di_dvg;
+                            st.add(is, ig, op.di_dvg);
                         }
                     }
                     if let Some(id) = self.var(*d) {
                         f[id] -= op.i_sd;
-                        j[(id, id)] -= op.di_dvd;
+                        st.add(id, id, -op.di_dvd);
                         if let Some(is) = self.var(*s) {
-                            j[(id, is)] -= op.di_dvs;
+                            st.add(id, is, -op.di_dvs);
                         }
                         if let Some(ig) = self.var(*g) {
-                            j[(id, ig)] -= op.di_dvg;
+                            st.add(id, ig, -op.di_dvg);
                         }
                     }
                     // Gate capacitances (transient only).
@@ -233,22 +298,23 @@ impl<'a> Assembler<'a> {
                         if cgs > 0.0 {
                             let gc = cgs / h;
                             let vp = self.v(x_prev, *g) - self.v(x_prev, *s);
-                            stamp_conductance(&mut j, &mut f, *g, *s, gc, -gc * vp);
+                            stamp_conductance(st, &mut f, *g, *s, gc, -gc * vp);
                         }
                         let cgd = model.cgd(*w_over_l);
                         if cgd > 0.0 {
                             let gc = cgd / h;
                             let vp = self.v(x_prev, *g) - self.v(x_prev, *d);
-                            stamp_conductance(&mut j, &mut f, *g, *d, gc, -gc * vp);
+                            stamp_conductance(st, &mut f, *g, *d, gc, -gc * vp);
                         }
                     }
                 }
             }
         }
-        (j, f)
+        f
     }
 
-    /// Residual infinity norm at `x`.
+    /// Residual infinity norm at `x` — evaluates `F(x)` only, without
+    /// building or factoring a Jacobian (the line-search hot path).
     fn residual_norm(
         &self,
         x: &[f64],
@@ -256,14 +322,19 @@ impl<'a> Assembler<'a> {
         companion: Option<(f64, &[f64])>,
         src_scale: f64,
     ) -> f64 {
-        let (_, f) = self.assemble(x, t, companion, src_scale);
+        let f = self.assemble_with(&mut NullStamper, x, t, companion, src_scale);
         f.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
     }
 
     /// Newton solve from `x0` with step damping and a backtracking line
     /// search (bistable latches otherwise cycle between basins).
+    ///
+    /// `solver` carries the factorization backend; the backtracking
+    /// phase evaluates residuals only and never re-assembles or
+    /// re-factors the Jacobian.
     pub fn newton(
         &self,
+        solver: &mut dyn LinearSolver,
         mut x: Vec<f64>,
         t: f64,
         companion: Option<(f64, &[f64])>,
@@ -271,10 +342,9 @@ impl<'a> Assembler<'a> {
     ) -> Result<Vec<f64>> {
         let mut last_residual = f64::INFINITY;
         for _iter in 0..MAX_NEWTON {
-            let (j, f) = self.assemble(&x, t, companion, src_scale);
+            let f = solver.assemble_and_factor(self, &x, t, companion, src_scale)?;
             let res = f.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
-            let lu = Lu::factor(&j)?;
-            let mut delta = lu.solve(&f)?;
+            let mut delta = solver.solve(&f)?;
             // Damping.
             let dmax = delta.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
             if dmax > DAMP_LIMIT {
@@ -336,6 +406,23 @@ impl<'a> Assembler<'a> {
     }
 }
 
+/// Source stepping: ramp all independent sources 0 → 1 in 20 Newton
+/// continuation steps.
+fn source_stepping(
+    asm: &Assembler,
+    solver: &mut MnaSolver,
+    x0: &[f64],
+    t: f64,
+) -> Result<Vec<f64>> {
+    let mut x = x0.to_vec();
+    let steps = 20;
+    for k in 1..=steps {
+        let scale = k as f64 / steps as f64;
+        x = asm.newton(solver, x, t, None, scale)?;
+    }
+    Ok(x)
+}
+
 impl Circuit {
     /// Solves the DC operating point at `t = 0` (waveforms evaluated at
     /// zero; capacitors open).
@@ -352,6 +439,25 @@ impl Circuit {
         self.dc_operating_point_at(0.0)
     }
 
+    /// Dimension and structural nonzero count of the assembled MNA
+    /// Jacobian. The pattern is taken at the zero state; it is
+    /// state-independent for every supported element, so this is the
+    /// pattern every Newton iteration and transient step factors.
+    pub fn mna_sparsity(&self) -> (usize, usize) {
+        let asm = Assembler::new(self);
+        let dim = asm.dim();
+        let mut tri = Triplets::new(dim);
+        asm.assemble_with(
+            &mut TripletStamper(&mut tri),
+            &vec![0.0; dim],
+            0.0,
+            None,
+            1.0,
+        );
+        let (csr, _slots) = CsrMatrix::from_triplets(&tri);
+        (dim, csr.nnz())
+    }
+
     /// Solves the DC operating point with waveforms evaluated at time
     /// `t` (useful for sweeping quasi-static controls).
     ///
@@ -359,29 +465,49 @@ impl Circuit {
     ///
     /// See [`Circuit::dc_operating_point`].
     pub fn dc_operating_point_at(&self, t: f64) -> Result<OperatingPoint> {
+        self.dc_operating_point_at_with(t, SolverPolicy::Auto)
+    }
+
+    /// Like [`Circuit::dc_operating_point`] with an explicit
+    /// linear-solver policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::dc_operating_point`].
+    pub fn dc_operating_point_with(&self, policy: SolverPolicy) -> Result<OperatingPoint> {
+        self.dc_operating_point_at_with(0.0, policy)
+    }
+
+    /// Like [`Circuit::dc_operating_point_at`] with an explicit
+    /// linear-solver policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::dc_operating_point`].
+    pub fn dc_operating_point_at_with(
+        &self,
+        t: f64,
+        policy: SolverPolicy,
+    ) -> Result<OperatingPoint> {
         let mut asm = Assembler::new(self);
+        // One backend for the whole solve: the netlist (and hence the
+        // sparsity pattern) is fixed, so the sparse symbolic analysis is
+        // shared across Newton restarts, source stepping and gmin
+        // stepping (which change only values).
+        let mut solver = MnaSolver::new(policy, asm.dim());
         let x0 = vec![0.0; asm.dim()];
-        if let Ok(x) = asm.newton(x0.clone(), t, None, 1.0) {
+        if let Ok(x) = asm.newton(&mut solver, x0.clone(), t, None, 1.0) {
             return Ok(asm.package(&x));
         }
         // Source stepping: ramp sources 0 → 1.
-        let source_stepping = |asm: &Assembler| -> Result<Vec<f64>> {
-            let mut x = x0.clone();
-            let steps = 20;
-            for k in 1..=steps {
-                let scale = k as f64 / steps as f64;
-                x = asm.newton(x, t, None, scale)?;
-            }
-            Ok(x)
-        };
-        if let Ok(x) = source_stepping(&asm) {
+        if let Ok(x) = source_stepping(&asm, &mut solver, &x0, t) {
             return Ok(asm.package(&x));
         }
         // Gmin stepping: start heavily loaded, relax to GMIN.
         let mut x = x0;
         for gmin in [1e-3, 1e-5, 1e-7, 1e-9, GMIN] {
             asm.gmin = gmin;
-            x = asm.newton(x, t, None, 1.0)?;
+            x = asm.newton(&mut solver, x, t, None, 1.0)?;
         }
         asm.gmin = GMIN;
         Ok(asm.package(&x))

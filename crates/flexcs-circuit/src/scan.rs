@@ -116,9 +116,95 @@ impl ScanSchedule {
     }
 }
 
+/// Row-line voltages captured from a transistor-level array scan
+/// ([`crate::TftArray::scan`]): one frame of `rows` voltages per scan
+/// cycle, sampled late in each cycle once the selected column has
+/// settled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayScanResult {
+    rows: usize,
+    cols: usize,
+    /// `frames[c][r]` is the voltage on row line `r` during cycle `c`.
+    frames: Vec<Vec<f64>>,
+}
+
+impl ArrayScanResult {
+    pub(crate) fn new(rows: usize, cols: usize, frames: Vec<Vec<f64>>) -> Self {
+        debug_assert_eq!(frames.len(), cols);
+        debug_assert!(frames.iter().all(|f| f.len() == rows));
+        ArrayScanResult { rows, cols, frames }
+    }
+
+    /// Array row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array column count (= scan cycles).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Voltage of row line `r` during scan cycle `c` — the readout of
+    /// pixel `(r, c)` when that pixel is selected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    pub fn row_voltage(&self, r: usize, c: usize) -> f64 {
+        self.frames[c][r]
+    }
+
+    /// Extracts the measurement vector a [`ScanSchedule`] selects, in
+    /// [`ScanSchedule::readout_order`]: cycle by cycle, rows ascending —
+    /// the `Φ_M·y` vector the CS decoder consumes, straight from the
+    /// simulated row lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] when the schedule's
+    /// shape differs from the scanned array.
+    pub fn measurements(&self, schedule: &ScanSchedule) -> Result<Vec<f64>> {
+        if schedule.rows() != self.rows || schedule.cols() != self.cols {
+            return Err(CircuitError::InvalidParameter(format!(
+                "schedule is {}x{} but scan is {}x{}",
+                schedule.rows(),
+                schedule.cols(),
+                self.rows,
+                self.cols
+            )));
+        }
+        let mut out = Vec::with_capacity(schedule.sample_count());
+        for c in 0..self.cols {
+            let word = schedule.row_word(c);
+            for (&sel, &v) in word.iter().zip(&self.frames[c]) {
+                if sel {
+                    out.push(v);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scan_result_measurement_mapping() {
+        // frames[c][r] = 10c + r lets the mapping be read off directly.
+        let frames: Vec<Vec<f64>> = (0..3)
+            .map(|c| (0..3).map(|r| (10 * c + r) as f64).collect())
+            .collect();
+        let res = ArrayScanResult::new(3, 3, frames);
+        assert_eq!(res.row_voltage(2, 1), 12.0);
+        // Pixels (0,0), (2,1), (1,1): readout order is column-major.
+        let s = ScanSchedule::from_selected(3, 3, &[0, 7, 4]).unwrap();
+        assert_eq!(res.measurements(&s).unwrap(), vec![0.0, 11.0, 12.0]);
+        let wrong = ScanSchedule::from_selected(2, 2, &[]).unwrap();
+        assert!(res.measurements(&wrong).is_err());
+    }
 
     #[test]
     fn schedule_covers_exactly_the_selection() {

@@ -21,6 +21,10 @@ use crate::waveform::Waveform;
 pub struct ColumnScanner {
     /// Per-column select outputs.
     pub selects: Vec<NodeId>,
+    /// Per-column *active-low* selects (the flip-flops' `q_bar`
+    /// outputs): low exactly while the column is selected. These drive
+    /// the p-type pixel access TFTs directly.
+    pub selects_bar: Vec<NodeId>,
     /// TFTs used.
     pub tft_count: usize,
 }
@@ -43,13 +47,39 @@ pub fn build_column_scanner(
     scan_clock_hz: f64,
     vdd: f64,
 ) -> Result<ColumnScanner> {
+    build_column_scanner_flushed(ckt, lib, cols, clk, scan_clock_hz, vdd, 0)
+}
+
+/// Like [`build_column_scanner`], but the token is injected only after
+/// `flush_cycles` clock cycles of zeros have been shifted through the
+/// register.
+///
+/// This is real scan-chain bring-up: the cross-coupled NAND latches of
+/// a long register have many DC solutions (Newton on the bistable
+/// system is fragile past a handful of stages), so large arrays start
+/// the transient from the all-zero power-up state instead. From
+/// power-up every latch resolves to the all-high invalid state; shifting
+/// zeros for `cols` cycles flushes that garbage out before the one-hot
+/// token enters, so stage `c` is high exactly during absolute cycle
+/// `flush_cycles + c`.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures.
+pub fn build_column_scanner_flushed(
+    ckt: &mut Circuit,
+    lib: &CellLibrary,
+    cols: usize,
+    clk: NodeId,
+    scan_clock_hz: f64,
+    vdd: f64,
+    flush_cycles: usize,
+) -> Result<ColumnScanner> {
     let token = ckt.fresh_node("scan_token");
     let period = 1.0 / scan_clock_hz;
-    // One token pulse covering the first clock period (captured by the
-    // first rising edge, then marched along).
-    ckt.add_vsource(
-        token,
-        NodeId::GROUND,
+    let wave = if flush_cycles == 0 {
+        // One token pulse covering the first clock period (captured by
+        // the first rising edge, then marched along).
         Waveform::Pulse {
             v0: vdd,
             v1: 0.0,
@@ -58,11 +88,25 @@ pub fn build_column_scanner(
             fall: period * 0.02,
             width: 1.0,
             period: 0.0,
-        },
-    );
+        }
+    } else {
+        // Token low through the flush, then one period-wide pulse
+        // straddling the rising clock edge at `flush_cycles · T`.
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: vdd,
+            delay: (flush_cycles as f64 - 0.9) * period,
+            rise: period * 0.02,
+            fall: period * 0.02,
+            width: period,
+            period: 0.0,
+        }
+    };
+    ckt.add_vsource(token, NodeId::GROUND, wave);
     let sr: ShiftRegister = build_shift_register(ckt, lib, cols, token, clk)?;
     Ok(ColumnScanner {
         selects: sr.outputs,
+        selects_bar: sr.outputs_bar,
         tft_count: sr.tft_count,
     })
 }

@@ -20,6 +20,10 @@ use crate::netlist::{Circuit, NodeId};
 pub struct ShiftRegister {
     /// Per-stage outputs, `outputs[0]` being the first stage.
     pub outputs: Vec<NodeId>,
+    /// Per-stage complemented outputs (`q_bar` of each flip-flop's
+    /// slave latch) — free in transistor count, used by low-enabled
+    /// loads such as the p-type active-matrix column selects.
+    pub outputs_bar: Vec<NodeId>,
     /// Number of TFTs the register added to the circuit.
     pub tft_count: usize,
 }
@@ -63,14 +67,17 @@ pub fn build_shift_register(
     }
     let before = ckt.tft_count();
     let mut outputs = Vec::with_capacity(stages);
+    let mut outputs_bar = Vec::with_capacity(stages);
     let mut d = data;
     for _ in 0..stages {
-        let q = lib.dff(ckt, d, clk)?;
+        let (q, q_bar) = lib.dff_c(ckt, d, clk)?;
         outputs.push(q);
+        outputs_bar.push(q_bar);
         d = q;
     }
     Ok(ShiftRegister {
         outputs,
+        outputs_bar,
         tft_count: ckt.tft_count() - before,
     })
 }

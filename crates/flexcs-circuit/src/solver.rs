@@ -1,0 +1,237 @@
+//! Linear-solver backends for the MNA Newton loop.
+//!
+//! Every analysis (DC, transient, AC) funnels its linearized systems
+//! through a [`LinearSolver`], selected by [`SolverPolicy`]: dense LU
+//! below [`SPARSE_CROSSOVER`] unknowns (where dense factorization is
+//! faster and bit-compatible with the historical behavior), the
+//! [`crate::sparse`] engine above it. The sparse backend builds its
+//! sparsity pattern and symbolic factorization on the *first* assembly
+//! and then only refills values and refactors numerically — the pattern
+//! is fixed once the netlist is built, so the symbolic analysis is
+//! shared across all Newton iterations and transient timesteps.
+
+use crate::error::Result;
+use crate::mna::{Assembler, TripletStamper, ValueStamper};
+use crate::sparse::{CsrMatrix, SparseLu, SymbolicLu, Triplets};
+use flexcs_linalg::Lu;
+
+/// Dimension at and above which [`SolverPolicy::Auto`] switches from the
+/// dense to the sparse backend. Chosen from the `bench_circuit`
+/// crossover sweep: MNA Jacobians near this size are ~95 % zeros and the
+/// sparse factor already wins, while the historical small-circuit tests
+/// (cells, amplifier, small registers) all stay on the dense path.
+pub const SPARSE_CROSSOVER: usize = 96;
+
+/// Which linear-solver backend an analysis should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverPolicy {
+    /// Dense below [`SPARSE_CROSSOVER`] unknowns, sparse at or above.
+    #[default]
+    Auto,
+    /// Always dense (the historical behavior).
+    Dense,
+    /// Always sparse.
+    Sparse,
+}
+
+impl SolverPolicy {
+    /// Whether the sparse backend is selected for a system of `dim`
+    /// unknowns.
+    pub fn use_sparse(self, dim: usize) -> bool {
+        match self {
+            SolverPolicy::Auto => dim >= SPARSE_CROSSOVER,
+            SolverPolicy::Dense => false,
+            SolverPolicy::Sparse => true,
+        }
+    }
+}
+
+/// A linear-solver backend: assembles the Jacobian at an iterate,
+/// factors it, and solves against Newton right-hand sides.
+pub(crate) trait LinearSolver {
+    /// Assembles `J(x)` and `F(x)`, factors `J`, and returns `F`.
+    fn assemble_and_factor(
+        &mut self,
+        asm: &Assembler<'_>,
+        x: &[f64],
+        t: f64,
+        companion: Option<(f64, &[f64])>,
+        src_scale: f64,
+    ) -> Result<Vec<f64>>;
+
+    /// Solves `J·delta = b` against the last factored Jacobian.
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>>;
+}
+
+/// Dense backend: full-matrix assembly + partial-pivoting LU.
+#[derive(Debug, Default)]
+pub(crate) struct DenseSolver {
+    lu: Option<Lu>,
+}
+
+impl LinearSolver for DenseSolver {
+    fn assemble_and_factor(
+        &mut self,
+        asm: &Assembler<'_>,
+        x: &[f64],
+        t: f64,
+        companion: Option<(f64, &[f64])>,
+        src_scale: f64,
+    ) -> Result<Vec<f64>> {
+        let (j, f) = asm.assemble(x, t, companion, src_scale);
+        self.lu = Some(Lu::factor(&j)?);
+        Ok(f)
+    }
+
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let lu = self.lu.as_ref().expect("solve before factor");
+        Ok(lu.solve(b)?)
+    }
+}
+
+/// Cached sparse assembly/factorization state. Built once per sparsity
+/// pattern (per companion mode: capacitors only stamp in transient);
+/// later assemblies refill values through the slot map and refactor on
+/// the reused symbolic analysis.
+#[derive(Debug)]
+struct SparseState {
+    csr: CsrMatrix,
+    slots: Vec<usize>,
+    sym: SymbolicLu,
+    lu: SparseLu,
+    /// Reusable triplet-value buffer for slot refills.
+    vals: Vec<f64>,
+    /// Pattern was built with transient companion stamps.
+    companion_mode: bool,
+}
+
+/// Sparse backend: triplet assembly, CSR with slot-map value refill, and
+/// the static-pivot sparse LU with symbolic reuse.
+#[derive(Debug, Default)]
+pub(crate) struct SparseSolver {
+    state: Option<SparseState>,
+}
+
+impl LinearSolver for SparseSolver {
+    fn assemble_and_factor(
+        &mut self,
+        asm: &Assembler<'_>,
+        x: &[f64],
+        t: f64,
+        companion: Option<(f64, &[f64])>,
+        src_scale: f64,
+    ) -> Result<Vec<f64>> {
+        let mode = companion.is_some();
+        if self
+            .state
+            .as_ref()
+            .is_some_and(|s| s.companion_mode != mode)
+        {
+            self.state = None;
+        }
+        match &mut self.state {
+            None => {
+                let mut tri = Triplets::new(asm.dim());
+                let f =
+                    asm.assemble_with(&mut TripletStamper(&mut tri), x, t, companion, src_scale);
+                let (csr, slots) = CsrMatrix::from_triplets(&tri);
+                let sym = SymbolicLu::analyze(&csr)?;
+                let lu = SparseLu::factor(&sym, &csr)?;
+                self.state = Some(SparseState {
+                    csr,
+                    slots,
+                    sym,
+                    lu,
+                    vals: Vec::with_capacity(tri.len()),
+                    companion_mode: mode,
+                });
+                Ok(f)
+            }
+            Some(st) => {
+                st.vals.clear();
+                let f =
+                    asm.assemble_with(&mut ValueStamper(&mut st.vals), x, t, companion, src_scale);
+                st.csr.set_values(&st.slots, &st.vals);
+                st.lu.refactor(&st.sym, &st.csr)?;
+                Ok(f)
+            }
+        }
+    }
+
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let st = self.state.as_ref().expect("solve before factor");
+        st.lu.solve_refined(&st.sym, &st.csr, b)
+    }
+}
+
+/// Policy-selected backend handed to [`Assembler::newton`].
+#[derive(Debug)]
+pub(crate) enum MnaSolver {
+    /// Dense LU backend.
+    Dense(DenseSolver),
+    /// Sparse LU backend with cached symbolic analysis. Boxed: the
+    /// cached CSR/symbolic state dwarfs the dense variant.
+    Sparse(Box<SparseSolver>),
+}
+
+impl MnaSolver {
+    /// Creates the backend `policy` selects for a `dim`-unknown system.
+    pub fn new(policy: SolverPolicy, dim: usize) -> MnaSolver {
+        if policy.use_sparse(dim) {
+            MnaSolver::Sparse(Box::default())
+        } else {
+            MnaSolver::Dense(DenseSolver::default())
+        }
+    }
+
+    /// `true` when the sparse backend was selected.
+    #[cfg(test)]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, MnaSolver::Sparse(_))
+    }
+}
+
+impl LinearSolver for MnaSolver {
+    fn assemble_and_factor(
+        &mut self,
+        asm: &Assembler<'_>,
+        x: &[f64],
+        t: f64,
+        companion: Option<(f64, &[f64])>,
+        src_scale: f64,
+    ) -> Result<Vec<f64>> {
+        match self {
+            MnaSolver::Dense(s) => s.assemble_and_factor(asm, x, t, companion, src_scale),
+            MnaSolver::Sparse(s) => s.assemble_and_factor(asm, x, t, companion, src_scale),
+        }
+    }
+
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            MnaSolver::Dense(s) => s.solve(b),
+            MnaSolver::Sparse(s) => s.solve(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_selection() {
+        assert!(!SolverPolicy::Auto.use_sparse(SPARSE_CROSSOVER - 1));
+        assert!(SolverPolicy::Auto.use_sparse(SPARSE_CROSSOVER));
+        assert!(!SolverPolicy::Dense.use_sparse(100_000));
+        assert!(SolverPolicy::Sparse.use_sparse(2));
+        assert_eq!(SolverPolicy::default(), SolverPolicy::Auto);
+    }
+
+    #[test]
+    fn backend_matches_policy() {
+        assert!(!MnaSolver::new(SolverPolicy::Auto, 10).is_sparse());
+        assert!(MnaSolver::new(SolverPolicy::Auto, 500).is_sparse());
+        assert!(MnaSolver::new(SolverPolicy::Sparse, 10).is_sparse());
+        assert!(!MnaSolver::new(SolverPolicy::Dense, 500).is_sparse());
+    }
+}

@@ -7,6 +7,7 @@
 use crate::error::{CircuitError, Result};
 use crate::mna::Assembler;
 use crate::netlist::{Circuit, NodeId};
+use crate::solver::{MnaSolver, SolverPolicy};
 use crate::waveform::Trace;
 
 /// Configuration of a transient run.
@@ -88,17 +89,26 @@ impl TransientResult {
 }
 
 /// One BE step from `(t0, x0)` to `t1`, bisecting on Newton failure up
-/// to 8 refinement levels.
-fn step_recursive(asm: &Assembler, x0: &[f64], t0: f64, t1: f64, depth: usize) -> Result<Vec<f64>> {
-    match asm.newton(x0.to_vec(), t1, Some((t1 - t0, x0)), 1.0) {
+/// to 8 refinement levels. The solver backend is shared across steps —
+/// sub-stepping changes only companion values (`h`, history), never the
+/// sparsity pattern, so the sparse symbolic factorization survives.
+fn step_recursive(
+    asm: &Assembler,
+    solver: &mut MnaSolver,
+    x0: &[f64],
+    t0: f64,
+    t1: f64,
+    depth: usize,
+) -> Result<Vec<f64>> {
+    match asm.newton(solver, x0.to_vec(), t1, Some((t1 - t0, x0)), 1.0) {
         Ok(x) => Ok(x),
         Err(e) => {
             if depth >= 8 {
                 return Err(e);
             }
             let tm = 0.5 * (t0 + t1);
-            let xm = step_recursive(asm, x0, t0, tm, depth + 1)?;
-            step_recursive(asm, &xm, tm, t1, depth + 1)
+            let xm = step_recursive(asm, solver, x0, t0, tm, depth + 1)?;
+            step_recursive(asm, solver, &xm, tm, t1, depth + 1)
         }
     }
 }
@@ -136,11 +146,28 @@ impl Circuit {
     /// # }
     /// ```
     pub fn transient(&self, config: &TransientConfig) -> Result<TransientResult> {
+        self.transient_with(config, SolverPolicy::Auto)
+    }
+
+    /// Like [`Circuit::transient`] with an explicit linear-solver
+    /// policy. One solver backend is reused for every timestep, so the
+    /// sparse path performs its symbolic factorization exactly once for
+    /// the whole run.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::transient`].
+    pub fn transient_with(
+        &self,
+        config: &TransientConfig,
+        policy: SolverPolicy,
+    ) -> Result<TransientResult> {
         config.validate()?;
         let asm = Assembler::new(self);
+        let mut solver = MnaSolver::new(policy, asm.dim());
         // Initial state.
         let mut x = if config.start_from_dc {
-            let op = self.dc_operating_point_at(0.0)?;
+            let op = self.dc_operating_point_at_with(0.0, policy)?;
             // Re-pack: free node voltages then branch currents.
             let mut x0 = vec![0.0; asm.dim()];
             x0[..asm.n_free].copy_from_slice(&op.voltages()[1..=asm.n_free]);
@@ -176,7 +203,7 @@ impl Circuit {
             // Backward Euler: solve at t_next with companion history.
             // Sharp switching events (latch flips) may need recursively
             // refined sub-steps.
-            x = step_recursive(&asm, &x_prev, t, t_next, 0)
+            x = step_recursive(&asm, &mut solver, &x_prev, t, t_next, 0)
                 .map_err(|_| CircuitError::TransientStepFailed { time: t_next })?;
             t = t_next;
             times.push(t);

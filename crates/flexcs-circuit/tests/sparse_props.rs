@@ -1,0 +1,219 @@
+//! Property-based tests pinning the sparse LU engine against the dense
+//! reference factorization, plus circuit-level dense-vs-sparse solver
+//! agreement.
+
+use flexcs_circuit::sparse::{CsrMatrix, SparseLu, SymbolicLu, Triplets};
+use flexcs_circuit::{Circuit, CircuitError, NodeId, SolverPolicy, TransientConfig, Waveform};
+use flexcs_linalg::{Lu, Matrix};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Random coordinate entries for an `n`-dimensional system, built from
+/// independently drawn index/value streams (the vendored proptest has
+/// no dependent strategies). Raw indices are reduced mod `n`;
+/// duplicates are allowed on purpose — both backends must sum them
+/// identically.
+fn make_entries(n: usize, ri: &[usize], ci: &[usize], vs: &[f64]) -> Vec<(usize, usize, f64)> {
+    ri.iter()
+        .zip(ci)
+        .zip(vs)
+        .map(|((&i, &j), &v)| (i % n, j % n, v))
+        .collect()
+}
+
+/// Builds the diagonally-dominant matrix in both representations:
+/// triplets (sparse input) and a dense [`Matrix`].
+fn build_both(n: usize, entries: &[(usize, usize, f64)]) -> (Triplets, Vec<f64>, Matrix) {
+    let mut row_abs = vec![0.0f64; n];
+    for &(i, _, v) in entries {
+        row_abs[i] += v.abs();
+    }
+    let mut tri = Triplets::new(n);
+    let mut tvals = Vec::new();
+    let mut dense = Matrix::zeros(n, n);
+    let mut push = |tri: &mut Triplets, dense: &mut Matrix, i: usize, j: usize, v: f64| {
+        tri.push(i, j, v);
+        tvals.push(v);
+        dense.row_mut(i)[j] += v;
+    };
+    for &(i, j, v) in entries {
+        push(&mut tri, &mut dense, i, j, v);
+    }
+    for (i, &ra) in row_abs.iter().enumerate() {
+        push(&mut tri, &mut dense, i, i, ra + 1.0);
+    }
+    (tri, tvals, dense)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_lu_matches_dense_on_dd_matrices(
+        n in 3usize..24,
+        ri in pvec(0usize..4096, 0..96),
+        ci in pvec(0usize..4096, 96),
+        vs in pvec(-1.0..1.0f64, 96),
+        bs in pvec(-1.0..1.0f64, 24),
+    ) {
+        let entries = make_entries(n, &ri, &ci, &vs);
+        let b = bs[..n].to_vec();
+        let (tri, _tvals, dense) = build_both(n, &entries);
+        let (csr, _slots) = CsrMatrix::from_triplets(&tri);
+        let sym = SymbolicLu::analyze(&csr).unwrap();
+        let lu = SparseLu::factor(&sym, &csr).unwrap();
+        let xs = lu.solve_refined(&sym, &csr, &b).unwrap();
+        let xd = Lu::factor(&dense).unwrap().solve(&b).unwrap();
+        for (s, d) in xs.iter().zip(&xd) {
+            prop_assert!((s - d).abs() < 1e-9 * (1.0 + d.abs()), "sparse {s} dense {d}");
+        }
+    }
+
+    #[test]
+    fn singular_error_parity_on_zeroed_row(
+        n in 3usize..24,
+        ri in pvec(0usize..4096, 0..96),
+        ci in pvec(0usize..4096, 96),
+        vs in pvec(-1.0..1.0f64, 96),
+        kf in 0.0..1.0f64,
+    ) {
+        let entries = make_entries(n, &ri, &ci, &vs);
+        // Zero out one row entirely: both backends must report the
+        // matrix singular through the same error type.
+        let k = ((kf * n as f64) as usize).min(n - 1);
+        let kept: Vec<(usize, usize, f64)> =
+            entries.iter().copied().filter(|&(i, _, _)| i != k).collect();
+        let mut row_abs = vec![0.0f64; n];
+        for &(i, _, v) in &kept {
+            row_abs[i] += v.abs();
+        }
+        let mut tri = Triplets::new(n);
+        let mut dense = Matrix::zeros(n, n);
+        for &(i, j, v) in &kept {
+            tri.push(i, j, v);
+            dense.row_mut(i)[j] += v;
+        }
+        for (i, &ra) in row_abs.iter().enumerate() {
+            if i != k {
+                tri.push(i, i, ra + 1.0);
+                dense.row_mut(i)[i] += ra + 1.0;
+            }
+        }
+        prop_assert!(Lu::factor(&dense).is_err(), "dense accepted a zero row");
+        let (csr, _slots) = CsrMatrix::from_triplets(&tri);
+        let sparse_err = SymbolicLu::analyze(&csr)
+            .and_then(|sym| SparseLu::factor(&sym, &csr).map(|_| ()));
+        prop_assert!(
+            matches!(sparse_err, Err(CircuitError::SingularMatrix)),
+            "sparse result: {sparse_err:?}"
+        );
+    }
+
+    #[test]
+    fn refactor_after_value_churn_is_bit_identical(
+        n in 3usize..24,
+        ri in pvec(0usize..4096, 0..96),
+        ci in pvec(0usize..4096, 96),
+        vs in pvec(-1.0..1.0f64, 96),
+    ) {
+        let entries = make_entries(n, &ri, &ci, &vs);
+        // Numeric refactorization on the reused symbolic analysis must
+        // reproduce the from-scratch factorization bit for bit — the
+        // pivot order is purely structural, so a warm transient step is
+        // exactly as accurate as a cold one. The scratch reference is
+        // taken on the post-restore values: `set_values` sums duplicate
+        // slots in push order, which can differ from the assembly-time
+        // summation by ULPs, and the property is about factorization of
+        // identical matrices, not about duplicate-summation order.
+        let (tri, tvals, _dense) = build_both(n, &entries);
+        let (mut csr, slots) = CsrMatrix::from_triplets(&tri);
+        let sym = SymbolicLu::analyze(&csr).unwrap();
+        let mut lu = SparseLu::factor(&sym, &csr).unwrap();
+        // Churn the values (different matrix), then restore and refactor.
+        let scaled: Vec<f64> = tvals.iter().map(|v| v * 3.0 + 1.0).collect();
+        csr.set_values(&slots, &scaled);
+        lu.refactor(&sym, &csr).unwrap();
+        csr.set_values(&slots, &tvals);
+        lu.refactor(&sym, &csr).unwrap();
+        let reference = SparseLu::factor(&sym, &csr).unwrap();
+        prop_assert_eq!(lu.values(), reference.values());
+    }
+
+    #[test]
+    fn dc_ladder_dense_vs_sparse(
+        rungs in 2usize..12,
+        r_top in 100.0..1e5f64,
+        r_down in 100.0..1e5f64,
+        v in -5.0..5.0f64,
+    ) {
+        // Linear circuit: the two backends solve the same MNA system, so
+        // node voltages must agree to 1e-9 relative.
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.add_vsource(top, NodeId::GROUND, Waveform::Dc(v));
+        let mut prev = top;
+        let mut nodes = Vec::new();
+        for k in 0..rungs {
+            let n = ckt.node(&format!("n{k}"));
+            ckt.add_resistor(prev, n, r_top).unwrap();
+            ckt.add_resistor(n, NodeId::GROUND, r_down).unwrap();
+            nodes.push(n);
+            prev = n;
+        }
+        let dense = ckt.dc_operating_point_with(SolverPolicy::Dense).unwrap();
+        let sparse = ckt.dc_operating_point_with(SolverPolicy::Sparse).unwrap();
+        for &n in &nodes {
+            let (d, s) = (dense.voltage(n), sparse.voltage(n));
+            prop_assert!((d - s).abs() < 1e-9 * (1.0 + d.abs()), "dense {d} sparse {s}");
+        }
+    }
+}
+
+#[test]
+fn nonlinear_transient_dense_vs_sparse() {
+    // A switching pseudo-CMOS inverter driving an RC load: Newton paths
+    // may differ in round-off between backends, so agreement is judged
+    // at the Newton tolerance (1e-6), not machine precision.
+    let vdd = 3.0;
+    let mut ckt = Circuit::new();
+    let lib = flexcs_circuit::CellLibrary::with_rails(&mut ckt, vdd, -vdd);
+    let input = ckt.node("in");
+    ckt.add_vsource(input, NodeId::GROUND, Waveform::clock(0.0, vdd, 10e3));
+    let out = lib.inverter(&mut ckt, input).unwrap();
+    let load = ckt.node("load");
+    ckt.add_resistor(out, load, 10_000.0).unwrap();
+    ckt.add_capacitor(load, NodeId::GROUND, 1e-9).unwrap();
+    let config = TransientConfig::new(2e-4, 2e-6);
+    let dense = ckt.transient_with(&config, SolverPolicy::Dense).unwrap();
+    let sparse = ckt.transient_with(&config, SolverPolicy::Sparse).unwrap();
+    assert_eq!(dense.len(), sparse.len());
+    let td = dense.trace(load);
+    let ts = sparse.trace(load);
+    let mut max_dev = 0.0f64;
+    for (d, s) in td.values().iter().zip(ts.values()) {
+        max_dev = max_dev.max((d - s).abs());
+    }
+    assert!(max_dev < 1e-6, "max dense-vs-sparse deviation {max_dev}");
+}
+
+#[test]
+fn forced_sparse_handles_every_analysis() {
+    // Smoke: DC, transient and AC all run forced-sparse on a tiny
+    // circuit (dimension far below the crossover).
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    let src = ckt.add_vsource(a, NodeId::GROUND, Waveform::Dc(1.0));
+    ckt.add_resistor(a, b, 1000.0).unwrap();
+    ckt.add_capacitor(b, NodeId::GROUND, 1e-7).unwrap();
+    let op = ckt.dc_operating_point_with(SolverPolicy::Sparse).unwrap();
+    assert!((op.voltage(b) - 1.0).abs() < 1e-9);
+    let tr = ckt
+        .transient_with(&TransientConfig::new(1e-3, 1e-5), SolverPolicy::Sparse)
+        .unwrap();
+    assert!(!tr.is_empty());
+    let sweep = ckt
+        .ac_sweep_with(src, &[100.0, 10_000.0], SolverPolicy::Sparse)
+        .unwrap();
+    assert_eq!(sweep.freqs().len(), 2);
+}

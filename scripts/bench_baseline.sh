@@ -3,7 +3,9 @@
 # (fast vs dense DCT kernels, blocked matmul, resample-median loop)
 # merged with the multi-tenant serving benchmark (engine vs naive
 # thread-per-frame baseline at 1k streams, plus the 100k-session
-# scale run).
+# scale run) and the circuit-scale MNA benchmark (sparse transient
+# scan of the full 32x32 TFT array, dense-vs-sparse speedup and
+# agreement on the overlapping 8x8 size).
 #
 # Intermediate output is staged under the git-ignored artifacts/
 # directory so an interrupted run never leaves a half-written tracked
@@ -20,15 +22,18 @@ if ! command -v cargo >/dev/null 2>&1; then
 fi
 
 mkdir -p artifacts
-cargo build --release -p flexcs-bench --bin decode_baseline --bin bench_serve
+cargo build --release -p flexcs-bench --bin decode_baseline --bin bench_serve --bin bench_mna
 ./target/release/decode_baseline > artifacts/decode_baseline.json
 ./target/release/bench_serve > artifacts/bench_serve.json
+./target/release/bench_mna > artifacts/bench_mna.json
 python3 - <<'PY'
 import json
 
 with open("artifacts/decode_baseline.json") as f:
     merged = json.load(f)
 with open("artifacts/bench_serve.json") as f:
+    merged.update(json.load(f))
+with open("artifacts/bench_mna.json") as f:
     merged.update(json.load(f))
 with open("artifacts/BENCH_decode.json", "w") as f:
     json.dump(merged, f, indent=2)

@@ -23,6 +23,14 @@ if [[ -n "$unsafe_leaks" ]]; then
   exit 1
 fi
 
+# The circuit engine (including the sparse LU backend, which does raw
+# index arithmetic over CSR buffers) must stay entirely safe code: the
+# crate root carries forbid(unsafe_code) so nothing inside can opt out.
+if ! grep -q '#!\[forbid(unsafe_code)\]' crates/flexcs-circuit/src/lib.rs; then
+  echo "check.sh: flexcs-circuit must forbid(unsafe_code) at the crate root" >&2
+  exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --features telemetry -- -D warnings
 cargo fmt --all -- --check
