@@ -1,0 +1,247 @@
+//! Block-tiled megapixel decode benchmark, emitted as JSON for
+//! `scripts/bench_baseline.sh` to merge into `BENCH_decode.json`.
+//!
+//! Three workloads:
+//!
+//! - **DCT scratch microbench**: T threads hammering one *shared*
+//!   `Dct2d` plan vs the same threads on per-thread clones. Plan
+//!   scratch is thread-local (no lock), so the shared plan must not
+//!   serialize the fan-out — `block_dct_scratch_ratio` near 1.0 is the
+//!   win over the old `Mutex` scratch, which made the shared case
+//!   degrade with thread count.
+//! - **256×256 parity**: one frame tiled into 32×32 blocks (4-px
+//!   overlap), decoded serially (1 thread) and through the default
+//!   parallel fan-out — bit-identity is asserted, the speedup is
+//!   recorded — plus the same frame decoded *untiled* as a single
+//!   65k-pixel field. `block_rmse_parity` is the tiled-vs-untiled RMSE
+//!   gap the CI block-scale leg gates.
+//! - **Megapixel end-to-end**: a 1024×1024 frame (three orders of
+//!   magnitude beyond the paper's 32×32 field) with a cluster of stuck
+//!   pixels, decoded through the pooled parallel pipeline; records
+//!   throughput, RMSE, pool reuse, and the RPCA defect map's hit on
+//!   the damaged block.
+//!
+//! Sizes can be overridden for smoke runs: `bench_blocks [side] [mega_side]`.
+
+use flexcs_core::{
+    rmse, BlockGrid, BlockGridConfig, BlockPipeline, BlockPipelineConfig, Decoder, SamplingPlan,
+};
+use flexcs_linalg::Matrix;
+use flexcs_transform::Dct2d;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fraction of pixels measured per block (the paper's ~50 % regime).
+const DENSITY: f64 = 0.5;
+/// Threads in the DCT scratch microbench.
+const DCT_THREADS: usize = 4;
+/// Transforms per thread in the DCT scratch microbench.
+const DCT_REPS: usize = 200;
+
+/// A smooth, DCT-compressible field — the large-area thermal/tactile
+/// profile the paper's arrays measure, extended to megapixel scale.
+fn smooth_frame(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        0.5 + 0.3 * ((i as f64) * 0.013).sin()
+            + 0.2 * ((j as f64) * 0.017).cos()
+            + 0.15 * (((i + j) as f64) * 0.008).sin()
+    })
+}
+
+/// Times `threads` workers each running `reps` forward transforms on
+/// the plan produced by `make_plan` (shared Arc or per-thread clone).
+fn dct_fanout_ms(threads: usize, reps: usize, make_plan: impl Fn(usize) -> Arc<Dct2d>) -> f64 {
+    let frame = smooth_frame(32, 32);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let plan = make_plan(t);
+            let frame = &frame;
+            scope.spawn(move || {
+                for _ in 0..reps {
+                    black_box(plan.forward(black_box(frame)).unwrap());
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+struct TiledRun {
+    ms: f64,
+    rmse: f64,
+    blocks: usize,
+    seam_pixels: usize,
+    defect_blocks: Vec<usize>,
+    frame: Matrix,
+}
+
+fn run_tiled(pipeline: &BlockPipeline, grid: &BlockGrid, frame: &Matrix, seed: u64) -> TiledRun {
+    let meas = grid.measure(frame, DENSITY, &[], seed).unwrap();
+    let t0 = Instant::now();
+    let out = pipeline.decode(grid, &meas).unwrap();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    TiledRun {
+        ms,
+        rmse: rmse(&out.frame, frame),
+        blocks: grid.block_count(),
+        seam_pixels: out.seam_pixels,
+        defect_blocks: out.defect_blocks,
+        frame: out.frame,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let mega_side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let grid_cfg = BlockGridConfig {
+        block: 32,
+        overlap: 4,
+    };
+
+    // ---- DCT scratch microbench: shared plan vs per-thread clones ----
+    eprintln!("bench_blocks: DCT scratch fan-out, {DCT_THREADS} threads x {DCT_REPS} transforms");
+    let shared = Arc::new(Dct2d::new(32, 32).unwrap());
+    let dct_shared_ms = dct_fanout_ms(DCT_THREADS, DCT_REPS, |_| Arc::clone(&shared));
+    let dct_cloned_ms = dct_fanout_ms(DCT_THREADS, DCT_REPS, |_| Arc::new((*shared).clone()));
+    let dct_ratio = dct_shared_ms / dct_cloned_ms.max(1e-9);
+    eprintln!(
+        "bench_blocks: shared {dct_shared_ms:.1} ms vs cloned {dct_cloned_ms:.1} ms \
+         (ratio {dct_ratio:.2}, 1.0 = lock-free scratch)"
+    );
+
+    // ---- side x side: serial vs parallel vs untiled ----
+    let frame = smooth_frame(side, side);
+    let grid = BlockGrid::new(side, side, grid_cfg).unwrap();
+    eprintln!(
+        "bench_blocks: {side}x{side} tiled decode, {} blocks, serial",
+        grid.block_count()
+    );
+    let serial_pipe = BlockPipeline::new(
+        Decoder::default(),
+        BlockPipelineConfig {
+            threads: Some(1),
+            ..BlockPipelineConfig::default()
+        },
+    );
+    let serial = run_tiled(&serial_pipe, &grid, &frame, 11);
+    eprintln!(
+        "bench_blocks: serial {:.0} ms (rmse {:.4})",
+        serial.ms, serial.rmse
+    );
+
+    eprintln!("bench_blocks: {side}x{side} tiled decode, parallel");
+    let par_pipe = BlockPipeline::new(Decoder::default(), BlockPipelineConfig::default());
+    let par = run_tiled(&par_pipe, &grid, &frame, 11);
+    let speedup = serial.ms / par.ms.max(1e-9);
+    eprintln!(
+        "bench_blocks: parallel {:.0} ms, speedup {speedup:.2}x on {} worker(s)",
+        par.ms,
+        par_pipe.pool().capacity()
+    );
+    assert_eq!(
+        par.frame
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        serial
+            .frame
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "parallel tiled decode must be bit-identical to serial"
+    );
+
+    eprintln!("bench_blocks: {side}x{side} untiled single-field decode");
+    let n = side * side;
+    let plan = SamplingPlan::random_subset(n, ((n as f64) * DENSITY) as usize, &[], 11).unwrap();
+    let y = plan.measure(&frame.to_flat());
+    let decoder = Decoder::default();
+    let t0 = Instant::now();
+    let untiled = decoder
+        .reconstruct(side, side, plan.selected(), &y)
+        .unwrap()
+        .frame;
+    let untiled_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let untiled_rmse = rmse(&untiled, &frame);
+    let rmse_parity = (par.rmse - untiled_rmse).abs();
+    eprintln!(
+        "bench_blocks: untiled {untiled_ms:.0} ms (rmse {untiled_rmse:.4}, parity gap {rmse_parity:.4})"
+    );
+
+    // ---- mega_side x mega_side end-to-end with a damaged block ----
+    let mega_frame_clean = smooth_frame(mega_side, mega_side);
+    let mut mega_frame = mega_frame_clean.clone();
+    // A cluster of stuck-high pixels (a fabrication defect patch) in
+    // the interior, sized to dominate one block's mean.
+    let patch = (mega_side / 2, mega_side / 3);
+    for dr in 0..24 {
+        for dc in 0..24 {
+            mega_frame[(patch.0 + dr, patch.1 + dc)] = 1.0;
+        }
+    }
+    let mega_grid = BlockGrid::new(mega_side, mega_side, grid_cfg).unwrap();
+    eprintln!(
+        "bench_blocks: {mega_side}x{mega_side} end-to-end, {} blocks, pooled parallel",
+        mega_grid.block_count()
+    );
+    let mega_pipe = BlockPipeline::new(Decoder::default(), BlockPipelineConfig::default());
+    let mega = run_tiled(&mega_pipe, &mega_grid, &mega_frame, 29);
+    let mega_mpix_s = (mega_side * mega_side) as f64 / 1e6 / (mega.ms / 1e3);
+    let pool = mega_pipe.pool();
+    eprintln!(
+        "bench_blocks: {:.0} ms ({mega_mpix_s:.2} Mpix/s), rmse {:.4}, pool {} reuses / {} checkouts, {} defect blocks",
+        mega.ms,
+        mega.rmse,
+        pool.reuses(),
+        pool.checkouts(),
+        mega.defect_blocks.len()
+    );
+
+    println!("{{");
+    println!(
+        "  \"_comment_blocks\": \"Block-tiled megapixel decode benchmark (bench_blocks \
+         binary). block_dct_* is the scratch-contention microbench: {DCT_THREADS} threads \
+         transform through one shared Dct2d plan vs per-thread clones; thread-local \
+         scratch keeps the ratio near 1.0 (the old Mutex scratch serialized the shared \
+         case). block_*_{side} decodes a {side}x{side} frame tiled into 32x32 blocks \
+         (overlap 4, density {DENSITY}) serially vs the parallel fan-out (bit-identity \
+         asserted in-bench; the speedup gate runs on the multicore CI runner — this \
+         recorded value reflects the build machine's core count) and untiled as one \
+         field for the RMSE-parity gate. block_1024_* is the megapixel end-to-end run \
+         through the pooled pipeline with a 24x24 stuck-pixel patch; the global RPCA \
+         pass on the block-mean image must flag the damaged block \
+         (block_1024_defect_blocks >= 1). Pool reuse shows blocks sharing the bounded \
+         workspace pool instead of allocating per block.\","
+    );
+    println!("  \"block_dct_threads\": {DCT_THREADS},");
+    println!("  \"block_dct_shared_ms\": {dct_shared_ms:.2},");
+    println!("  \"block_dct_cloned_ms\": {dct_cloned_ms:.2},");
+    println!("  \"block_dct_scratch_ratio\": {dct_ratio:.3},");
+    println!("  \"block_side\": {side},");
+    println!("  \"block_count_{side}\": {},", serial.blocks);
+    println!("  \"block_seam_px_{side}\": {},", par.seam_pixels);
+    println!("  \"block_serial_ms_{side}\": {:.1},", serial.ms);
+    println!("  \"block_par_ms_{side}\": {:.1},", par.ms);
+    println!("  \"block_par_speedup\": {speedup:.2},");
+    println!("  \"block_rmse_{side}\": {:.5},", par.rmse);
+    println!("  \"block_untiled_ms_{side}\": {untiled_ms:.1},");
+    println!("  \"block_untiled_rmse_{side}\": {untiled_rmse:.5},");
+    println!("  \"block_rmse_parity\": {rmse_parity:.5},");
+    println!("  \"block_mega_side\": {mega_side},");
+    println!("  \"block_1024_blocks\": {},", mega.blocks);
+    println!("  \"block_1024_ms\": {:.0},", mega.ms);
+    println!("  \"block_1024_mpix_s\": {mega_mpix_s:.3},");
+    println!("  \"block_1024_rmse\": {:.5},", mega.rmse);
+    println!(
+        "  \"block_1024_defect_blocks\": {},",
+        mega.defect_blocks.len()
+    );
+    println!("  \"block_pool_capacity\": {},", pool.capacity());
+    println!("  \"block_pool_reuses\": {}", pool.reuses());
+    println!("}}");
+}

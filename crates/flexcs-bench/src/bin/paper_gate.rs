@@ -292,6 +292,70 @@ fn main() {
         engine.shutdown();
     }
 
+    // ----- Block-path equivalence: a frame tiled through the pooled
+    // block pipeline must reproduce the per-block fresh-workspace
+    // decodes exactly (zero overlap ⇒ bitwise pasting), so the block
+    // fan-out adds scale, never numerics.
+    println!("\nblock-path equivalence (pooled pipeline vs fresh decodes):\n");
+    {
+        use flexcs_core::{BlockGrid, BlockGridConfig, BlockPipeline, BlockPipelineConfig};
+        use flexcs_linalg::Matrix;
+
+        let truth = normalize_unit(&frames[0]);
+        let (rows, cols) = truth.shape();
+        let grid = BlockGrid::new(
+            rows * 2,
+            cols * 2,
+            BlockGridConfig {
+                block: rows,
+                overlap: 0,
+            },
+        )
+        .expect("grid builds");
+        let big = Matrix::from_fn(rows * 2, cols * 2, |i, j| truth[(i % rows, j % cols)]);
+        let meas = grid
+            .measure(&big, 0.5, &[], seed)
+            .expect("block measurement succeeds");
+        let pipeline = BlockPipeline::new(
+            Decoder::default(),
+            BlockPipelineConfig {
+                pool_capacity: 1,
+                ..BlockPipelineConfig::default()
+            },
+        );
+        let out = pipeline
+            .decode(&grid, &meas)
+            .expect("block decode succeeds");
+        let fresh = Decoder::default();
+        let mut identical = true;
+        for (i, block) in meas.blocks.iter().enumerate() {
+            let tile = fresh
+                .reconstruct(rows, cols, block.plan.selected(), &block.y)
+                .expect("fresh block decode succeeds")
+                .frame;
+            let rect = grid.rect(i);
+            identical &= (0..rows).all(|r| {
+                (0..cols).all(|c| {
+                    out.frame[(rect.row0 + r, rect.col0 + c)].to_bits() == tile[(r, c)].to_bits()
+                })
+            });
+        }
+        gate.check(
+            "block-path-identical",
+            identical,
+            format!(
+                "{} pooled block decodes vs fresh workspaces ({} pool reuses){}",
+                grid.block_count(),
+                pipeline.pool().reuses(),
+                if identical {
+                    " (bit-identical)"
+                } else {
+                    " (FRAMES DIFFER)"
+                }
+            ),
+        );
+    }
+
     // ----- The telemetry layer must have observed all of the above.
     println!("\ntelemetry coverage:\n");
     let fista_iters = recorder.counter_value("solver.fista.iterations");
@@ -328,6 +392,17 @@ fn main() {
         format!(
             "serve.frames = {} (engine decodes attributed by the serve layer)",
             recorder.counter_value("serve.frames")
+        ),
+    );
+    gate.check(
+        "tel-block-counters",
+        recorder.counter_value("blocks.decoded") > 0
+            && recorder.counter_value("blocks.pool.reuses") > 0
+            && recorder.histogram_snapshot("blocks.block_ms").is_some(),
+        format!(
+            "blocks.decoded = {}, blocks.pool.reuses = {} (block fan-out instrumented)",
+            recorder.counter_value("blocks.decoded"),
+            recorder.counter_value("blocks.pool.reuses")
         ),
     );
     for span in ["decode.solve", "decode.inverse", "strategy.sampling"] {

@@ -49,6 +49,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 mod basisop;
+mod blocks;
 mod comm;
 mod decode;
 mod encoder;
@@ -63,6 +64,10 @@ mod strategy;
 mod tel;
 
 pub use basisop::{BasisKind, SubsampledDctOperator};
+pub use blocks::{
+    BlockGrid, BlockGridConfig, BlockMeasurement, BlockMeasurements, BlockOutcome, BlockPipeline,
+    BlockPipelineConfig, BlockRect, DecodePool, PooledState,
+};
 pub use comm::{comm_cost, comm_cost_for_sparsity, CommCostReport};
 pub use decode::{DecodeWarmState, Decoder, Reconstruction};
 pub use encoder::{Acquisition, CircuitEncoder};

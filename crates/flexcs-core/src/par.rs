@@ -24,6 +24,55 @@ where
     (0..count).map(f).collect()
 }
 
+/// Like [`maybe_par_map_indices`], but with an explicit worker cap:
+/// `Some(t)` pins the fan-out to `t` threads (so callers can compare
+/// thread counts in-process, where the `FLEXCS_THREADS` override is
+/// cached once), `None` uses the default pool.
+#[cfg(feature = "parallel")]
+pub(crate) fn maybe_par_map_indices_capped<R, F>(
+    threads: Option<usize>,
+    count: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match threads {
+        Some(t) => flexcs_parallel::par_map_indices_with(t, count, f),
+        None => flexcs_parallel::par_map_indices(count, f),
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn maybe_par_map_indices_capped<R, F>(
+    _threads: Option<usize>,
+    count: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    (0..count).map(f).collect()
+}
+
+/// Worker count a fan-out with this cap would actually use: the cap if
+/// given, the `flexcs-parallel` default pool size otherwise, and `1` in
+/// serial builds.
+pub(crate) fn resolved_threads(threads: Option<usize>) -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        threads
+            .unwrap_or_else(flexcs_parallel::default_threads)
+            .max(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        threads.unwrap_or(1).max(1)
+    }
+}
+
 /// `true` when this build fans work out across threads.
 pub fn parallel_enabled() -> bool {
     cfg!(feature = "parallel")

@@ -1,0 +1,205 @@
+//! Large-frame session mode: megapixel frames served through the
+//! block-tiled pipeline.
+//!
+//! A [`LargeFrameSession`] owns a set of **shard tenants** inside an
+//! [`Engine`]. Submitting one tiled frame fans its blocks out across
+//! the shards as ordinary [`FrameRequest`]s — every block rides the
+//! engine's work-stealing scheduler, same-shape batching (all blocks
+//! share one `B x B` shape, so batching is maximal) and backpressure
+//! exactly like single-field tenants — and the returned
+//! [`LargeFrameHandle`] reassembles the overlap-and-average frame when
+//! the caller waits.
+//!
+//! Shards run **cold** (no cross-frame warm start): a block's result
+//! must not depend on which shard decoded it or what that shard decoded
+//! before, so a served large frame is bit-identical to
+//! [`flexcs_core::BlockPipeline`] output for any shard count.
+
+use crate::engine::{Engine, Submit};
+use crate::error::ServeError;
+use crate::handle::FrameHandle;
+use crate::session::{FrameRequest, SessionConfig};
+use flexcs_core::{BlockGrid, BlockMeasurements, Decoder};
+use flexcs_linalg::Matrix;
+use flexcs_solver::SolveReport;
+use std::time::Duration;
+
+/// Configuration for a large-frame session.
+#[derive(Debug, Clone, Default)]
+pub struct LargeFrameConfig {
+    /// Shard tenants to spread blocks over; `0` matches the engine's
+    /// worker count. Results are bit-identical for every setting.
+    pub shards: usize,
+    /// Decoder configuration every shard uses.
+    pub decoder: Decoder,
+}
+
+/// A tenant whose frames are megapixel tilings rather than single
+/// fields: blocks fan out across shard tenants and reassemble on wait.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_core::{BlockGrid, BlockGridConfig};
+/// use flexcs_linalg::Matrix;
+/// use flexcs_serve::{Engine, EngineConfig, LargeFrameConfig, LargeFrameSession};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = Engine::new(EngineConfig::default());
+/// let session = LargeFrameSession::register(&engine, "array-7", LargeFrameConfig::default());
+///
+/// let frame = Matrix::from_fn(64, 64, |i, j| {
+///     (i as f64 * 0.05).cos() + (j as f64 * 0.04).sin()
+/// });
+/// let grid = BlockGrid::new(64, 64, BlockGridConfig { block: 16, overlap: 4 })?;
+/// let meas = grid.measure(&frame, 0.6, &[], 7)?;
+///
+/// let handle = session.submit(&engine, &grid, &meas)?;
+/// let decoded = handle.wait()?;
+/// assert!(flexcs_core::rmse(&decoded.frame, &frame) < 0.05);
+/// engine.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LargeFrameSession {
+    name: String,
+    shard_tenants: Vec<usize>,
+}
+
+impl LargeFrameSession {
+    /// Registers `config.shards` cold shard tenants named
+    /// `"<name>/shard<k>"` in the engine.
+    pub fn register(engine: &Engine, name: impl Into<String>, config: LargeFrameConfig) -> Self {
+        let name = name.into();
+        let shards = if config.shards == 0 {
+            engine.workers()
+        } else {
+            config.shards
+        };
+        let shard_tenants = (0..shards)
+            .map(|k| {
+                engine.register_tenant(
+                    SessionConfig::named(format!("{name}/shard{k}"))
+                        .with_decoder(config.decoder.clone())
+                        .cold(),
+                )
+            })
+            .collect();
+        LargeFrameSession {
+            name,
+            shard_tenants,
+        }
+    }
+
+    /// Session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shard tenant ids, in block-assignment order.
+    pub fn shard_tenants(&self) -> &[usize] {
+        &self.shard_tenants
+    }
+
+    /// Fans one tiled frame's blocks out across the shards (block `i`
+    /// goes to shard `i % shards`, so the assignment is reproducible).
+    /// Blocks rejected by backpressure are resubmitted after a short
+    /// pause — the engine is draining our own earlier blocks, so the
+    /// wait is bounded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submit-time failures ([`ServeError::BadRequest`],
+    /// [`ServeError::EngineStopped`]) and grid/measurement mismatches.
+    pub fn submit(
+        &self,
+        engine: &Engine,
+        grid: &BlockGrid,
+        meas: &BlockMeasurements,
+    ) -> Result<LargeFrameHandle, ServeError> {
+        if meas.blocks.len() != grid.block_count() {
+            return Err(ServeError::BadRequest(format!(
+                "{} measured blocks for a {}-block grid",
+                meas.blocks.len(),
+                grid.block_count()
+            )));
+        }
+        let b = grid.block_size();
+        let mut handles = Vec::with_capacity(meas.blocks.len());
+        for (i, block) in meas.blocks.iter().enumerate() {
+            let tenant = self.shard_tenants[i % self.shard_tenants.len()];
+            let req = FrameRequest {
+                rows: b,
+                cols: b,
+                selected: block.plan.selected().to_vec(),
+                y: block.y.clone(),
+            };
+            loop {
+                match engine.submit(tenant, req.clone())? {
+                    Submit::Accepted(handle) => {
+                        handles.push(handle);
+                        break;
+                    }
+                    Submit::Rejected { .. } => {
+                        // Workers are draining this frame's earlier
+                        // blocks; yield briefly and resubmit.
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            }
+        }
+        Ok(LargeFrameHandle {
+            grid: grid.clone(),
+            handles,
+        })
+    }
+}
+
+/// Completion handle for one fanned-out large frame; waits for every
+/// block and reassembles the deblocked frame.
+#[derive(Debug)]
+pub struct LargeFrameHandle {
+    grid: BlockGrid,
+    handles: Vec<FrameHandle>,
+}
+
+impl LargeFrameHandle {
+    /// Number of block subtasks in flight.
+    pub fn blocks(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Blocks until every block completes, then fuses the frame by
+    /// overlap-and-average. The first failing block fails the frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-block decode failure.
+    pub fn wait(self) -> Result<LargeDecodedFrame, ServeError> {
+        let mut tiles = Vec::with_capacity(self.handles.len());
+        let mut reports = Vec::with_capacity(self.handles.len());
+        for handle in self.handles {
+            let decoded = handle.wait()?;
+            tiles.push(decoded.frame);
+            reports.push(decoded.report);
+        }
+        let (frame, seam_pixels) = self.grid.reassemble(&tiles)?;
+        Ok(LargeDecodedFrame {
+            frame,
+            reports,
+            seam_pixels,
+        })
+    }
+}
+
+/// A reassembled large frame.
+#[derive(Debug, Clone)]
+pub struct LargeDecodedFrame {
+    /// The deblocked full frame.
+    pub frame: Matrix,
+    /// Per-block solver diagnostics, block-index order.
+    pub reports: Vec<SolveReport>,
+    /// Pixels fused from more than one block.
+    pub seam_pixels: usize,
+}

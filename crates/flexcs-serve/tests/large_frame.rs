@@ -1,0 +1,155 @@
+//! Large-frame session mode: a tiled frame served through shard
+//! tenants must be bit-identical to the in-process `BlockPipeline`
+//! decode, for every shard count, including under backpressure.
+
+use flexcs_core::{rmse, BlockGrid, BlockGridConfig, BlockPipeline, BlockPipelineConfig, Decoder};
+use flexcs_linalg::Matrix;
+use flexcs_serve::{Engine, EngineConfig, LargeFrameConfig, LargeFrameSession};
+
+fn smooth_frame(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        0.5 + 0.3 * ((i as f64) * 0.05).sin() + 0.2 * ((j as f64) * 0.04).cos()
+    })
+}
+
+#[test]
+fn served_large_frame_matches_block_pipeline_bitwise() {
+    let frame = smooth_frame(64, 64);
+    let grid = BlockGrid::new(
+        64,
+        64,
+        BlockGridConfig {
+            block: 16,
+            overlap: 4,
+        },
+    )
+    .unwrap();
+    let meas = grid.measure(&frame, 0.6, &[], 13).unwrap();
+
+    let reference = BlockPipeline::new(Decoder::default(), BlockPipelineConfig::default())
+        .decode(&grid, &meas)
+        .unwrap();
+
+    let engine = Engine::new(EngineConfig::default());
+    let session = LargeFrameSession::register(&engine, "mega", LargeFrameConfig::default());
+    let handle = session.submit(&engine, &grid, &meas).unwrap();
+    assert_eq!(handle.blocks(), grid.block_count());
+    let served = handle.wait().unwrap();
+    engine.shutdown();
+
+    assert!(rmse(&served.frame, &frame) < 0.05);
+    assert_eq!(served.seam_pixels, reference.seam_pixels);
+    assert_eq!(served.reports.len(), grid.block_count());
+    for (s, r) in served
+        .frame
+        .as_slice()
+        .iter()
+        .zip(reference.frame.as_slice())
+    {
+        assert_eq!(
+            s.to_bits(),
+            r.to_bits(),
+            "served large frame deviates from the in-process block pipeline"
+        );
+    }
+}
+
+#[test]
+fn served_frame_is_bit_identical_across_shard_counts() {
+    let frame = smooth_frame(48, 48);
+    let grid = BlockGrid::new(
+        48,
+        48,
+        BlockGridConfig {
+            block: 16,
+            overlap: 0,
+        },
+    )
+    .unwrap();
+    let meas = grid.measure(&frame, 0.6, &[], 31).unwrap();
+
+    let mut frames = Vec::new();
+    for shards in [1usize, 2, 5] {
+        let engine = Engine::new(EngineConfig::default());
+        let session = LargeFrameSession::register(
+            &engine,
+            format!("mega-{shards}"),
+            LargeFrameConfig {
+                shards,
+                ..LargeFrameConfig::default()
+            },
+        );
+        assert_eq!(session.shard_tenants().len(), shards);
+        let served = session
+            .submit(&engine, &grid, &meas)
+            .unwrap()
+            .wait()
+            .unwrap();
+        engine.shutdown();
+        frames.push(served.frame);
+    }
+    for other in &frames[1..] {
+        for (a, b) in frames[0].as_slice().iter().zip(other.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "shard count changed the result");
+        }
+    }
+}
+
+#[test]
+fn backpressure_on_tiny_queues_still_completes() {
+    // Queue capacity far below the block count forces the submit loop
+    // through its Rejected/resubmit path.
+    let frame = smooth_frame(64, 64);
+    let grid = BlockGrid::new(
+        64,
+        64,
+        BlockGridConfig {
+            block: 16,
+            overlap: 4,
+        },
+    )
+    .unwrap();
+    let meas = grid.measure(&frame, 0.5, &[], 3).unwrap();
+    assert!(grid.block_count() > 8);
+
+    let engine = Engine::new(EngineConfig {
+        queue_capacity: 2,
+        ..EngineConfig::default()
+    });
+    let session = LargeFrameSession::register(
+        &engine,
+        "tight",
+        LargeFrameConfig {
+            shards: 1,
+            ..LargeFrameConfig::default()
+        },
+    );
+    let served = session
+        .submit(&engine, &grid, &meas)
+        .unwrap()
+        .wait()
+        .unwrap();
+    engine.shutdown();
+    assert!(rmse(&served.frame, &frame) < 0.05);
+}
+
+#[test]
+fn submit_rejects_mismatched_measurements() {
+    let grid = BlockGrid::new(
+        32,
+        32,
+        BlockGridConfig {
+            block: 16,
+            overlap: 0,
+        },
+    )
+    .unwrap();
+    let frame = smooth_frame(32, 32);
+    let mut meas = grid.measure(&frame, 0.6, &[], 1).unwrap();
+    meas.blocks.pop();
+
+    let engine = Engine::new(EngineConfig::default());
+    let session = LargeFrameSession::register(&engine, "bad", LargeFrameConfig::default());
+    assert!(session.submit(&engine, &grid, &meas).is_err());
+    engine.shutdown();
+}

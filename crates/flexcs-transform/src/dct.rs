@@ -10,8 +10,23 @@
 
 use crate::error::{Result, TransformError};
 use flexcs_linalg::{simd, Matrix};
+use std::cell::RefCell;
 use std::f64::consts::PI;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Per-thread 1-D fast-kernel workspace. Scratch used to live on
+    /// the plan behind a `Mutex`; the block-tiled decode fan-out hammers
+    /// one shared plan from every worker at once, and even a `try_lock`
+    /// with an allocate-on-contention fallback turned the hot path into
+    /// one allocation per transform. Thread-local scratch is contention-
+    /// free and allocation-free once each worker's buffer is warm.
+    static PLAN_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread 2-D frame workspace (transpose staging, multi-lane
+    /// recursion scratch, dense-fallback strips), shared by every
+    /// [`Dct2d`] the thread applies.
+    static FRAME_SCRATCH: RefCell<Dct2dScratch> = RefCell::new(Dct2dScratch::default());
+}
 
 /// Which kernel a [`DctPlan`] applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +44,9 @@ enum DctKernel {
 /// orthonormal DCT-III (the transpose, since the map is orthonormal).
 /// Power-of-two lengths run the O(n log n) Lee recursion; other lengths
 /// fall back to a dense cosine matrix. Both kernels agree to ~1e-12.
+/// Fast-path scratch is thread-local, so one plan shared across many
+/// worker threads transforms concurrently with no lock and no per-call
+/// allocation.
 ///
 /// # Examples
 ///
@@ -46,7 +64,7 @@ enum DctKernel {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DctPlan {
     n: usize,
     kernel: DctKernel,
@@ -59,29 +77,10 @@ pub struct DctPlan {
     /// Reciprocal twiddles `0.5 / levels[l][i]`, so the forward butterfly
     /// multiplies instead of divides (divides dominate the lane cost).
     inv_levels: Vec<Vec<f64>>,
-    /// Reusable fast-path workspace (length n once warmed).
-    scratch: Mutex<Vec<f64>>,
     a0: f64,
     ak: f64,
     inv_a0: f64,
     inv_ak: f64,
-}
-
-impl Clone for DctPlan {
-    fn clone(&self) -> Self {
-        DctPlan {
-            n: self.n,
-            kernel: self.kernel,
-            dense: self.dense.clone(),
-            levels: self.levels.clone(),
-            inv_levels: self.inv_levels.clone(),
-            scratch: Mutex::new(Vec::new()),
-            a0: self.a0,
-            ak: self.ak,
-            inv_a0: self.inv_a0,
-            inv_ak: self.inv_ak,
-        }
-    }
 }
 
 fn cosine_matrix(n: usize) -> Matrix {
@@ -146,7 +145,6 @@ impl DctPlan {
             dense: OnceLock::new(),
             levels,
             inv_levels,
-            scratch: Mutex::new(Vec::new()),
             a0,
             ak,
             inv_a0: 1.0 / a0,
@@ -274,17 +272,18 @@ impl DctPlan {
         }
     }
 
-    /// Runs `f` with the plan scratch buffer (resized to n). Falls back
-    /// to a fresh buffer when another thread holds the lock, so shared
-    /// plans never serialize concurrent transforms.
+    /// Runs `f` with this thread's scratch buffer (resized to n):
+    /// contention-free however many threads share the plan. The
+    /// `try_borrow_mut` fallback covers re-entrant use only (a transform
+    /// invoked from inside another transform's closure).
     fn with_scratch<R>(&self, f: impl FnOnce(&mut [f64]) -> R) -> R {
-        match self.scratch.try_lock() {
+        PLAN_SCRATCH.with(|cell| match cell.try_borrow_mut() {
             Ok(mut guard) => {
                 guard.resize(self.n, 0.0);
                 f(&mut guard)
             }
             Err(_) => f(&mut vec![0.0; self.n]),
-        }
+        })
     }
 
     fn check(&self, len: usize) -> Result<()> {
@@ -541,8 +540,8 @@ fn lee_inverse_cols(v: &mut [f64], s: &mut [f64], w: usize, levels: &[Vec<f64>])
 }
 
 /// Scratch buffers reused across [`Dct2d`] applications on the same
-/// plan: two frame-sized multi-lane workspaces (transpose staging plus
-/// recursion scratch) and two strips for the dense fallback.
+/// thread: two frame-sized multi-lane workspaces (transpose staging
+/// plus recursion scratch) and two strips for the dense fallback.
 #[derive(Debug, Default)]
 struct Dct2dScratch {
     aux: Vec<f64>,
@@ -573,8 +572,10 @@ fn transpose_into(src: &[f64], dst: &mut [f64], rows: usize, cols: usize) {
 ///
 /// Each axis runs through a [`DctPlan`] (fast Lee kernel on
 /// power-of-two extents), and intermediate row/column buffers live in
-/// per-plan scratch storage so decoding many frames through one plan
-/// performs no per-call allocation beyond the output matrix.
+/// per-thread scratch storage so decoding many frames through one plan
+/// performs no per-call allocation beyond the output matrix — even when
+/// many worker threads share one cached plan (the block-tiled decode
+/// fan-out), since thread-local scratch needs no lock at all.
 ///
 /// # Examples
 ///
@@ -591,21 +592,10 @@ fn transpose_into(src: &[f64], dst: &mut [f64], rows: usize, cols: usize) {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dct2d {
     row_plan: DctPlan,
     col_plan: DctPlan,
-    scratch: Mutex<Dct2dScratch>,
-}
-
-impl Clone for Dct2d {
-    fn clone(&self) -> Self {
-        Dct2d {
-            row_plan: self.row_plan.clone(),
-            col_plan: self.col_plan.clone(),
-            scratch: Mutex::new(Dct2dScratch::default()),
-        }
-    }
 }
 
 impl Dct2d {
@@ -619,7 +609,6 @@ impl Dct2d {
         Ok(Dct2d {
             row_plan: DctPlan::new(cols)?,
             col_plan: DctPlan::new(rows)?,
-            scratch: Mutex::new(Dct2dScratch::default()),
         })
     }
 
@@ -634,7 +623,6 @@ impl Dct2d {
         Ok(Dct2d {
             row_plan: DctPlan::with_dense(cols)?,
             col_plan: DctPlan::with_dense(rows)?,
-            scratch: Mutex::new(Dct2dScratch::default()),
         })
     }
 
@@ -787,13 +775,13 @@ impl Dct2d {
         }
     }
 
-    /// Runs `f` with this plan's scratch, falling back to a transient
-    /// scratch under cross-thread contention.
+    /// Runs `f` with this thread's frame scratch; the `try_borrow_mut`
+    /// fallback covers re-entrant use only.
     fn with_scratch<R>(&self, f: impl FnOnce(&mut Dct2dScratch) -> R) -> R {
-        match self.scratch.try_lock() {
+        FRAME_SCRATCH.with(|cell| match cell.try_borrow_mut() {
             Ok(mut guard) => f(&mut guard),
             Err(_) => f(&mut Dct2dScratch::default()),
-        }
+        })
     }
 
     fn check(&self, frame: &Matrix) -> Result<()> {

@@ -3,9 +3,12 @@
 # (fast vs dense DCT kernels, blocked matmul, resample-median loop)
 # merged with the multi-tenant serving benchmark (engine vs naive
 # thread-per-frame baseline at 1k streams, plus the 100k-session
-# scale run) and the circuit-scale MNA benchmark (sparse transient
+# scale run), the circuit-scale MNA benchmark (sparse transient
 # scan of the full 32x32 TFT array, dense-vs-sparse speedup and
-# agreement on the overlapping 8x8 size).
+# agreement on the overlapping 8x8 size), and the block-tiled
+# megapixel decode benchmark (DCT scratch fan-out, 256x256
+# tiled-vs-untiled parity, 1024x1024 end-to-end with pooled
+# workspaces and the RPCA block-mean defect map).
 #
 # Intermediate output is staged under the git-ignored artifacts/
 # directory so an interrupted run never leaves a half-written tracked
@@ -22,10 +25,11 @@ if ! command -v cargo >/dev/null 2>&1; then
 fi
 
 mkdir -p artifacts
-cargo build --release -p flexcs-bench --bin decode_baseline --bin bench_serve --bin bench_mna
+cargo build --release -p flexcs-bench --bin decode_baseline --bin bench_serve --bin bench_mna --bin bench_blocks
 ./target/release/decode_baseline > artifacts/decode_baseline.json
 ./target/release/bench_serve > artifacts/bench_serve.json
 ./target/release/bench_mna > artifacts/bench_mna.json
+./target/release/bench_blocks > artifacts/bench_blocks.json
 python3 - <<'PY'
 import json
 
@@ -34,6 +38,8 @@ with open("artifacts/decode_baseline.json") as f:
 with open("artifacts/bench_serve.json") as f:
     merged.update(json.load(f))
 with open("artifacts/bench_mna.json") as f:
+    merged.update(json.load(f))
+with open("artifacts/bench_blocks.json") as f:
     merged.update(json.load(f))
 with open("artifacts/BENCH_decode.json", "w") as f:
     json.dump(merged, f, indent=2)
