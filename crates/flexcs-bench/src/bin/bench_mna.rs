@@ -14,9 +14,99 @@
 //!   (CI-gated <= 1e-9)
 //! - `sparse_nnz_frac`: structural density of the 32x32 MNA Jacobian —
 //!   the quantity that makes sparse the only viable backend at scale
+//! - `mc_*`: 500-sample Monte-Carlo yield sweep of a 16x16 statically
+//!   selected pixel-readout column through the parallel `McEngine`
+//!   (shared symbolic analysis + pooled warm workspaces) vs the serial
+//!   cold-factor baseline; `mc_speedup` is CI-gated >= 2.0 on the
+//!   4-thread runner and `mc_stats_bit_identical` pins thread-count
+//!   invariance
+//! - `scan64_*`: full 64x64 array (~11k TFTs) transient scan through
+//!   the sparse backend with flush-based power-up — the paper-scale
+//!   workload, CI-gated at 180 s
 
-use flexcs_circuit::{SolverPolicy, TftArray, TftArrayConfig};
+use flexcs_circuit::{
+    Circuit, CntTftModel, McEngine, McEngineConfig, McSample, NodeId, PtSensorModel, SolverPolicy,
+    TftArray, TftArrayConfig, VariationModel, Waveform,
+};
 use std::time::Instant;
+
+/// Rows/cols of the Monte-Carlo readout column (256 pixels — "8x8 or
+/// larger"; sized past the sparse crossover so the sweep exercises the
+/// shared-symbolic machinery).
+const MC_SIDE: usize = 16;
+const MC_TRIALS: usize = 500;
+const MC_VDD: f64 = 3.0;
+
+/// One statically selected column of a `side x side` pixel array:
+/// column 0's active-low select is tied on, every other column off, so
+/// a single DC solve reads the whole selected column through its access
+/// TFTs — the per-sample workload of the Monte-Carlo yield sweep.
+/// `model` supplies each access TFT's (possibly perturbed) compact
+/// model in raster order.
+fn static_readout_circuit(
+    side: usize,
+    mut model: impl FnMut() -> CntTftModel,
+) -> flexcs_circuit::Result<(Circuit, Vec<NodeId>)> {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource(vdd, NodeId::GROUND, Waveform::Dc(MC_VDD));
+    let sels: Vec<NodeId> = (0..side)
+        .map(|c| {
+            let n = ckt.node(&format!("sel{c}"));
+            // p-type: gate low = V_sg = VDD (on); gate at VDD = off.
+            ckt.add_vsource(
+                n,
+                NodeId::GROUND,
+                Waveform::Dc(if c == 0 { 0.0 } else { MC_VDD }),
+            );
+            n
+        })
+        .collect();
+    let rows: Vec<NodeId> = (0..side).map(|r| ckt.node(&format!("row{r}"))).collect();
+    for &rl in &rows {
+        ckt.add_resistor(rl, NodeId::GROUND, 10_000.0)?;
+    }
+    let sensor = PtSensorModel::default();
+    for (r, &row) in rows.iter().enumerate() {
+        for (c, &sel) in sels.iter().enumerate() {
+            let x = ckt.fresh_node("px");
+            ckt.add_tft_with_model(sel, x, vdd, 20.0, model())?;
+            let t = 20.0 + 20.0 * ((r * side + c) as f64 / (side * side) as f64);
+            ckt.add_resistor(x, row, sensor.resistance(t))?;
+        }
+    }
+    Ok((ckt, rows))
+}
+
+/// Runs the 500-sample yield sweep on `engine`, returning the report
+/// and wall time in ms. A trial passes when every row readout of the
+/// selected column stays within 0.2 V of the nominal (zero-variation)
+/// readout; the metric is the worst-row deviation.
+fn mc_sweep(
+    engine: &McEngine,
+    variation: &VariationModel,
+    nominal_rows: &[f64],
+) -> (flexcs_circuit::McReport, f64) {
+    let t0 = Instant::now();
+    let report = engine
+        .run(MC_TRIALS, 0x5eed_2020, |trial| {
+            let (ckt, rows) = static_readout_circuit(MC_SIDE, || {
+                trial.perturb(variation, &CntTftModel::default())
+            })?;
+            let op = trial.dc(&ckt)?;
+            let worst = rows
+                .iter()
+                .zip(nominal_rows)
+                .map(|(&n, &v0)| (op.voltage(n) - v0).abs())
+                .fold(0.0f64, f64::max);
+            Ok(McSample {
+                value: worst,
+                pass: worst < 0.025,
+            })
+        })
+        .expect("MC sweep converges");
+    (report, t0.elapsed().as_secs_f64() * 1e3)
+}
 
 /// Deterministic synthetic temperature scene in `[0, 1]`, smooth plus a
 /// hot spot — representative of the paper's thermal maps.
@@ -82,6 +172,72 @@ fn main() {
         .map(|(d, s)| (d - s).abs())
         .fold(0.0f64, f64::max);
 
+    // Paper-scale array: 64x64 (~11k TFTs) through the sparse backend
+    // with flush-based power-up. CI budget: 180 s.
+    let config64 = TftArrayConfig {
+        rows: 64,
+        cols: 64,
+        ..TftArrayConfig::default()
+    };
+    let array64 = TftArray::build(config64, &scene(64, 64)).expect("64x64 array builds");
+    let scan64_unknowns = array64.unknowns();
+    let scan64_tfts = array64.tft_count();
+    let t0 = Instant::now();
+    let result64 = array64
+        .scan_with(SolverPolicy::Sparse)
+        .expect("64x64 scan converges");
+    let scan64_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // Touch the result so the scan cannot be optimized away, and sanity
+    // the readout range.
+    let flat64 = result64.flattened_voltages();
+    let scan64_vmax = flat64.iter().cloned().fold(f64::MIN, f64::max);
+    drop(array64);
+
+    // Monte-Carlo yield sweep: 500 samples of the 16x16 readout column.
+    // Nominal readout comes from the unperturbed circuit.
+    let variation = VariationModel::default();
+    let (nom_ckt, nom_rows) =
+        static_readout_circuit(MC_SIDE, CntTftModel::default).expect("nominal circuit builds");
+    let nom_op = nom_ckt
+        .dc_operating_point()
+        .expect("nominal readout converges");
+    let nominal_rows: Vec<f64> = nom_rows.iter().map(|&n| nom_op.voltage(n)).collect();
+    let mc_unknowns = nom_ckt.mna_sparsity().0;
+    drop(nom_ckt);
+
+    // Serial cold-factor baseline: one thread, no symbolic sharing, no
+    // warm starts — every sample re-analyzes the pattern from scratch.
+    let (serial_report, mc_serial_ms) =
+        mc_sweep(&McEngine::serial_cold(), &variation, &nominal_rows);
+    // Parallel engine: shared symbolic + pooled warm workspaces, thread
+    // count from FLEXCS_THREADS (the CI runner pins 4).
+    let engine = McEngine::new(McEngineConfig::default());
+    let (par_report, mc_par_ms) = mc_sweep(&engine, &variation, &nominal_rows);
+    // Determinism contract: the SAME engine config at 1 thread must
+    // reproduce the parallel stats bit for bit.
+    let one = McEngine::new(McEngineConfig {
+        threads: Some(1),
+        ..McEngineConfig::default()
+    });
+    let (one_report, _) = mc_sweep(&one, &variation, &nominal_rows);
+    let bit_identical = one_report.stats == par_report.stats
+        && one_report.warm_newton_saved == par_report.warm_newton_saved
+        && one_report.refactors == par_report.refactors;
+    assert!(
+        bit_identical,
+        "MC stats diverged between 1-thread and parallel runs of the same config"
+    );
+    // Cold-vs-warm configs agree statistically, not bitwise (warm
+    // starts change Newton trajectories within tolerance): verdicts may
+    // flip only for trials sitting within Newton tolerance of the pass
+    // threshold.
+    assert!(
+        serial_report.stats.passes.abs_diff(par_report.stats.passes) <= 2,
+        "cold ({}) and warm ({}) engines disagree on yield beyond borderline trials",
+        serial_report.stats.passes,
+        par_report.stats.passes
+    );
+
     println!("{{");
     println!(
         "  \"_comment_mna\": \"Circuit-scale MNA benchmark (bench_mna binary). \
@@ -101,8 +257,43 @@ fn main() {
     println!("  \"mna_sparse_speedup\": {:.2},", dense8_ms / sparse8_ms);
     println!("  \"mna_dense_sparse_max_dev\": {max_dev:.3e},");
     println!(
-        "  \"sparse_nnz_frac\": {:.5}",
+        "  \"sparse_nnz_frac\": {:.5},",
         nnz as f64 / (dim as f64 * dim as f64)
     );
+    println!(
+        "  \"_comment_scan64\": \"Paper-scale 64x64 active-matrix transient scan \
+         ({scan64_tfts} TFTs, {scan64_unknowns} MNA unknowns) through the sparse \
+         backend with flush-based power-up; CI-gated at 180 s.\","
+    );
+    println!("  \"scan64_unknowns\": {scan64_unknowns},");
+    println!("  \"scan64_tfts\": {scan64_tfts},");
+    println!("  \"scan64_ms\": {scan64_ms:.1},");
+    println!("  \"scan64_vmax\": {scan64_vmax:.4},");
+    println!(
+        "  \"_comment_mc\": \"Parallel Monte-Carlo yield engine: {MC_TRIALS}-sample sweep \
+         of a {MC_SIDE}x{MC_SIDE} statically selected pixel-readout column ({mc_unknowns} \
+         MNA unknowns per sample). mc_serial_cold_ms is the 1-thread baseline with \
+         per-sample symbolic analysis; mc_parallel_ms fans samples across \
+         FLEXCS_THREADS workers sharing ONE symbolic analysis with pooled warm \
+         workspaces and nominal-seeded Newton. mc_speedup is CI-gated >= 2.0 on the \
+         4-thread runner; mc_stats_bit_identical records that the same engine config \
+         at 1 thread reproduced the parallel stats bit for bit.\","
+    );
+    println!("  \"mc_trials\": {MC_TRIALS},");
+    println!("  \"mc_unknowns\": {mc_unknowns},");
+    println!("  \"mc_threads\": {},", flexcs_parallel::default_threads());
+    println!("  \"mc_serial_cold_ms\": {mc_serial_ms:.1},");
+    println!("  \"mc_parallel_ms\": {mc_par_ms:.1},");
+    println!("  \"mc_speedup\": {:.2},", mc_serial_ms / mc_par_ms);
+    println!("  \"mc_refactors\": {},", par_report.refactors);
+    println!(
+        "  \"mc_warm_newton_saved\": {},",
+        par_report.warm_newton_saved
+    );
+    println!("  \"mc_pool_reuses\": {},", par_report.pool_reuses);
+    println!("  \"mc_yield\": {:.4},", par_report.stats.yield_fraction());
+    println!("  \"mc_margin_p50\": {:.4},", par_report.stats.p50());
+    println!("  \"mc_margin_p95\": {:.4},", par_report.stats.p95());
+    println!("  \"mc_stats_bit_identical\": {bit_identical}");
     println!("}}");
 }

@@ -405,6 +405,32 @@ fn main() {
             recorder.counter_value("blocks.pool.reuses")
         ),
     );
+    // A tiny Monte-Carlo yield sweep exercises the circuit engine's
+    // instrumentation: sample/refactor/warm-start counters plus the
+    // per-sample latency histogram must land in the snapshot.
+    let mc_report = flexcs_circuit::inverter_yield_mc(
+        &flexcs_circuit::McEngine::default(),
+        &flexcs_circuit::VariationModel::default(),
+        3.0,
+        0.6,
+        4,
+        seed,
+    )
+    .expect("MC telemetry sweep runs");
+    gate.check(
+        "tel-mc-counters",
+        recorder.counter_value("mc.samples") == 4
+            && recorder.counter_value("mc.refactors") > 0
+            && recorder.counter_value("mc.refactors") == mc_report.refactors
+            && recorder.histogram_snapshot("mc.sample_ms").is_some(),
+        format!(
+            "mc.samples = {}, mc.refactors = {}, mc.warm_newton_saved = {} \
+             (Monte-Carlo engine instrumented)",
+            recorder.counter_value("mc.samples"),
+            recorder.counter_value("mc.refactors"),
+            recorder.counter_value("mc.warm_newton_saved"),
+        ),
+    );
     for span in ["decode.solve", "decode.inverse", "strategy.sampling"] {
         let summary = recorder.span_summary(span);
         gate.check(

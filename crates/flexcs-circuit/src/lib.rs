@@ -56,6 +56,7 @@ mod amplifier;
 mod cells;
 mod device;
 mod error;
+mod mc;
 mod mna;
 mod netlist;
 mod ring_oscillator;
@@ -65,6 +66,7 @@ mod sensor;
 mod shift_register;
 mod solver;
 pub mod sparse;
+mod tel;
 mod transient;
 mod variation;
 mod waveform;
@@ -77,6 +79,7 @@ pub use amplifier::{build_self_biased_amplifier, Amplifier, AmplifierConfig};
 pub use cells::{CellLibrary, PseudoCmosSizing};
 pub use device::{CntTftModel, TftOperatingPoint};
 pub use error::{CircuitError, Result};
+pub use mc::{McEngine, McEngineConfig, McReport, McSample, McTrial};
 pub use mna::{OperatingPoint, GMIN};
 pub use netlist::{Circuit, Element, ElementId, NodeId};
 pub use ring_oscillator::{
@@ -90,10 +93,11 @@ pub use sensor::{
     PtSensorModel,
 };
 pub use shift_register::{build_shift_register, ShiftRegister};
-pub use solver::{SolverPolicy, SPARSE_CROSSOVER};
+pub use solver::{SolverPolicy, SymbolicShare, SPARSE_CROSSOVER};
 pub use transient::{TransientConfig, TransientResult};
 pub use variation::{
-    amplifier_gain_spread, inverter_yield, ring_frequency_spread, scan_chain_yield,
+    amplifier_gain_spread, amplifier_gain_spread_mc, inverter_yield, inverter_yield_mc,
+    ring_frequency_spread, ring_frequency_spread_mc, scan_chain_yield, scan_chain_yield_mc,
     MonteCarloStats, VariationModel,
 };
 pub use waveform::{Trace, Waveform};

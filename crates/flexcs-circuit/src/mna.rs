@@ -335,13 +335,28 @@ impl<'a> Assembler<'a> {
     pub fn newton(
         &self,
         solver: &mut dyn LinearSolver,
-        mut x: Vec<f64>,
+        x: Vec<f64>,
         t: f64,
         companion: Option<(f64, &[f64])>,
         src_scale: f64,
     ) -> Result<Vec<f64>> {
+        self.newton_counted(solver, x, t, companion, src_scale)
+            .map(|(x, _)| x)
+    }
+
+    /// [`Assembler::newton`] additionally reporting the number of
+    /// Newton iterations (= Jacobian factorizations) used — the metric
+    /// warm-start accounting in the Monte-Carlo engine is built on.
+    pub fn newton_counted(
+        &self,
+        solver: &mut dyn LinearSolver,
+        mut x: Vec<f64>,
+        t: f64,
+        companion: Option<(f64, &[f64])>,
+        src_scale: f64,
+    ) -> Result<(Vec<f64>, usize)> {
         let mut last_residual = f64::INFINITY;
-        for _iter in 0..MAX_NEWTON {
+        for iter in 0..MAX_NEWTON {
             let f = solver.assemble_and_factor(self, &x, t, companion, src_scale)?;
             let res = f.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
             let mut delta = solver.solve(&f)?;
@@ -379,7 +394,7 @@ impl<'a> Assembler<'a> {
             }
             let dnorm = step * delta.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
             if dnorm < ABSTOL_V && res_new < ABSTOL_I {
-                return Ok(x);
+                return Ok((x, iter + 1));
             }
             last_residual = res_new;
         }
@@ -407,20 +422,76 @@ impl<'a> Assembler<'a> {
 }
 
 /// Source stepping: ramp all independent sources 0 → 1 in 20 Newton
-/// continuation steps.
+/// continuation steps. Returns the solution and the total Newton
+/// iterations spent across the continuation.
 fn source_stepping(
     asm: &Assembler,
     solver: &mut MnaSolver,
     x0: &[f64],
     t: f64,
-) -> Result<Vec<f64>> {
+) -> Result<(Vec<f64>, usize)> {
     let mut x = x0.to_vec();
+    let mut iters = 0;
     let steps = 20;
     for k in 1..=steps {
         let scale = k as f64 / steps as f64;
-        x = asm.newton(solver, x, t, None, scale)?;
+        let (xk, it) = asm.newton_counted(solver, x, t, None, scale)?;
+        x = xk;
+        iters += it;
     }
-    Ok(x)
+    Ok((x, iters))
+}
+
+/// A DC solve with full fallback cascade (plain Newton → source
+/// stepping → gmin stepping) run *in* a caller-supplied solver backend,
+/// optionally seeded from a warm-start iterate.
+///
+/// This is the Monte-Carlo engine's entry point: the solver carries a
+/// (possibly shared-symbolic) factorization cache across samples, and
+/// the seed — typically the nominal sample's solution — lets perturbed
+/// samples converge in a fraction of the cold iteration count. A seed
+/// of the wrong dimension is ignored; a seed that fails to converge
+/// falls back to the cold cascade, so warm starting never costs
+/// robustness.
+///
+/// Returns the raw unknown vector and the Newton iterations spent in
+/// the successful strategy (failed attempts are not counted — the
+/// figure feeds warm-vs-cold savings accounting, which compares
+/// converged trajectories).
+pub(crate) fn dc_solve_in(
+    ckt: &Circuit,
+    t: f64,
+    solver: &mut MnaSolver,
+    seed: Option<&[f64]>,
+) -> Result<(Vec<f64>, usize)> {
+    let mut asm = Assembler::new(ckt);
+    let dim = asm.dim();
+    if let Some(s) = seed {
+        if s.len() == dim {
+            if let Ok(found) = asm.newton_counted(solver, s.to_vec(), t, None, 1.0) {
+                return Ok(found);
+            }
+        }
+    }
+    let x0 = vec![0.0; dim];
+    if let Ok(found) = asm.newton_counted(solver, x0.clone(), t, None, 1.0) {
+        return Ok(found);
+    }
+    // Source stepping: ramp sources 0 → 1.
+    if let Ok(found) = source_stepping(&asm, solver, &x0, t) {
+        return Ok(found);
+    }
+    // Gmin stepping: start heavily loaded, relax to GMIN.
+    let mut x = x0;
+    let mut iters = 0;
+    for gmin in [1e-3, 1e-5, 1e-7, 1e-9, GMIN] {
+        asm.gmin = gmin;
+        let (xk, it) = asm.newton_counted(solver, x, t, None, 1.0)?;
+        x = xk;
+        iters += it;
+    }
+    asm.gmin = GMIN;
+    Ok((x, iters))
 }
 
 impl Circuit {
@@ -489,27 +560,13 @@ impl Circuit {
         t: f64,
         policy: SolverPolicy,
     ) -> Result<OperatingPoint> {
-        let mut asm = Assembler::new(self);
+        let asm = Assembler::new(self);
         // One backend for the whole solve: the netlist (and hence the
         // sparsity pattern) is fixed, so the sparse symbolic analysis is
         // shared across Newton restarts, source stepping and gmin
         // stepping (which change only values).
         let mut solver = MnaSolver::new(policy, asm.dim());
-        let x0 = vec![0.0; asm.dim()];
-        if let Ok(x) = asm.newton(&mut solver, x0.clone(), t, None, 1.0) {
-            return Ok(asm.package(&x));
-        }
-        // Source stepping: ramp sources 0 → 1.
-        if let Ok(x) = source_stepping(&asm, &mut solver, &x0, t) {
-            return Ok(asm.package(&x));
-        }
-        // Gmin stepping: start heavily loaded, relax to GMIN.
-        let mut x = x0;
-        for gmin in [1e-3, 1e-5, 1e-7, 1e-9, GMIN] {
-            asm.gmin = gmin;
-            x = asm.newton(&mut solver, x, t, None, 1.0)?;
-        }
-        asm.gmin = GMIN;
+        let (x, _) = dc_solve_in(self, t, &mut solver, None)?;
         Ok(asm.package(&x))
     }
 }

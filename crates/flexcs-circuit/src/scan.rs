@@ -185,6 +185,18 @@ impl ArrayScanResult {
         }
         Ok(out)
     }
+
+    /// All row-line voltages flattened cycle-major: element
+    /// `c * rows + r` is [`row_voltage(r, c)`](Self::row_voltage).
+    /// Benches and downstream decoders use this instead of re-deriving
+    /// the frame layout by hand.
+    pub fn flattened_voltages(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for frame in &self.frames {
+            out.extend_from_slice(frame);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +216,11 @@ mod tests {
         assert_eq!(res.measurements(&s).unwrap(), vec![0.0, 11.0, 12.0]);
         let wrong = ScanSchedule::from_selected(2, 2, &[]).unwrap();
         assert!(res.measurements(&wrong).is_err());
+        // Flattened layout is cycle-major: c * rows + r.
+        let flat = res.flattened_voltages();
+        assert_eq!(flat.len(), 9);
+        assert_eq!(flat[3 + 2], res.row_voltage(2, 1));
+        assert_eq!(flat[..3], [0.0, 1.0, 2.0]);
     }
 
     #[test]

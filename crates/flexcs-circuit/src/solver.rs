@@ -14,6 +14,7 @@ use crate::error::Result;
 use crate::mna::{Assembler, TripletStamper, ValueStamper};
 use crate::sparse::{CsrMatrix, SparseLu, SymbolicLu, Triplets};
 use flexcs_linalg::Lu;
+use std::sync::{Arc, Mutex};
 
 /// Dimension at and above which [`SolverPolicy::Auto`] switches from the
 /// dense to the sparse backend. Chosen from the `bench_circuit`
@@ -67,6 +68,7 @@ pub(crate) trait LinearSolver {
 #[derive(Debug, Default)]
 pub(crate) struct DenseSolver {
     lu: Option<Lu>,
+    factors: u64,
 }
 
 impl LinearSolver for DenseSolver {
@@ -80,12 +82,88 @@ impl LinearSolver for DenseSolver {
     ) -> Result<Vec<f64>> {
         let (j, f) = asm.assemble(x, t, companion, src_scale);
         self.lu = Some(Lu::factor(&j)?);
+        self.factors += 1;
         Ok(f)
     }
 
     fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let lu = self.lu.as_ref().expect("solve before factor");
         Ok(lu.solve(b)?)
+    }
+}
+
+/// The immutable symbolic side of one sparse assembly: the CSR pattern
+/// skeleton, the triplet-stream slot map, and the symbolic LU. Shared
+/// read-only across solvers via [`SymbolicShare`].
+#[derive(Debug)]
+struct SharedPattern {
+    /// Pattern skeleton; values are stale and fully overwritten by
+    /// every consumer's slot refill before use.
+    csr: CsrMatrix,
+    slots: Arc<Vec<usize>>,
+    sym: Arc<SymbolicLu>,
+    /// Triplet-stream length the pattern was built from — a cheap
+    /// fingerprint that catches a consumer stamping a different
+    /// netlist shape, which then falls back to a cold build.
+    tri_len: usize,
+}
+
+/// A handle that shares one netlist's symbolic analyses across many
+/// [`SparseSolver`] instances.
+///
+/// Monte-Carlo variation sweeps solve thousands of circuits with the
+/// *same topology* (hence the same sparsity pattern) and different
+/// device values. The first solver to assemble under a given companion
+/// mode publishes its pattern, slot map, and symbolic LU here; every
+/// later solver skips triplet sorting, matching, ordering, and symbolic
+/// fill entirely — it stamps values, refills through the shared slot
+/// map, and runs only the numeric factorization. Because the numeric
+/// phase is pivot-free and value refills accumulate duplicates in
+/// stamp order on both paths, a shared-symbolic factorization is
+/// **bit-identical** to a cold per-sample build.
+///
+/// Cloning is cheap (one `Arc`); all clones address the same slots.
+/// DC and transient assemblies have different patterns (capacitors
+/// only stamp in companion mode) and are cached independently.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolicShare {
+    inner: Arc<ShareInner>,
+}
+
+#[derive(Debug, Default)]
+struct ShareInner {
+    /// Index 0 = DC pattern, index 1 = transient (companion) pattern.
+    modes: [Mutex<Option<Arc<SharedPattern>>>; 2],
+}
+
+impl SymbolicShare {
+    /// Creates an empty share; patterns are published by the first
+    /// solver to assemble under each companion mode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(&self, companion_mode: bool) -> Option<Arc<SharedPattern>> {
+        self.inner.modes[companion_mode as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// First publisher wins; later publishers keep their private copy.
+    fn publish(&self, companion_mode: bool, pattern: Arc<SharedPattern>) {
+        let mut slot = self.inner.modes[companion_mode as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(pattern);
+        }
+    }
+
+    /// Whether a pattern has been published for the given companion
+    /// mode (`false` = DC, `true` = transient).
+    pub fn has_pattern(&self, companion_mode: bool) -> bool {
+        self.get(companion_mode).is_some()
     }
 }
 
@@ -96,8 +174,8 @@ impl LinearSolver for DenseSolver {
 #[derive(Debug)]
 struct SparseState {
     csr: CsrMatrix,
-    slots: Vec<usize>,
-    sym: SymbolicLu,
+    slots: Arc<Vec<usize>>,
+    sym: Arc<SymbolicLu>,
     lu: SparseLu,
     /// Reusable triplet-value buffer for slot refills.
     vals: Vec<f64>,
@@ -106,10 +184,64 @@ struct SparseState {
 }
 
 /// Sparse backend: triplet assembly, CSR with slot-map value refill, and
-/// the static-pivot sparse LU with symbolic reuse.
+/// the static-pivot sparse LU with symbolic reuse — optionally seeded
+/// from (and publishing to) a [`SymbolicShare`].
 #[derive(Debug, Default)]
 pub(crate) struct SparseSolver {
     state: Option<SparseState>,
+    share: Option<SymbolicShare>,
+    factors: u64,
+}
+
+impl SparseSolver {
+    fn with_share(share: Option<SymbolicShare>) -> Self {
+        SparseSolver {
+            state: None,
+            share,
+            factors: 0,
+        }
+    }
+
+    /// Builds state from a shared pattern when one exists and matches
+    /// this assembly's shape.
+    fn state_from_share(
+        &mut self,
+        asm: &Assembler<'_>,
+        x: &[f64],
+        t: f64,
+        companion: Option<(f64, &[f64])>,
+        src_scale: f64,
+    ) -> Option<Result<Vec<f64>>> {
+        let mode = companion.is_some();
+        let pat = self.share.as_ref()?.get(mode)?;
+        if pat.csr.dim() != asm.dim() {
+            return None;
+        }
+        let mut vals = Vec::with_capacity(pat.tri_len);
+        let f = asm.assemble_with(&mut ValueStamper(&mut vals), x, t, companion, src_scale);
+        if vals.len() != pat.tri_len {
+            // The netlist stamped a different stream shape than the
+            // published pattern; disown the share hit (the stamped
+            // values are value-only and cannot seed a cold build).
+            return None;
+        }
+        let mut csr = pat.csr.clone();
+        csr.set_values(&pat.slots, &vals);
+        let lu = match SparseLu::factor(&pat.sym, &csr) {
+            Ok(lu) => lu,
+            Err(e) => return Some(Err(e)),
+        };
+        self.factors += 1;
+        self.state = Some(SparseState {
+            csr,
+            slots: Arc::clone(&pat.slots),
+            sym: Arc::clone(&pat.sym),
+            lu,
+            vals,
+            companion_mode: mode,
+        });
+        Some(Ok(f))
+    }
 }
 
 impl LinearSolver for SparseSolver {
@@ -125,37 +257,54 @@ impl LinearSolver for SparseSolver {
         if self
             .state
             .as_ref()
-            .is_some_and(|s| s.companion_mode != mode)
+            .is_some_and(|s| s.companion_mode != mode || s.csr.dim() != asm.dim())
         {
             self.state = None;
         }
-        match &mut self.state {
-            None => {
-                let mut tri = Triplets::new(asm.dim());
-                let f =
-                    asm.assemble_with(&mut TripletStamper(&mut tri), x, t, companion, src_scale);
-                let (csr, slots) = CsrMatrix::from_triplets(&tri);
-                let sym = SymbolicLu::analyze(&csr)?;
-                let lu = SparseLu::factor(&sym, &csr)?;
-                self.state = Some(SparseState {
-                    csr,
-                    slots,
-                    sym,
-                    lu,
-                    vals: Vec::with_capacity(tri.len()),
-                    companion_mode: mode,
-                });
-                Ok(f)
-            }
-            Some(st) => {
-                st.vals.clear();
-                let f =
-                    asm.assemble_with(&mut ValueStamper(&mut st.vals), x, t, companion, src_scale);
+        if let Some(st) = &mut self.state {
+            st.vals.clear();
+            let f = asm.assemble_with(&mut ValueStamper(&mut st.vals), x, t, companion, src_scale);
+            if st.vals.len() == st.slots.len() {
                 st.csr.set_values(&st.slots, &st.vals);
                 st.lu.refactor(&st.sym, &st.csr)?;
-                Ok(f)
+                self.factors += 1;
+                return Ok(f);
             }
+            // Same dimension but a different stamp stream (a different
+            // netlist was handed to a pooled solver): rebuild cold.
+            self.state = None;
         }
+        if let Some(r) = self.state_from_share(asm, x, t, companion, src_scale) {
+            return r;
+        }
+        let mut tri = Triplets::new(asm.dim());
+        let f = asm.assemble_with(&mut TripletStamper(&mut tri), x, t, companion, src_scale);
+        let (csr, slots) = CsrMatrix::from_triplets(&tri);
+        let sym = SymbolicLu::analyze(&csr)?;
+        let lu = SparseLu::factor(&sym, &csr)?;
+        self.factors += 1;
+        let slots = Arc::new(slots);
+        let sym = Arc::new(sym);
+        if let Some(share) = &self.share {
+            share.publish(
+                mode,
+                Arc::new(SharedPattern {
+                    csr: csr.clone(),
+                    slots: Arc::clone(&slots),
+                    sym: Arc::clone(&sym),
+                    tri_len: tri.len(),
+                }),
+            );
+        }
+        self.state = Some(SparseState {
+            csr,
+            slots,
+            sym,
+            lu,
+            vals: Vec::with_capacity(tri.len()),
+            companion_mode: mode,
+        });
+        Ok(f)
     }
 
     fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
@@ -177,10 +326,28 @@ pub(crate) enum MnaSolver {
 impl MnaSolver {
     /// Creates the backend `policy` selects for a `dim`-unknown system.
     pub fn new(policy: SolverPolicy, dim: usize) -> MnaSolver {
+        Self::with_share(policy, dim, None)
+    }
+
+    /// Like [`MnaSolver::new`], additionally wiring a [`SymbolicShare`]
+    /// into the sparse backend so symbolic analyses are reused across
+    /// solvers of same-topology netlists. The dense backend ignores the
+    /// share.
+    pub fn with_share(policy: SolverPolicy, dim: usize, share: Option<SymbolicShare>) -> MnaSolver {
         if policy.use_sparse(dim) {
-            MnaSolver::Sparse(Box::default())
+            MnaSolver::Sparse(Box::new(SparseSolver::with_share(share)))
         } else {
             MnaSolver::Dense(DenseSolver::default())
+        }
+    }
+
+    /// Number of numeric factorizations performed over this solver's
+    /// lifetime (dense LU factors and sparse numeric (re)factors both
+    /// count; symbolic analyses do not).
+    pub fn factor_count(&self) -> u64 {
+        match self {
+            MnaSolver::Dense(s) => s.factors,
+            MnaSolver::Sparse(s) => s.factors,
         }
     }
 

@@ -99,6 +99,15 @@ impl CsrMatrix {
     /// Builds a CSR matrix from triplets (duplicates summed) and returns
     /// it together with the slot map: `slots[k]` is the CSR value index
     /// that triplet `k` contributes to.
+    ///
+    /// Duplicate entries are accumulated in *push order* — the same
+    /// order [`CsrMatrix::set_values`] uses — so a matrix built here is
+    /// bit-identical to one refilled through the slot map from the same
+    /// value stream. Floating-point addition is not associative, and
+    /// MNA diagonals collect three or more stamps; without a shared
+    /// accumulation order a cold build and a slot refill could differ in
+    /// the last ulp, which would break the Monte-Carlo engine's
+    /// cold-vs-shared bitwise-identity contract.
     pub fn from_triplets(t: &Triplets) -> (CsrMatrix, Vec<usize>) {
         let n = t.dim;
         let nt = t.len();
@@ -106,33 +115,29 @@ impl CsrMatrix {
         order.sort_unstable_by_key(|&k| (t.rows[k as usize], t.cols[k as usize]));
         let mut row_ptr = vec![0usize; n + 1];
         let mut cols = Vec::with_capacity(nt);
-        let mut vals = Vec::with_capacity(nt);
         let mut slots = vec![0usize; nt];
         let mut last: Option<(u32, u32)> = None;
         for &k in &order {
             let (i, j) = (t.rows[k as usize], t.cols[k as usize]);
             if last != Some((i, j)) {
                 cols.push(j);
-                vals.push(0.0);
                 row_ptr[i as usize + 1] += 1;
                 last = Some((i, j));
             }
-            let slot = vals.len() - 1;
-            vals[slot] += t.vals[k as usize];
-            slots[k as usize] = slot;
+            slots[k as usize] = cols.len() - 1;
         }
         for i in 0..n {
             row_ptr[i + 1] += row_ptr[i];
         }
-        (
-            CsrMatrix {
-                dim: n,
-                row_ptr,
-                cols,
-                vals,
-            },
-            slots,
-        )
+        let nnz = cols.len();
+        let mut m = CsrMatrix {
+            dim: n,
+            row_ptr,
+            cols,
+            vals: vec![0.0; nnz],
+        };
+        m.set_values(&slots, &t.vals);
+        (m, slots)
     }
 
     /// Matrix dimension.

@@ -1,0 +1,39 @@
+//! Telemetry shim: forwards Monte-Carlo engine statistics to
+//! `flexcs-telemetry` when the `telemetry` feature is on, and compiles
+//! to nothing when it is off. Call sites guard bookkeeping behind
+//! `if tel::enabled()`, a `const false` without the feature.
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    /// Whether a recorder is installed (one relaxed atomic load).
+    #[inline]
+    pub(crate) fn enabled() -> bool {
+        flexcs_telemetry::enabled()
+    }
+
+    #[inline]
+    pub(crate) fn counter(name: &str, delta: u64) {
+        flexcs_telemetry::counter(name, delta);
+    }
+
+    #[inline]
+    pub(crate) fn histogram(name: &str, value: f64) {
+        flexcs_telemetry::histogram(name, value);
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod imp {
+    #[inline(always)]
+    pub(crate) fn enabled() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub(crate) fn counter(_: &str, _: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn histogram(_: &str, _: f64) {}
+}
+
+pub(crate) use imp::*;

@@ -162,58 +162,75 @@ impl Circuit {
         config: &TransientConfig,
         policy: SolverPolicy,
     ) -> Result<TransientResult> {
-        config.validate()?;
-        let asm = Assembler::new(self);
-        let mut solver = MnaSolver::new(policy, asm.dim());
-        // Initial state.
-        let mut x = if config.start_from_dc {
-            let op = self.dc_operating_point_at_with(0.0, policy)?;
-            // Re-pack: free node voltages then branch currents.
-            let mut x0 = vec![0.0; asm.dim()];
-            x0[..asm.n_free].copy_from_slice(&op.voltages()[1..=asm.n_free]);
-            for (k, &e) in asm.vsrc_elements.iter().enumerate() {
-                x0[asm.n_free + k] = op
-                    .source_current(crate::netlist::ElementId(e))
-                    .unwrap_or(0.0);
-            }
-            x0
-        } else {
-            vec![0.0; asm.dim()]
-        };
-
-        let steps = (config.t_stop / config.dt).ceil() as usize;
-        let mut times = Vec::with_capacity(steps + 1);
-        let mut states = Vec::with_capacity(steps + 1);
-        let store = |x: &[f64], states: &mut Vec<Vec<f64>>| {
-            let mut v = vec![0.0; self.node_count()];
-            v[1..=asm.n_free].copy_from_slice(&x[..asm.n_free]);
-            states.push(v);
-        };
-        times.push(0.0);
-        store(&x, &mut states);
-        let mut t = 0.0;
-        for _ in 0..steps {
-            let t_next = (t + config.dt).min(config.t_stop);
-            // Accumulated rounding can leave a vanishing final step whose
-            // backward-Euler companion conductances (C/h) overflow.
-            if t_next - t <= config.dt * 1e-9 {
-                break;
-            }
-            let x_prev = x.clone();
-            // Backward Euler: solve at t_next with companion history.
-            // Sharp switching events (latch flips) may need recursively
-            // refined sub-steps.
-            x = step_recursive(&asm, &mut solver, &x_prev, t, t_next, 0)
-                .map_err(|_| CircuitError::TransientStepFailed { time: t_next })?;
-            t = t_next;
-            times.push(t);
-            store(&x, &mut states);
-            if t >= config.t_stop {
-                break;
-            }
-        }
-        Ok(TransientResult { times, states })
+        let mut solver = MnaSolver::new(policy, Assembler::new(self).dim());
+        transient_in(self, config, &mut solver, policy)
     }
+}
+
+/// [`Circuit::transient_with`] run *in* a caller-supplied solver
+/// backend. The Monte-Carlo engine uses this to carry a pooled
+/// (possibly shared-symbolic) solver across samples: the solver's
+/// cached pattern survives between transient runs of same-topology
+/// circuits, so only the first sample on a workspace pays the symbolic
+/// analysis. `policy` is used only for the initial DC solve when
+/// `config.start_from_dc` is set (the DC assembly has a different
+/// sparsity pattern and would thrash the transient solver's cache).
+pub(crate) fn transient_in(
+    ckt: &Circuit,
+    config: &TransientConfig,
+    solver: &mut MnaSolver,
+    policy: SolverPolicy,
+) -> Result<TransientResult> {
+    config.validate()?;
+    let asm = Assembler::new(ckt);
+    // Initial state.
+    let mut x = if config.start_from_dc {
+        let op = ckt.dc_operating_point_at_with(0.0, policy)?;
+        // Re-pack: free node voltages then branch currents.
+        let mut x0 = vec![0.0; asm.dim()];
+        x0[..asm.n_free].copy_from_slice(&op.voltages()[1..=asm.n_free]);
+        for (k, &e) in asm.vsrc_elements.iter().enumerate() {
+            x0[asm.n_free + k] = op
+                .source_current(crate::netlist::ElementId(e))
+                .unwrap_or(0.0);
+        }
+        x0
+    } else {
+        vec![0.0; asm.dim()]
+    };
+
+    let steps = (config.t_stop / config.dt).ceil() as usize;
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut states = Vec::with_capacity(steps + 1);
+    let store = |x: &[f64], states: &mut Vec<Vec<f64>>| {
+        let mut v = vec![0.0; ckt.node_count()];
+        v[1..=asm.n_free].copy_from_slice(&x[..asm.n_free]);
+        states.push(v);
+    };
+    times.push(0.0);
+    store(&x, &mut states);
+    let mut t = 0.0;
+    for _ in 0..steps {
+        let t_next = (t + config.dt).min(config.t_stop);
+        // Accumulated rounding can leave a vanishing final step whose
+        // backward-Euler companion conductances (C/h) overflow.
+        if t_next - t <= config.dt * 1e-9 {
+            break;
+        }
+        let x_prev = x.clone();
+        // Backward Euler: solve at t_next with companion history.
+        // Sharp switching events (latch flips) may need recursively
+        // refined sub-steps.
+        x = step_recursive(&asm, solver, &x_prev, t, t_next, 0)
+            .map_err(|_| CircuitError::TransientStepFailed { time: t_next })?;
+        t = t_next;
+        times.push(t);
+        store(&x, &mut states);
+        if t >= config.t_stop {
+            break;
+        }
+    }
+    Ok(TransientResult { times, states })
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use crate::amplifier::{build_self_biased_amplifier, AmplifierConfig};
 use crate::cells::CellLibrary;
 use crate::device::CntTftModel;
 use crate::error::Result;
+use crate::mc::{McEngine, McEngineConfig, McReport, McSample, McTrial};
 use crate::netlist::{Circuit, NodeId};
 use crate::solver::SolverPolicy;
 use crate::transient::TransientConfig;
@@ -37,39 +38,15 @@ impl Default for VariationModel {
     }
 }
 
-/// Deterministic per-trial RNG.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed.wrapping_add(0x9e3779b97f4a7c15))
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    }
-
-    fn uniform(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    fn gaussian(&mut self) -> f64 {
-        let u1 = self.uniform().max(1e-300);
-        let u2 = self.uniform();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-    }
-}
-
 impl VariationModel {
-    /// Draws a perturbed copy of a nominal device model.
-    fn perturb(&self, nominal: &CntTftModel, rng: &mut Rng) -> CntTftModel {
+    /// Applies standard-normal draws `(g_vth, g_kp)` to a nominal
+    /// model. Factored out so the Monte-Carlo engine's nominal pass can
+    /// feed zeros (an exactly unperturbed device) through the same
+    /// arithmetic as the sampled trials.
+    pub(crate) fn perturb_with(&self, nominal: &CntTftModel, g_vth: f64, g_kp: f64) -> CntTftModel {
         let mut m = nominal.clone();
-        m.vth_abs += self.vth_sigma * rng.gaussian();
-        m.kp *= (1.0 + self.kp_rel_sigma * rng.gaussian()).max(0.05);
+        m.vth_abs += self.vth_sigma * g_vth;
+        m.kp *= (1.0 + self.kp_rel_sigma * g_kp).max(0.05);
         m
     }
 }
@@ -100,9 +77,38 @@ impl MonteCarloStats {
         flexcs_linalg::vecops::mean(&self.values)
     }
 
-    /// Sample standard deviation of the metric.
+    /// Sample standard deviation of the metric. Zero or one sample has
+    /// no spread: the n ≤ 1 case returns exactly `0.0` rather than
+    /// relying on downstream conventions.
     pub fn std_dev(&self) -> f64 {
+        if self.values.len() <= 1 {
+            return 0.0;
+        }
         flexcs_linalg::vecops::std_dev(&self.values)
+    }
+
+    /// Linear-interpolated percentile of the metric, `p` in `[0, 100]`
+    /// (values outside are clamped). Returns NaN with no samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+    }
+
+    /// Median of the metric.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile of the metric.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
     }
 
     /// Smallest metric value.
@@ -120,11 +126,11 @@ impl MonteCarloStats {
 }
 
 /// Builds a pseudo-CMOS inverter whose four devices carry independent
-/// variation draws, returning `(circuit, input, output)`.
+/// variation draws, returning `(circuit, output)`.
 fn varied_inverter(
     variation: &VariationModel,
     vdd: f64,
-    rng: &mut Rng,
+    trial: &mut McTrial<'_>,
     vin: f64,
 ) -> Result<(Circuit, NodeId)> {
     let mut ckt = Circuit::new();
@@ -141,14 +147,14 @@ fn varied_inverter(
         v1,
         lib.vdd,
         sizing.drive,
-        variation.perturb(&nominal, rng),
+        trial.perturb(variation, &nominal),
     )?;
     ckt.add_tft_with_model(
         lib.vss,
         lib.vss,
         v1,
         sizing.load,
-        variation.perturb(&nominal, rng),
+        trial.perturb(variation, &nominal),
     )?;
     let out = ckt.fresh_node("out");
     ckt.add_tft_with_model(
@@ -156,22 +162,53 @@ fn varied_inverter(
         out,
         lib.vdd,
         sizing.out_drive,
-        variation.perturb(&nominal, rng),
+        trial.perturb(variation, &nominal),
     )?;
     ckt.add_tft_with_model(
         v1,
         NodeId::GROUND,
         out,
         sizing.out_load,
-        variation.perturb(&nominal, rng),
+        trial.perturb(variation, &nominal),
     )?;
     Ok((ckt, out))
+}
+
+/// [`inverter_yield`] on an explicit [`McEngine`], returning the full
+/// engine report.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn inverter_yield_mc(
+    engine: &McEngine,
+    variation: &VariationModel,
+    vdd: f64,
+    margin: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<McReport> {
+    engine.run(trials, seed, |trial| {
+        let (ckt_low, out_low) = varied_inverter(variation, vdd, trial, 0.0)?;
+        let v_high = trial.dc(&ckt_low)?.voltage(out_low);
+        let (ckt_high, out_high) = varied_inverter(variation, vdd, trial, vdd)?;
+        let v_low = trial.dc(&ckt_high)?.voltage(out_high);
+        // Note: the two ends use independent device draws; static yield
+        // is conservative under that pessimism.
+        Ok(McSample {
+            value: (v_high - vdd / 2.0).min(vdd / 2.0 - v_low),
+            pass: v_high > vdd - margin && v_low < margin,
+        })
+    })
 }
 
 /// Monte-Carlo yield of the pseudo-CMOS inverter's static logic levels:
 /// a trial passes when `V_out(0) > vdd − margin` and
 /// `V_out(vdd) < margin`. The metric recorded per trial is the *static
 /// noise margin proxy* `min(V_out(0) − vdd/2, vdd/2 − V_out(vdd))`.
+///
+/// Runs on the default [`McEngine`] (parallel, `SolverPolicy::Auto`,
+/// shared symbolic analysis, warm starts).
 ///
 /// # Errors
 ///
@@ -183,25 +220,35 @@ pub fn inverter_yield(
     trials: usize,
     seed: u64,
 ) -> Result<MonteCarloStats> {
-    let mut rng = Rng::new(seed);
-    let mut passes = 0;
-    let mut values = Vec::with_capacity(trials);
-    for _ in 0..trials {
-        let (ckt_low, out_low) = varied_inverter(variation, vdd, &mut rng, 0.0)?;
-        let v_high = ckt_low.dc_operating_point()?.voltage(out_low);
-        let (ckt_high, out_high) = varied_inverter(variation, vdd, &mut rng, vdd)?;
-        let v_low = ckt_high.dc_operating_point()?.voltage(out_high);
-        // Note: the two ends use independent device draws; static yield
-        // is conservative under that pessimism.
-        if v_high > vdd - margin && v_low < margin {
-            passes += 1;
-        }
-        values.push((v_high - vdd / 2.0).min(vdd / 2.0 - v_low));
-    }
-    Ok(MonteCarloStats {
-        trials,
-        passes,
-        values,
+    inverter_yield_mc(&McEngine::default(), variation, vdd, margin, trials, seed).map(|r| r.stats)
+}
+
+/// [`amplifier_gain_spread`] on an explicit [`McEngine`], returning the
+/// full engine report.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn amplifier_gain_spread_mc(
+    engine: &McEngine,
+    variation: &VariationModel,
+    freq: f64,
+    min_gain_db: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<McReport> {
+    engine.run(trials, seed ^ 0xa321, |trial| {
+        let mut ckt = Circuit::new();
+        let mut lib = CellLibrary::with_rails(&mut ckt, 3.0, -3.0);
+        lib.model = trial.perturb(variation, &CntTftModel::default());
+        let amp = build_self_biased_amplifier(&mut ckt, &lib, "vin", &AmplifierConfig::default())?;
+        let vin = ckt.find_node("vin")?;
+        let src = ckt.add_vsource(vin, NodeId::GROUND, Waveform::Dc(0.0));
+        let gain_db = ckt.ac_sweep(src, &[freq])?.gain_db(amp.output)[0];
+        Ok(McSample {
+            value: gain_db,
+            pass: gain_db >= min_gain_db,
+        })
     })
 }
 
@@ -210,7 +257,8 @@ pub fn inverter_yield(
 ///
 /// Device variation is applied to the library model per trial (all nine
 /// TFTs share the draw — the paper's amplifier is small enough that
-/// systematic variation dominates).
+/// systematic variation dominates). Runs on the default [`McEngine`];
+/// the AC sweep linearizes about an auto-policy DC operating point.
 ///
 /// # Errors
 ///
@@ -222,33 +270,52 @@ pub fn amplifier_gain_spread(
     trials: usize,
     seed: u64,
 ) -> Result<MonteCarloStats> {
-    let mut rng = Rng::new(seed ^ 0xa321);
-    let mut passes = 0;
-    let mut values = Vec::with_capacity(trials);
-    for _ in 0..trials {
-        let mut ckt = Circuit::new();
-        let mut lib = CellLibrary::with_rails(&mut ckt, 3.0, -3.0);
-        lib.model = variation.perturb(&CntTftModel::default(), &mut rng);
-        let amp = build_self_biased_amplifier(&mut ckt, &lib, "vin", &AmplifierConfig::default())?;
-        let vin = ckt.find_node("vin")?;
-        let src = ckt.add_vsource(vin, NodeId::GROUND, Waveform::Dc(0.0));
-        let gain_db = ckt.ac_sweep(src, &[freq])?.gain_db(amp.output)[0];
-        if gain_db >= min_gain_db {
-            passes += 1;
-        }
-        values.push(gain_db);
-    }
-    Ok(MonteCarloStats {
+    amplifier_gain_spread_mc(
+        &McEngine::default(),
+        variation,
+        freq,
+        min_gain_db,
         trials,
-        passes,
-        values,
+        seed,
+    )
+    .map(|r| r.stats)
+}
+
+/// [`ring_frequency_spread`] on an explicit [`McEngine`], returning the
+/// full engine report.
+///
+/// # Errors
+///
+/// See [`ring_frequency_spread`].
+pub fn ring_frequency_spread_mc(
+    engine: &McEngine,
+    variation: &VariationModel,
+    trials: usize,
+    seed: u64,
+) -> Result<McReport> {
+    engine.run(trials, seed ^ 0x0c111, |trial| {
+        let model = trial.perturb(variation, &CntTftModel::default());
+        match crate::ring_oscillator::ring_oscillator_frequency_with_model(
+            5, 3.0, 4e-3, 4e-6, model,
+        ) {
+            Ok(m) => Ok(McSample {
+                value: m.frequency,
+                pass: true,
+            }),
+            Err(_) => Ok(McSample {
+                value: 0.0,
+                pass: false,
+            }),
+        }
     })
 }
 
 /// Monte-Carlo spread of the five-stage ring-oscillator frequency — the
 /// paper's own process monitor ("44 five-stage ring oscillators"),
 /// reproduced statistically. Returns frequency samples in hertz; a
-/// trial passes when the ring oscillates at all.
+/// trial passes when the ring oscillates at all. Runs on the default
+/// [`McEngine`] (trials fan out across threads; the ring transient
+/// itself uses the auto-policy solver).
 ///
 /// # Errors
 ///
@@ -259,25 +326,72 @@ pub fn ring_frequency_spread(
     trials: usize,
     seed: u64,
 ) -> Result<MonteCarloStats> {
-    let mut rng = Rng::new(seed ^ 0x0c111);
-    let mut passes = 0;
-    let mut values = Vec::with_capacity(trials);
-    for _ in 0..trials {
-        let model = variation.perturb(&CntTftModel::default(), &mut rng);
-        match crate::ring_oscillator::ring_oscillator_frequency_with_model(
-            5, 3.0, 4e-3, 4e-6, model,
-        ) {
-            Ok(m) => {
-                passes += 1;
-                values.push(m.frequency);
-            }
-            Err(_) => values.push(0.0),
+    ring_frequency_spread_mc(&McEngine::default(), variation, trials, seed).map(|r| r.stats)
+}
+
+/// [`scan_chain_yield`] on an explicit [`McEngine`], returning the full
+/// engine report. The scan transient runs through the engine's pooled
+/// workspaces, so with symbolic sharing only the first trial on each
+/// workspace pays the sparse pattern analysis.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn scan_chain_yield_mc(
+    engine: &McEngine,
+    variation: &VariationModel,
+    cols: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<McReport> {
+    let vdd = 3.0;
+    let f_scan = 10e3;
+    let period = 1.0 / f_scan;
+    let flush = cols as f64;
+    engine.run(trials, seed ^ 0x5ca2, |trial| {
+        let mut ckt = Circuit::new();
+        let mut lib = CellLibrary::with_rails(&mut ckt, vdd, -vdd);
+        lib.model = trial.perturb(variation, &CntTftModel::default());
+        let clk = ckt.node("clk");
+        ckt.add_vsource(clk, NodeId::GROUND, Waveform::clock(0.0, vdd, f_scan));
+        // Token high for the one period straddling the flush-complete
+        // clock edge at t = cols·T, zero before (flush) and after.
+        let token = ckt.node("token");
+        ckt.add_vsource(
+            token,
+            NodeId::GROUND,
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: vdd,
+                delay: (flush - 0.9) * period,
+                rise: period * 0.02,
+                fall: period * 0.02,
+                width: period,
+                period: 0.0,
+            },
+        );
+        let sr = crate::shift_register::build_shift_register(&mut ckt, &lib, cols, token, clk)?;
+        let mut tconfig = TransientConfig::new(2.0 * flush * period, period / 50.0);
+        tconfig.start_from_dc = false;
+        let result = trial.transient(&ckt, &tconfig)?;
+        let mut margin = f64::INFINITY;
+        for cycle in 0..cols {
+            // Stage `c` carries the token during cycle `cols + c`.
+            let t = (flush + cycle as f64 + 0.9) * period;
+            let v_sel = result.trace(sr.outputs[cycle]).value_at(t).unwrap_or(0.0);
+            let v_other = sr
+                .outputs
+                .iter()
+                .enumerate()
+                .filter(|(s, _)| *s != cycle)
+                .map(|(_, &q)| result.trace(q).value_at(t).unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            margin = margin.min((v_sel - vdd / 2.0).min(vdd / 2.0 - v_other));
         }
-    }
-    Ok(MonteCarloStats {
-        trials,
-        passes,
-        values,
+        Ok(McSample {
+            value: margin,
+            pass: margin > 0.0,
+        })
     })
 }
 
@@ -308,63 +422,11 @@ pub fn scan_chain_yield(
     seed: u64,
     policy: SolverPolicy,
 ) -> Result<MonteCarloStats> {
-    let vdd = 3.0;
-    let f_scan = 10e3;
-    let period = 1.0 / f_scan;
-    let flush = cols as f64;
-    let mut rng = Rng::new(seed ^ 0x5ca2);
-    let mut passes = 0;
-    let mut values = Vec::with_capacity(trials);
-    for _ in 0..trials {
-        let mut ckt = Circuit::new();
-        let mut lib = CellLibrary::with_rails(&mut ckt, vdd, -vdd);
-        lib.model = variation.perturb(&CntTftModel::default(), &mut rng);
-        let clk = ckt.node("clk");
-        ckt.add_vsource(clk, NodeId::GROUND, Waveform::clock(0.0, vdd, f_scan));
-        // Token high for the one period straddling the flush-complete
-        // clock edge at t = cols·T, zero before (flush) and after.
-        let token = ckt.node("token");
-        ckt.add_vsource(
-            token,
-            NodeId::GROUND,
-            Waveform::Pulse {
-                v0: 0.0,
-                v1: vdd,
-                delay: (flush - 0.9) * period,
-                rise: period * 0.02,
-                fall: period * 0.02,
-                width: period,
-                period: 0.0,
-            },
-        );
-        let sr = crate::shift_register::build_shift_register(&mut ckt, &lib, cols, token, clk)?;
-        let mut tconfig = TransientConfig::new(2.0 * flush * period, period / 50.0);
-        tconfig.start_from_dc = false;
-        let result = ckt.transient_with(&tconfig, policy)?;
-        let mut margin = f64::INFINITY;
-        for cycle in 0..cols {
-            // Stage `c` carries the token during cycle `cols + c`.
-            let t = (flush + cycle as f64 + 0.9) * period;
-            let v_sel = result.trace(sr.outputs[cycle]).value_at(t).unwrap_or(0.0);
-            let v_other = sr
-                .outputs
-                .iter()
-                .enumerate()
-                .filter(|(s, _)| *s != cycle)
-                .map(|(_, &q)| result.trace(q).value_at(t).unwrap_or(0.0))
-                .fold(0.0f64, f64::max);
-            margin = margin.min((v_sel - vdd / 2.0).min(vdd / 2.0 - v_other));
-        }
-        if margin > 0.0 {
-            passes += 1;
-        }
-        values.push(margin);
-    }
-    Ok(MonteCarloStats {
-        trials,
-        passes,
-        values,
-    })
+    let engine = McEngine::new(McEngineConfig {
+        policy,
+        ..McEngineConfig::default()
+    });
+    scan_chain_yield_mc(&engine, variation, cols, trials, seed).map(|r| r.stats)
 }
 
 #[cfg(test)]
@@ -468,5 +530,46 @@ mod tests {
             values: vec![],
         };
         assert_eq!(empty.yield_fraction(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_sorted_values() {
+        let s = MonteCarloStats {
+            trials: 4,
+            passes: 4,
+            // Unsorted on purpose: percentile sorts a copy.
+            values: vec![4.0, 1.0, 3.0, 2.0],
+        };
+        assert_eq!(s.p50(), 2.5);
+        assert!((s.p95() - 3.85).abs() < 1e-12, "p95 = {}", s.p95());
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        let one = MonteCarloStats {
+            trials: 1,
+            passes: 1,
+            values: vec![7.0],
+        };
+        assert_eq!(one.p50(), 7.0);
+        assert_eq!(one.p95(), 7.0);
+        // n <= 1: standard deviation is defined as zero, not NaN.
+        assert_eq!(one.std_dev(), 0.0);
+        let empty = MonteCarloStats {
+            trials: 0,
+            passes: 0,
+            values: vec![],
+        };
+        assert_eq!(empty.std_dev(), 0.0);
+        assert!(empty.p50().is_nan());
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        // Same seed => bit-identical stats (values, passes, everything);
+        // different seed => different draw stream.
+        let a = inverter_yield(&VariationModel::default(), 3.0, 0.6, 6, 77).unwrap();
+        let b = inverter_yield(&VariationModel::default(), 3.0, 0.6, 6, 77).unwrap();
+        assert_eq!(a, b);
+        let c = inverter_yield(&VariationModel::default(), 3.0, 0.6, 6, 78).unwrap();
+        assert_ne!(a.values, c.values);
     }
 }

@@ -162,6 +162,40 @@ where
     out
 }
 
+/// Fallible [`par_map_indices_with`]: maps `f` over `0..count` on a
+/// scoped thread pool and returns all results in index order, or the
+/// error of the **lowest-index** failing job.
+///
+/// Every job still runs (workers are not cancelled mid-sweep), so the
+/// returned error is deterministic — independent of scheduling and
+/// thread count — which lets Monte-Carlo sweeps report the same
+/// failing sample whether they run serially or on a full pool.
+///
+/// # Errors
+///
+/// Returns the error produced by the smallest failing index.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn try_par_map_indices_with<R, E, F>(
+    threads: usize,
+    count: usize,
+    f: F,
+) -> std::result::Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> std::result::Result<R, E> + Sync,
+{
+    let results = par_map_indices_with(threads, count, f);
+    let mut out = Vec::with_capacity(count);
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
 /// Maps `f` over a slice on a scoped thread pool, returning results in
 /// input order. Deterministic under the same contract as
 /// [`par_map_indices`].
