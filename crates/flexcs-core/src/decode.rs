@@ -109,6 +109,16 @@ impl DecodeWarmState {
     pub fn clear(&mut self) {
         self.warm.clear();
     }
+
+    /// Adopts externally produced basis coefficients (vectorized, length
+    /// `rows·cols`) as the carried solution for an operator of the given
+    /// `(measurements, coefficients)` shape. The adaptive decode tier
+    /// uses this to seed the next warm FISTA solve from a greedy
+    /// fast-tier result, so a cheap event decode still primes the
+    /// following delta decodes.
+    pub fn absorb_coefficients(&mut self, shape: (usize, usize), coefficients: &[f64]) {
+        self.warm.absorb_solution(shape, coefficients);
+    }
 }
 
 /// A reconstruction: the frame, its DCT coefficients and solver
@@ -163,7 +173,7 @@ impl Decoder {
         selected: &[usize],
         y: &[f64],
     ) -> Result<Reconstruction> {
-        self.reconstruct_inner(rows, cols, selected, y, None)
+        self.reconstruct_inner(rows, cols, selected, y, None, None)
     }
 
     /// [`Decoder::reconstruct`] with cross-solve warm starting: the
@@ -184,7 +194,29 @@ impl Decoder {
         y: &[f64],
         state: &mut DecodeWarmState,
     ) -> Result<Reconstruction> {
-        self.reconstruct_inner(rows, cols, selected, y, Some(state))
+        self.reconstruct_inner(rows, cols, selected, y, Some(state), None)
+    }
+
+    /// [`Decoder::reconstruct_warm`] with a per-call solver override:
+    /// the decode runs `solver` instead of the configured one, while
+    /// basis, plan cache and λ-scaling behave exactly as usual. The
+    /// adaptive tier derives its delta (budget-capped FISTA) and
+    /// event-greedy (OMP) decodes from the session solver this way
+    /// without rebuilding the decoder.
+    ///
+    /// # Errors
+    ///
+    /// See [`Decoder::reconstruct`].
+    pub fn reconstruct_with_solver(
+        &self,
+        solver: &SparseSolver,
+        rows: usize,
+        cols: usize,
+        selected: &[usize],
+        y: &[f64],
+        state: &mut DecodeWarmState,
+    ) -> Result<Reconstruction> {
+        self.reconstruct_inner(rows, cols, selected, y, Some(state), Some(solver))
     }
 
     fn reconstruct_inner(
@@ -194,6 +226,7 @@ impl Decoder {
         selected: &[usize],
         y: &[f64],
         warm: Option<&mut DecodeWarmState>,
+        solver_override: Option<&SparseSolver>,
     ) -> Result<Reconstruction> {
         if tel::enabled() {
             // Tag every decode with the micro-kernel tier that produced
@@ -206,7 +239,7 @@ impl Decoder {
         let op = SubsampledDctOperator::with_plan(rows, cols, selected.to_vec(), self.basis, plan)?;
         // Scale λ for LASSO-type solvers relative to the measurement
         // correlations so behaviour is signal-amplitude invariant.
-        let solver = self.scaled_solver(&op, y);
+        let solver = self.scaled_solver(solver_override.unwrap_or(&self.solver), &op, y);
         drop(setup_span);
         let solve_span = tel::span("decode.solve");
         let recovery = match warm {
@@ -239,7 +272,7 @@ impl Decoder {
     /// and caches a fresh one. Shared plans are safe across threads —
     /// `Dct2d` falls back to transient scratch under contention — so
     /// parallel resample rounds all borrow the same tables.
-    fn plan_for(&self, rows: usize, cols: usize) -> Result<Arc<Dct2d>> {
+    pub(crate) fn plan_for(&self, rows: usize, cols: usize) -> Result<Arc<Dct2d>> {
         let mut cache = self.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(plan) = cache.as_ref() {
             if plan.shape() == (rows, cols) {
@@ -251,19 +284,24 @@ impl Decoder {
         Ok(plan)
     }
 
-    fn scaled_solver(&self, op: &SubsampledDctOperator, y: &[f64]) -> SparseSolver {
+    fn scaled_solver(
+        &self,
+        base: &SparseSolver,
+        op: &SubsampledDctOperator,
+        y: &[f64],
+    ) -> SparseSolver {
         let correlation_scale = || {
             let aty = op.apply_transpose(y);
             flexcs_linalg::vecops::norm_inf(&aty)
         };
-        match &self.solver {
+        match base {
             SparseSolver::Fista(cfg) | SparseSolver::Ista(cfg) => {
                 let scale = correlation_scale();
                 let mut scaled = cfg.clone();
                 if scale > 0.0 {
                     scaled.lambda = cfg.lambda * scale;
                 }
-                match &self.solver {
+                match base {
                     SparseSolver::Fista(_) => SparseSolver::Fista(scaled),
                     _ => SparseSolver::Ista(scaled),
                 }

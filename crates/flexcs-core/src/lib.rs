@@ -48,6 +48,7 @@
 // through.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+mod adaptive;
 mod basisop;
 mod blocks;
 mod comm;
@@ -63,6 +64,9 @@ mod sampling;
 mod strategy;
 mod tel;
 
+pub use adaptive::{
+    AdaptiveConfig, AdaptivePipeline, ChangeDetector, DecodeTier, FrameClass, TierCounts,
+};
 pub use basisop::{BasisKind, SubsampledDctOperator};
 pub use blocks::{
     BlockGrid, BlockGridConfig, BlockMeasurement, BlockMeasurements, BlockOutcome, BlockPipeline,

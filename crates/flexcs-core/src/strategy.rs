@@ -11,6 +11,7 @@
 //! - [`SamplingStrategy::RpcaFilter`]: detect outliers with RPCA first,
 //!   exclude them, then sample and reconstruct (Fig. 6c "RPCA").
 
+use crate::adaptive::{AdaptiveConfig, AdaptivePipeline, TierCounts};
 use crate::decode::{DecodeWarmState, Decoder, Reconstruction};
 use crate::error::Result;
 use crate::inject::detect_extremes;
@@ -138,14 +139,7 @@ impl SamplingStrategy {
                 let plan = SamplingPlan::random_subset(n, m_eff, &excluded, seed)?;
                 let y = plan.measure(&flat);
                 drop(sampling_span);
-                let rec = decode_subset(
-                    decoder,
-                    rows,
-                    cols,
-                    plan.selected(),
-                    &y,
-                    warm_of(&mut state),
-                )?;
+                let rec = decode_subset(decoder, rows, cols, plan.selected(), &y, &mut state)?;
                 let stats = ReconstructStats {
                     solver_iterations: rec.report.iterations,
                     converged: rec.report.converged,
@@ -158,14 +152,7 @@ impl SamplingStrategy {
                 let plan = SamplingPlan::random_subset(n, m_eff, indices, seed)?;
                 let y = plan.measure(&flat);
                 drop(sampling_span);
-                let rec = decode_subset(
-                    decoder,
-                    rows,
-                    cols,
-                    plan.selected(),
-                    &y,
-                    warm_of(&mut state),
-                )?;
+                let rec = decode_subset(decoder, rows, cols, plan.selected(), &y, &mut state)?;
                 let stats = ReconstructStats {
                     solver_iterations: rec.report.iterations,
                     converged: rec.report.converged,
@@ -177,14 +164,7 @@ impl SamplingStrategy {
                 let plan = SamplingPlan::random_subset(n, m, &[], seed)?;
                 let y = plan.measure(&flat);
                 drop(sampling_span);
-                let rec = decode_subset(
-                    decoder,
-                    rows,
-                    cols,
-                    plan.selected(),
-                    &y,
-                    warm_of(&mut state),
-                )?;
+                let rec = decode_subset(decoder, rows, cols, plan.selected(), &y, &mut state)?;
                 let stats = ReconstructStats {
                     solver_iterations: rec.report.iterations,
                     converged: rec.report.converged,
@@ -266,14 +246,7 @@ impl SamplingStrategy {
                 let plan = SamplingPlan::random_subset(n, m_eff, &excluded, seed)?;
                 let y = plan.measure(&flat);
                 drop(sampling_span);
-                let rec = decode_subset(
-                    decoder,
-                    rows,
-                    cols,
-                    plan.selected(),
-                    &y,
-                    warm_of(&mut state),
-                )?;
+                let rec = decode_subset(decoder, rows, cols, plan.selected(), &y, &mut state)?;
                 let stats = ReconstructStats {
                     solver_iterations: rec.report.iterations,
                     converged: rec.report.converged,
@@ -289,28 +262,38 @@ fn warm_of<'a>(state: &'a mut Option<&mut SessionState>) -> Option<&'a mut Decod
     state.as_deref_mut().and_then(|s| s.decode_warm.as_mut())
 }
 
-/// Decodes one sampled subset, warm-started when the session carries
-/// decode state.
+/// Decodes one sampled subset: adaptively tier-gated when the session
+/// opted in, warm-started when it carries decode state, cold otherwise.
 fn decode_subset(
     decoder: &Decoder,
     rows: usize,
     cols: usize,
     selected: &[usize],
     y: &[f64],
-    warm: Option<&mut DecodeWarmState>,
+    state: &mut Option<&mut SessionState>,
 ) -> Result<Reconstruction> {
-    match warm {
-        Some(state) => decoder.reconstruct_warm(rows, cols, selected, y, state),
-        None => decoder.reconstruct(rows, cols, selected, y),
+    match state.as_deref_mut() {
+        Some(SessionState {
+            adaptive: Some(pipeline),
+            decode_warm: Some(warm),
+            ..
+        }) => Ok(pipeline.decode(decoder, rows, cols, selected, y, warm)?.0),
+        Some(SessionState {
+            decode_warm: Some(warm),
+            ..
+        }) => decoder.reconstruct_warm(rows, cols, selected, y, warm),
+        _ => decoder.reconstruct(rows, cols, selected, y),
     }
 }
 
 /// State a [`StrategySession`] carries across the frames of a sequence:
-/// the RPCA decomposition stream and (opt-in) decode-side warm starts.
+/// the RPCA decomposition stream, (opt-in) decode-side warm starts and
+/// the (opt-in) adaptive decode tier.
 #[derive(Debug, Clone)]
 struct SessionState {
     rpca_stream: RpcaStream,
     decode_warm: Option<DecodeWarmState>,
+    adaptive: Option<AdaptivePipeline>,
 }
 
 /// A strategy plus the state it carries across the frames of a
@@ -340,6 +323,7 @@ impl StrategySession {
             state: SessionState {
                 rpca_stream: RpcaStream::new(RpcaConfig::default()),
                 decode_warm: None,
+                adaptive: None,
             },
         }
     }
@@ -350,6 +334,30 @@ impl StrategySession {
     pub fn with_warm_decode(mut self) -> Self {
         self.state.decode_warm = Some(DecodeWarmState::new());
         self
+    }
+
+    /// Enables the event-driven adaptive decode tier (builder style):
+    /// each frame's decode is gated by the O(M) change detector and
+    /// routed to the cheapest tier — previous-frame reuse, a
+    /// budget-capped warm delta solve, the greedy fast tier, or the
+    /// full solver. Implies [`StrategySession::with_warm_decode`].
+    ///
+    /// The single-decode strategies (`ExcludeTested`, `ExcludeKnown`,
+    /// `Oblivious`, `RpcaFilter`) are gated; `ResampleMedian` decodes
+    /// several subsets per frame and keeps its dedicated warm chain.
+    #[must_use]
+    pub fn with_adaptive(mut self, config: AdaptiveConfig) -> Self {
+        if self.state.decode_warm.is_none() {
+            self.state.decode_warm = Some(DecodeWarmState::new());
+        }
+        self.state.adaptive = Some(AdaptivePipeline::new(config));
+        self
+    }
+
+    /// Per-tier frame counts of the adaptive decode tier, when enabled
+    /// via [`StrategySession::with_adaptive`].
+    pub fn adaptive_tiers(&self) -> Option<TierCounts> {
+        self.state.adaptive.as_ref().map(|p| p.tier_counts())
     }
 
     /// The wrapped strategy.

@@ -71,6 +71,6 @@ pub use eigen::SymmetricEigen;
 pub use error::{LinalgError, Result};
 pub use lu::{solve, Lu};
 pub use matrix::Matrix;
-pub use qr::{solve_least_squares, Qr};
+pub use qr::{solve_least_squares, Qr, QrScratch};
 pub use rsvd::{Rsvd, RsvdConfig};
 pub use svd::{spectral_norm_estimate, Svd};

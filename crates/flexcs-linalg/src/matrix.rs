@@ -137,6 +137,60 @@ impl Matrix {
         m
     }
 
+    /// Overwrites `self` with a copy of `other`, reusing the existing
+    /// allocation when capacity allows (the in-place analogue of
+    /// `clone`, for buffers recycled across solves).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Reshapes `self` to an all-zero `rows x cols` matrix, reusing the
+    /// existing allocation when capacity allows (the in-place analogue
+    /// of [`Matrix::zeros`]).
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Appends `col` as a new rightmost column, preserving all existing
+    /// entries. The row-major storage is re-packed back-to-front in
+    /// place, so the append is O(rows·cols) moves and allocation-free
+    /// once the underlying buffer has capacity — this is what lets an
+    /// incrementally-grown least-squares submatrix (e.g. OMP's support
+    /// matrix) avoid re-extracting every column on each refit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `col.len() !=
+    /// self.rows()`.
+    pub fn append_col(&mut self, col: &[f64]) -> Result<()> {
+        if col.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "append_col: column of length {} onto a matrix with {} rows",
+                col.len(),
+                self.rows
+            )));
+        }
+        let (m, k) = (self.rows, self.cols);
+        self.data.resize(m * (k + 1), 0.0);
+        // Walk rows bottom-up (and entries right-to-left) so every move
+        // writes ahead of all still-unmoved data: row i lands at offset
+        // i·(k+1) ≥ i·k, past the end of unmoved row i−1.
+        for i in (0..m).rev() {
+            for c in (0..k).rev() {
+                self.data[i * (k + 1) + c] = self.data[i * k + c];
+            }
+            self.data[i * (k + 1) + k] = col[i];
+        }
+        self.cols = k + 1;
+        Ok(())
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -747,6 +801,20 @@ mod tests {
 
     fn sample() -> Matrix {
         Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn append_col_grows_in_place_and_matches_rebuild() {
+        let mut grown = Matrix::zeros(3, 0);
+        let cols = [[1.0, 4.0, 7.0], [2.0, 5.0, 8.0], [3.0, 6.0, 9.0]];
+        for c in &cols {
+            grown.append_col(c).unwrap();
+        }
+        let rebuilt =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
+        assert_eq!(grown.as_slice(), rebuilt.as_slice());
+        assert_eq!(grown.shape(), (3, 3));
+        assert!(sample().append_col(&[1.0, 2.0, 3.0]).is_err());
     }
 
     #[test]

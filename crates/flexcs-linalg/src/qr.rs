@@ -51,49 +51,7 @@ impl Qr {
         }
         let mut qr = a.clone();
         let mut betas = Vec::with_capacity(n);
-        for k in 0..n {
-            // Householder vector for column k below row k.
-            let mut norm = 0.0;
-            for i in k..m {
-                norm += qr[(i, k)] * qr[(i, k)];
-            }
-            let norm = norm.sqrt();
-            if norm == 0.0 {
-                betas.push(0.0);
-                continue;
-            }
-            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
-            let v0 = qr[(k, k)] - alpha;
-            // v = (v0, a[k+1..m, k]); normalized so v[0] = 1.
-            let mut vsq = v0 * v0;
-            for i in (k + 1)..m {
-                vsq += qr[(i, k)] * qr[(i, k)];
-            }
-            if vsq == 0.0 {
-                betas.push(0.0);
-                continue;
-            }
-            let beta = 2.0 * v0 * v0 / vsq;
-            // Store normalized vector below the diagonal (v/v0, unit head).
-            for i in (k + 1)..m {
-                qr[(i, k)] /= v0;
-            }
-            qr[(k, k)] = alpha;
-            // Apply H to the remaining columns.
-            for j in (k + 1)..n {
-                let mut s = qr[(k, j)];
-                for i in (k + 1)..m {
-                    s += qr[(i, k)] * qr[(i, j)];
-                }
-                s *= beta;
-                qr[(k, j)] -= s;
-                for i in (k + 1)..m {
-                    let vik = qr[(i, k)];
-                    qr[(i, j)] -= s * vik;
-                }
-            }
-            betas.push(beta);
-        }
+        householder_factor_in_place(&mut qr, &mut betas);
         Ok(Qr { qr, betas })
     }
 
@@ -104,23 +62,8 @@ impl Qr {
 
     /// Applies `Qᵀ` to a vector of length `m`.
     fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
-        let (m, n) = self.qr.shape();
         let mut y = b.to_vec();
-        for k in 0..n {
-            let beta = self.betas[k];
-            if beta == 0.0 {
-                continue;
-            }
-            let mut s = y[k];
-            for i in (k + 1)..m {
-                s += self.qr[(i, k)] * y[i];
-            }
-            s *= beta;
-            y[k] -= s;
-            for i in (k + 1)..m {
-                y[i] -= s * self.qr[(i, k)];
-            }
-        }
+        apply_qt_in_place(&self.qr, &self.betas, &mut y);
         y
     }
 
@@ -131,7 +74,7 @@ impl Qr {
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != m`, or
     /// [`LinalgError::Singular`] when `A` is rank deficient.
     pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
-        let (m, n) = self.qr.shape();
+        let m = self.qr.rows();
         if b.len() != m {
             return Err(LinalgError::DimensionMismatch(format!(
                 "qr solve: expected rhs of length {m}, got {}",
@@ -139,21 +82,8 @@ impl Qr {
             )));
         }
         let y = self.apply_qt(b);
-        // Back substitution on R (n x n upper triangle). A diagonal entry
-        // tiny relative to the largest one signals rank deficiency.
-        let rmax = (0..n).fold(0.0_f64, |m, i| m.max(self.qr[(i, i)].abs()));
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.qr[(i, j)] * x[j];
-            }
-            let rii = self.qr[(i, i)];
-            if rii.abs() <= rmax * 1e-13 {
-                return Err(LinalgError::Singular { pivot: i });
-            }
-            x[i] = s / rii;
-        }
+        let mut x = Vec::new();
+        back_substitute(&self.qr, &y, &mut x)?;
         Ok(x)
     }
 
@@ -199,6 +129,192 @@ impl Qr {
         let (m, n) = self.qr.shape();
         let y = self.apply_qt(b);
         y[n..m].iter().map(|v| v * v).sum()
+    }
+}
+
+/// Householder factorization of the matrix held in `qr`, in place: R in
+/// the upper triangle, normalized reflector vectors below the diagonal.
+/// Shared by [`Qr::factor`] and [`QrScratch`] so both produce
+/// bit-identical factors.
+fn householder_factor_in_place(qr: &mut Matrix, betas: &mut Vec<f64>) {
+    let (m, n) = qr.shape();
+    betas.clear();
+    for k in 0..n {
+        // Householder vector for column k below row k.
+        let mut norm = 0.0;
+        for i in k..m {
+            norm += qr[(i, k)] * qr[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm == 0.0 {
+            betas.push(0.0);
+            continue;
+        }
+        let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+        let v0 = qr[(k, k)] - alpha;
+        // v = (v0, a[k+1..m, k]); normalized so v[0] = 1.
+        let mut vsq = v0 * v0;
+        for i in (k + 1)..m {
+            vsq += qr[(i, k)] * qr[(i, k)];
+        }
+        if vsq == 0.0 {
+            betas.push(0.0);
+            continue;
+        }
+        let beta = 2.0 * v0 * v0 / vsq;
+        // Store normalized vector below the diagonal (v/v0, unit head).
+        for i in (k + 1)..m {
+            qr[(i, k)] /= v0;
+        }
+        qr[(k, k)] = alpha;
+        // Apply H to the remaining columns.
+        for j in (k + 1)..n {
+            let mut s = qr[(k, j)];
+            for i in (k + 1)..m {
+                s += qr[(i, k)] * qr[(i, j)];
+            }
+            s *= beta;
+            qr[(k, j)] -= s;
+            for i in (k + 1)..m {
+                let vik = qr[(i, k)];
+                qr[(i, j)] -= s * vik;
+            }
+        }
+        betas.push(beta);
+    }
+}
+
+/// Applies `Qᵀ` (as stored reflectors) to `y` in place.
+fn apply_qt_in_place(qr: &Matrix, betas: &[f64], y: &mut [f64]) {
+    let (m, n) = qr.shape();
+    for k in 0..n {
+        let beta = betas[k];
+        if beta == 0.0 {
+            continue;
+        }
+        let mut s = y[k];
+        for i in (k + 1)..m {
+            s += qr[(i, k)] * y[i];
+        }
+        s *= beta;
+        y[k] -= s;
+        for i in (k + 1)..m {
+            y[i] -= s * qr[(i, k)];
+        }
+    }
+}
+
+/// Back substitution on the R factor's upper triangle; `x` is resized to
+/// `n`. A diagonal entry tiny relative to the largest one signals rank
+/// deficiency.
+fn back_substitute(qr: &Matrix, y: &[f64], x: &mut Vec<f64>) -> Result<()> {
+    let n = qr.cols();
+    let rmax = (0..n).fold(0.0_f64, |m, i| m.max(qr[(i, i)].abs()));
+    x.clear();
+    x.resize(n, 0.0);
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for j in (i + 1)..n {
+            s -= qr[(i, j)] * x[j];
+        }
+        let rii = qr[(i, i)];
+        if rii.abs() <= rmax * 1e-13 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / rii;
+    }
+    Ok(())
+}
+
+/// Reusable storage for repeated QR least-squares solves.
+///
+/// The greedy sparse solvers refit on a growing support every iteration;
+/// factoring through a scratch reuses the packed-factor matrix, reflector
+/// scalars and `Qᵀb` buffer across refits instead of allocating each
+/// time. Factors and solutions are bit-identical to [`Qr::factor`] +
+/// [`Qr::solve_least_squares`] — both run the same in-place routines.
+///
+/// # Examples
+///
+/// ```
+/// use flexcs_linalg::{Matrix, Qr, QrScratch};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let mut scratch = QrScratch::new();
+/// scratch.factor_from(&a)?;
+/// let mut x = Vec::new();
+/// scratch.solve_least_squares_into(&[1.0, 2.0, 3.0], &mut x)?;
+/// let reference = Qr::factor(&a)?.solve_least_squares(&[1.0, 2.0, 3.0])?;
+/// assert_eq!(x, reference);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrScratch {
+    qr: Matrix,
+    betas: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl QrScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        QrScratch {
+            qr: Matrix::zeros(0, 0),
+            betas: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Factors `a` into the scratch storage, reusing prior allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `a` has more columns
+    /// than rows.
+    pub fn factor_from(&mut self, a: &Matrix) -> Result<()> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "qr: need rows >= cols, got {m}x{n}"
+            )));
+        }
+        self.qr.copy_from(a);
+        householder_factor_in_place(&mut self.qr, &mut self.betas);
+        Ok(())
+    }
+
+    /// Shape `(m, n)` of the most recently factored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// Solves `min ||A·x - b||₂` against the held factorization, writing
+    /// the solution into `x` (resized to `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != m`, or
+    /// [`LinalgError::Singular`] when `A` is rank deficient.
+    pub fn solve_least_squares_into(&mut self, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
+        let (m, _) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "qr solve: expected rhs of length {m}, got {}",
+                b.len()
+            )));
+        }
+        self.y.clear();
+        self.y.extend_from_slice(b);
+        apply_qt_in_place(&self.qr, &self.betas, &mut self.y);
+        back_substitute(&self.qr, &self.y, x)
+    }
+}
+
+impl Default for QrScratch {
+    fn default() -> Self {
+        QrScratch::new()
     }
 }
 

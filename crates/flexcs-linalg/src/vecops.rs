@@ -156,9 +156,18 @@ pub fn soft_threshold_mut(a: &mut [f64], t: f64) {
 ///
 /// If `k >= a.len()`, returns all indices.
 pub fn top_k_indices(a: &[f64], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..a.len()).collect();
+    let mut idx = Vec::new();
+    top_k_indices_into(a, k, &mut idx);
+    idx
+}
+
+/// [`top_k_indices`] into a caller-provided buffer (cleared first), so
+/// repeated selections reuse the index storage. Results are identical.
+pub fn top_k_indices_into(a: &[f64], k: usize, idx: &mut Vec<usize>) {
+    idx.clear();
+    idx.extend(0..a.len());
     if k >= a.len() {
-        return idx;
+        return;
     }
     idx.select_nth_unstable_by(k, |&i, &j| {
         a[j].abs()
@@ -166,7 +175,6 @@ pub fn top_k_indices(a: &[f64], k: usize) -> Vec<usize> {
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     idx.truncate(k);
-    idx
 }
 
 /// Number of entries with magnitude strictly above `tol`.

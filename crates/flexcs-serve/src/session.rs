@@ -11,7 +11,10 @@
 //! how many workers the engine runs or which worker stole the batch.
 
 use crate::error::ServeError;
-use flexcs_core::{DecodeWarmState, Decoder, Reconstruction};
+use crate::tel;
+use flexcs_core::{
+    AdaptiveConfig, AdaptivePipeline, DecodeWarmState, Decoder, Reconstruction, TierCounts,
+};
 
 /// A frame submitted for decoding: measurements taken at a subset of
 /// pixel indices of a `rows x cols` frame (the paper's identity-subset
@@ -68,6 +71,14 @@ pub struct SessionConfig {
     /// warm starts). On by default; the first frame after a shape
     /// change runs cold automatically.
     pub warm_decode: bool,
+    /// Event-driven adaptive tier routing: when set, each frame is
+    /// gated by the O(M) change detector and served by the cheapest
+    /// tier (previous-frame reuse, budget-capped delta decode, greedy
+    /// fast tier, or full decode). Requires `warm_decode`; the
+    /// config's `frame_budget_us` doubles as the session's per-frame
+    /// latency budget. `None` (the default) decodes every frame in
+    /// full.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl SessionConfig {
@@ -77,6 +88,7 @@ impl SessionConfig {
             name: name.into(),
             decoder: Decoder::default(),
             warm_decode: true,
+            adaptive: None,
         }
     }
 
@@ -87,11 +99,33 @@ impl SessionConfig {
         self
     }
 
-    /// Disables cross-frame warm starts (builder style).
+    /// Disables cross-frame warm starts (builder style). Also drops any
+    /// adaptive tier routing, which depends on the warm state.
     #[must_use]
     pub fn cold(mut self) -> Self {
         self.warm_decode = false;
+        self.adaptive = None;
         self
+    }
+
+    /// Enables adaptive tier routing (builder style); implies warm
+    /// decodes.
+    #[must_use]
+    pub fn with_adaptive(mut self, config: AdaptiveConfig) -> Self {
+        self.warm_decode = true;
+        self.adaptive = Some(config);
+        self
+    }
+
+    /// Sets the per-frame latency budget of the adaptive tier in
+    /// microseconds (builder style): the delta tier's iteration budget
+    /// is steered to keep decode time under it. Enables adaptive
+    /// routing with defaults when not already configured.
+    #[must_use]
+    pub fn with_frame_budget_us(mut self, budget_us: f64) -> Self {
+        let mut cfg = self.adaptive.take().unwrap_or_default();
+        cfg.frame_budget_us = Some(budget_us);
+        self.with_adaptive(cfg)
     }
 }
 
@@ -108,6 +142,7 @@ pub struct Session {
     decoder: Decoder,
     warm: DecodeWarmState,
     warm_decode: bool,
+    adaptive: Option<AdaptivePipeline>,
     frames_decoded: u64,
 }
 
@@ -118,6 +153,7 @@ impl Session {
             decoder: config.decoder,
             warm: DecodeWarmState::new(),
             warm_decode: config.warm_decode,
+            adaptive: config.adaptive.map(AdaptivePipeline::new),
             frames_decoded: 0,
         }
     }
@@ -143,6 +179,23 @@ impl Session {
         (&self.decoder, &mut self.warm)
     }
 
+    /// Split borrow for adaptive decodes: decoder, warm state and the
+    /// tier pipeline (when the session enabled it).
+    pub fn adaptive_parts(
+        &mut self,
+    ) -> (
+        &Decoder,
+        &mut DecodeWarmState,
+        Option<&mut AdaptivePipeline>,
+    ) {
+        (&self.decoder, &mut self.warm, self.adaptive.as_mut())
+    }
+
+    /// Per-tier frame counts of the adaptive router, when enabled.
+    pub fn tier_counts(&self) -> Option<TierCounts> {
+        self.adaptive.as_ref().map(|p| p.tier_counts())
+    }
+
     /// Frames this session has decoded (successfully or not).
     pub fn frames_decoded(&self) -> u64 {
         self.frames_decoded
@@ -157,11 +210,14 @@ impl Session {
         self.frames_decoded += 1;
     }
 
-    /// Called after a decode panic: the workspace and carried solution
-    /// may be mid-update, so the next solve must run cold on fresh
-    /// buffers rather than inherit torn state.
+    /// Called after a decode panic: the workspace, carried solution and
+    /// adaptive reference frame may be mid-update, so the next solve
+    /// must run cold on fresh buffers rather than inherit torn state.
     pub(crate) fn reset_after_panic(&mut self) {
         self.warm = DecodeWarmState::new();
+        if let Some(pipeline) = self.adaptive.as_mut() {
+            pipeline.reset();
+        }
     }
 }
 
@@ -186,8 +242,11 @@ pub trait DecodeBackend: Send + Sync {
     ) -> flexcs_core::Result<Reconstruction>;
 }
 
-/// Default backend: the flexcs-core decoder, warm-started across the
-/// tenant's frames when the session asks for it.
+/// Default backend: the flexcs-core decoder. Sessions with an adaptive
+/// tier route each frame through the change-gated pipeline (and emit
+/// `serve.tier.{static,delta,event_greedy,event_full}` counters);
+/// warm sessions seed from the previous solution; cold sessions decode
+/// from scratch.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WarmDecodeBackend;
 
@@ -198,7 +257,15 @@ impl DecodeBackend for WarmDecodeBackend {
         session: &mut Session,
     ) -> flexcs_core::Result<Reconstruction> {
         if session.warm_decode() {
-            let (decoder, warm) = session.warm_parts();
+            let (decoder, warm, adaptive) = session.adaptive_parts();
+            if let Some(pipeline) = adaptive {
+                let (rec, tier) =
+                    pipeline.decode(decoder, req.rows, req.cols, &req.selected, &req.y, warm)?;
+                if tel::enabled() {
+                    tel::counter(&format!("serve.tier.{}", tier.name()), 1);
+                }
+                return Ok(rec);
+            }
             decoder.reconstruct_warm(req.rows, req.cols, &req.selected, &req.y, warm)
         } else {
             session
@@ -250,5 +317,96 @@ mod tests {
         assert_eq!(s.frames_decoded(), 1);
         s.reset_after_panic();
         assert_eq!(s.warm_starts(), 0);
+    }
+
+    use flexcs_core::SamplingPlan;
+    use flexcs_linalg::Matrix;
+    use flexcs_transform::Dct2d;
+
+    /// A DCT-sparse 8x8 frame whose dominant coefficient scales with
+    /// `dc`, plus its measurements under a fixed plan.
+    fn frame_request(dc: f64) -> FrameRequest {
+        let dct = Dct2d::new(8, 8).unwrap();
+        let mut coeffs = Matrix::zeros(8, 8);
+        coeffs[(0, 0)] = 5.0 * dc;
+        coeffs[(0, 1)] = 2.0;
+        coeffs[(1, 0)] = -1.5;
+        coeffs[(2, 2)] = 1.0;
+        let frame = dct.inverse(&coeffs).unwrap();
+        let plan = SamplingPlan::random_subset(64, 40, &[], 23).unwrap();
+        FrameRequest {
+            rows: 8,
+            cols: 8,
+            selected: plan.selected().to_vec(),
+            y: plan.measure(&frame.to_flat()),
+        }
+    }
+
+    #[test]
+    fn adaptive_session_routes_static_and_delta_tiers() {
+        let mut s = Session::new(
+            SessionConfig::named("adaptive").with_adaptive(flexcs_core::AdaptiveConfig::default()),
+        );
+        let backend = WarmDecodeBackend;
+        let hold = frame_request(1.0);
+        backend.decode(&hold, &mut s).unwrap(); // event (first frame)
+        backend.decode(&hold, &mut s).unwrap(); // static
+        backend.decode(&hold, &mut s).unwrap(); // static
+        backend.decode(&frame_request(1.12), &mut s).unwrap(); // drift
+        let counts = s.tier_counts().unwrap();
+        assert_eq!(counts.static_frames, 2, "{counts:?}");
+        assert_eq!(counts.delta, 1, "{counts:?}");
+        assert_eq!(counts.event_greedy + counts.event_full, 1, "{counts:?}");
+    }
+
+    #[test]
+    fn static_tier_returns_previous_reconstruction() {
+        let mut s = Session::new(
+            SessionConfig::named("adaptive").with_adaptive(flexcs_core::AdaptiveConfig::default()),
+        );
+        let backend = WarmDecodeBackend;
+        let hold = frame_request(1.0);
+        let first = backend.decode(&hold, &mut s).unwrap();
+        let second = backend.decode(&hold, &mut s).unwrap();
+        assert_eq!(first.frame.as_slice(), second.frame.as_slice());
+        assert_eq!(s.tier_counts().unwrap().static_frames, 1);
+    }
+
+    #[test]
+    fn cold_builder_drops_adaptive_routing() {
+        let cfg = SessionConfig::named("t")
+            .with_adaptive(flexcs_core::AdaptiveConfig::default())
+            .cold();
+        assert!(cfg.adaptive.is_none());
+        assert!(!cfg.warm_decode);
+        let s = Session::new(cfg);
+        assert!(s.tier_counts().is_none());
+    }
+
+    #[test]
+    fn frame_budget_builder_enables_adaptive() {
+        let cfg = SessionConfig::named("t").with_frame_budget_us(500.0);
+        let adaptive = cfg.adaptive.as_ref().unwrap();
+        assert_eq!(adaptive.frame_budget_us, Some(500.0));
+        assert!(cfg.warm_decode);
+    }
+
+    #[test]
+    fn panic_reset_forgets_adaptive_reference_frame() {
+        let mut s = Session::new(
+            SessionConfig::named("adaptive").with_adaptive(flexcs_core::AdaptiveConfig::default()),
+        );
+        let backend = WarmDecodeBackend;
+        let hold = frame_request(1.0);
+        backend.decode(&hold, &mut s).unwrap();
+        backend.decode(&hold, &mut s).unwrap();
+        assert_eq!(s.tier_counts().unwrap().static_frames, 1);
+        s.reset_after_panic();
+        // The reference frame is gone: the identical measurements must
+        // decode in full again rather than reuse possibly-torn state.
+        backend.decode(&hold, &mut s).unwrap();
+        let counts = s.tier_counts().unwrap();
+        assert_eq!(counts.static_frames, 1, "{counts:?}");
+        assert_eq!(counts.event_greedy + counts.event_full, 2, "{counts:?}");
     }
 }

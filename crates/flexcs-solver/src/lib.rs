@@ -62,13 +62,16 @@ mod workspace;
 
 pub use admm::{admm_basis_pursuit, admm_basis_pursuit_in, admm_bpdn, admm_bpdn_in, AdmmConfig};
 pub use error::{Result, SolverError};
-pub use greedy::{cosamp, omp, subspace_pursuit, GreedyConfig};
+pub use greedy::{
+    cosamp, cosamp_in, omp, omp_in, subspace_pursuit, subspace_pursuit_in, GreedyConfig,
+    GreedyWorkspace,
+};
 pub use irls::{irls, irls_in, IrlsConfig};
 pub use ista::{fista, fista_in, fista_warm, ista, ista_in, ista_warm, IstaConfig};
 pub use lp::{lp_basis_pursuit, LpConfig};
 pub use op::{
-    check_measurements, dense_submatrix, power_iteration_norm, DenseOperator, LinearOperator,
-    NormCache,
+    check_measurements, dense_submatrix, dense_submatrix_into, power_iteration_norm, DenseOperator,
+    LinearOperator, NormCache,
 };
 pub use report::{Recovery, SolveReport};
 pub use reweighted::{reweighted_l1, reweighted_l1_in, ReweightedConfig};

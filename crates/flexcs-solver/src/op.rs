@@ -294,17 +294,31 @@ impl LinearOperator for DenseOperator {
 ///
 /// Used by the greedy solvers for least-squares refits.
 pub fn dense_submatrix(op: &dyn LinearOperator, support: &[usize]) -> Matrix {
-    let m = op.rows();
-    let mut sub = Matrix::zeros(m, support.len());
+    let mut sub = Matrix::zeros(0, 0);
     let mut basis = Vec::new();
     let mut col = Vec::new();
+    dense_submatrix_into(op, support, &mut sub, &mut basis, &mut col);
+    sub
+}
+
+/// [`dense_submatrix`] into caller-provided storage: `sub` is reshaped
+/// to `m x support.len()` and `basis`/`col` are the column extraction
+/// scratch, all reused across calls. Entries are identical.
+pub fn dense_submatrix_into(
+    op: &dyn LinearOperator,
+    support: &[usize],
+    sub: &mut Matrix,
+    basis: &mut Vec<f64>,
+    col: &mut Vec<f64>,
+) {
+    let m = op.rows();
+    sub.reset_zeros(m, support.len());
     for (sj, &j) in support.iter().enumerate() {
-        op.column_into(j, &mut basis, &mut col);
+        op.column_into(j, basis, col);
         for i in 0..m {
             sub[(i, sj)] = col[i];
         }
     }
-    sub
 }
 
 #[cfg(test)]

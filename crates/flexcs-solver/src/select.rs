@@ -5,7 +5,9 @@
 
 use crate::admm::{admm_basis_pursuit, admm_basis_pursuit_in, admm_bpdn, admm_bpdn_in, AdmmConfig};
 use crate::error::Result;
-use crate::greedy::{cosamp, omp, subspace_pursuit, GreedyConfig};
+use crate::greedy::{
+    cosamp, cosamp_in, omp, omp_in, subspace_pursuit, subspace_pursuit_in, GreedyConfig,
+};
 use crate::irls::{irls, irls_in, IrlsConfig};
 use crate::ista::{fista, fista_in, fista_warm, ista, ista_in, ista_warm, IstaConfig};
 use crate::lp::{lp_basis_pursuit, LpConfig};
@@ -79,9 +81,10 @@ impl SparseSolver {
     }
 
     /// [`SparseSolver::solve`] with a caller-provided [`SolveWorkspace`]
-    /// for the iterative solvers, which then run allocation-free inner
-    /// loops with bit-identical results. The greedy and LP solvers do
-    /// not use the workspace and behave exactly like [`solve`].
+    /// for the iterative and greedy solvers, which then run
+    /// allocation-free inner loops with bit-identical results. The LP
+    /// solver does not use the workspace and behaves exactly like
+    /// [`solve`].
     ///
     /// [`solve`]: SparseSolver::solve
     ///
@@ -95,6 +98,9 @@ impl SparseSolver {
         ws: &mut SolveWorkspace,
     ) -> Result<Recovery> {
         match self {
+            SparseSolver::Omp(c) => omp_in(op, b, c, &mut ws.greedy),
+            SparseSolver::Cosamp(c) => cosamp_in(op, b, c, &mut ws.greedy),
+            SparseSolver::SubspacePursuit(c) => subspace_pursuit_in(op, b, c, &mut ws.greedy),
             SparseSolver::Ista(c) => ista_in(op, b, c, ws),
             SparseSolver::Fista(c) => fista_in(op, b, c, ws),
             SparseSolver::AdmmBpdn(c) => admm_bpdn_in(op, b, c, ws),
@@ -128,6 +134,31 @@ impl SparseSolver {
             SparseSolver::Fista(c) => fista_warm(op, b, c, ws, warm),
             other => other.solve_in(op, b, ws),
         }
+    }
+
+    /// Returns a copy of this solver with its iteration budget capped at
+    /// `budget` (outer rounds for reweighted L1). The adaptive decode
+    /// tier uses this to derive a cheap partial-decode solver for
+    /// `Delta` frames from the session's full-decode configuration.
+    #[must_use]
+    pub fn with_iteration_budget(&self, budget: usize) -> Self {
+        let budget = budget.max(1);
+        let mut capped = self.clone();
+        match &mut capped {
+            SparseSolver::Omp(c) | SparseSolver::Cosamp(c) | SparseSolver::SubspacePursuit(c) => {
+                c.max_iterations = c.max_iterations.min(budget);
+            }
+            SparseSolver::Ista(c) | SparseSolver::Fista(c) => {
+                c.max_iterations = c.max_iterations.min(budget);
+            }
+            SparseSolver::AdmmBpdn(c) | SparseSolver::AdmmBasisPursuit(c) => {
+                c.max_iterations = c.max_iterations.min(budget);
+            }
+            SparseSolver::Irls(c) => c.max_iterations = c.max_iterations.min(budget),
+            SparseSolver::LpBasisPursuit(c) => c.max_iterations = c.max_iterations.min(budget),
+            SparseSolver::ReweightedL1(c) => c.rounds = c.rounds.min(budget),
+        }
+        capped
     }
 
     /// Short machine-friendly name (used by the bench harness tables).

@@ -39,8 +39,14 @@ mod imp {
         flexcs_telemetry::counter(name, delta);
     }
 
-    /// Records the completion of one solve.
+    /// Records the completion of one solve. The name `format!`s are
+    /// heap traffic, so bail before them when no recorder is installed
+    /// — the greedy `*_in` paths are allocation-free after warm-up and
+    /// the alloc tests hold that bar with the feature compiled in.
     pub(crate) fn solve_done(solver: &'static str, iterations: usize, converged: bool) {
+        if !enabled() {
+            return;
+        }
         flexcs_telemetry::counter(&format!("solver.{solver}.solves"), 1);
         if converged {
             flexcs_telemetry::counter(&format!("solver.{solver}.converged"), 1);

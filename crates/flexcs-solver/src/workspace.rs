@@ -23,6 +23,7 @@
 //! `solver.restarts` / `solver.warm.saved_iterations` telemetry
 //! counters.
 
+use crate::greedy::GreedyWorkspace;
 use crate::op::{LinearOperator, NormCache};
 use crate::tel;
 use flexcs_linalg::Matrix;
@@ -81,6 +82,10 @@ pub struct SolveWorkspace {
     pub(crate) w_m: Vec<f64>,
     /// Dense `m×m` Gram system reused by IRLS across outer iterations.
     pub(crate) gram: Option<Matrix>,
+    /// Arena for the greedy solvers (support mask, correlation buffer,
+    /// refit scratch), so `SparseSolver::solve_in` runs OMP/CoSaMP/SP
+    /// allocation-free too.
+    pub(crate) greedy: GreedyWorkspace,
 }
 
 impl SolveWorkspace {
@@ -181,6 +186,20 @@ impl WarmStart {
     /// carried.
     pub(crate) fn seed(&self, n: usize) -> Option<&[f64]> {
         self.x0.as_deref().filter(|x| x.len() == n)
+    }
+
+    /// Replaces the carried solution with an externally produced one —
+    /// e.g. a greedy fast-tier decode — so the next warm solve over an
+    /// operator of the given `(rows, cols)` shape seeds from it. A shape
+    /// change clears the stale cached norm first; counters survive.
+    pub fn absorb_solution(&mut self, shape: (usize, usize), x: &[f64]) {
+        if self.shape != Some(shape) {
+            self.clear();
+            self.shape = Some(shape);
+        }
+        let buf = self.x0.get_or_insert_with(Vec::new);
+        buf.clear();
+        buf.extend_from_slice(x);
     }
 
     /// Records that a solve consumed the carried seed.

@@ -1,0 +1,134 @@
+//! Proof that the greedy `*_in` solvers are allocation-free after
+//! warm-up.
+//!
+//! A counting global allocator measures heap traffic around a second
+//! solve through an already-warmed [`GreedyWorkspace`]. The only
+//! allocations allowed are the ones that build the returned `Recovery`
+//! (the scattered solution vector and its support metadata) — the inner
+//! loop itself (correlation scan, merges, QR refits) must not touch the
+//! allocator once the arena has grown to the problem's high-water mark.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+use flexcs_linalg::Matrix;
+use flexcs_solver::{
+    cosamp_in, omp_in, subspace_pursuit_in, DenseOperator, GreedyConfig, GreedyWorkspace,
+    LinearOperator, Recovery, Result,
+};
+
+fn gaussian_op(m: usize, n: usize, seed: u64) -> DenseOperator {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let scale = 1.0 / (m as f64).sqrt();
+    DenseOperator::new(Matrix::from_fn(m, n, |_, _| {
+        let u1 = next().max(1e-300);
+        let u2 = next();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * scale
+    }))
+}
+
+fn sparse_truth(n: usize, k: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut x = vec![0.0; n];
+    let mut placed = 0;
+    while placed < k {
+        let idx = (next() * n as f64) as usize % n;
+        if x[idx] == 0.0 {
+            x[idx] = if next() < 0.5 { -1.0 } else { 1.0 } * (1.0 + next());
+            placed += 1;
+        }
+    }
+    x
+}
+
+/// Allocation count of a warmed repeat solve. The result `Recovery`
+/// accounts for a handful of allocations (solution vector, report
+/// plumbing); anything beyond that budget means the inner loop leaked
+/// per-iteration allocations.
+fn warmed_allocations(
+    solver: fn(
+        &dyn LinearOperator,
+        &[f64],
+        &GreedyConfig,
+        &mut GreedyWorkspace,
+    ) -> Result<Recovery>,
+) -> u64 {
+    let (m, n, k) = (40, 100, 5);
+    let op = gaussian_op(m, n, 9);
+    let x = sparse_truth(n, k, 10);
+    let b = op.apply(&x);
+    let cfg = GreedyConfig::with_sparsity(k);
+    let mut ws = GreedyWorkspace::new();
+    // Warm-up: grows every buffer to the high-water mark.
+    let warm = solver(&op, &b, &cfg, &mut ws).unwrap();
+    let before = allocations();
+    let repeat = solver(&op, &b, &cfg, &mut ws).unwrap();
+    let during = allocations() - before;
+    assert_eq!(warm.x, repeat.x, "warmed repeat must be bit-identical");
+    during
+}
+
+#[test]
+fn omp_in_is_allocation_free_after_warmup() {
+    let allocs = warmed_allocations(omp_in);
+    assert!(allocs <= 4, "omp_in allocated {allocs} times after warm-up");
+}
+
+#[test]
+fn cosamp_in_is_allocation_free_after_warmup() {
+    let allocs = warmed_allocations(cosamp_in);
+    assert!(
+        allocs <= 4,
+        "cosamp_in allocated {allocs} times after warm-up"
+    );
+}
+
+#[test]
+fn subspace_pursuit_in_is_allocation_free_after_warmup() {
+    let allocs = warmed_allocations(subspace_pursuit_in);
+    assert!(
+        allocs <= 4,
+        "subspace_pursuit_in allocated {allocs} times after warm-up"
+    );
+}

@@ -2,9 +2,10 @@
 
 use flexcs_linalg::{vecops, Matrix};
 use flexcs_solver::{
-    admm_basis_pursuit, admm_bpdn, admm_bpdn_in, fista, fista_in, fista_warm, irls,
-    lp_basis_pursuit, omp, AdmmConfig, DenseOperator, GreedyConfig, IrlsConfig, IstaConfig,
-    LinearOperator, LpConfig, SolveWorkspace, WarmStart,
+    admm_basis_pursuit, admm_bpdn, admm_bpdn_in, cosamp, cosamp_in, fista, fista_in, fista_warm,
+    irls, lp_basis_pursuit, omp, omp_in, subspace_pursuit, subspace_pursuit_in, AdmmConfig,
+    DenseOperator, GreedyConfig, GreedyWorkspace, IrlsConfig, IstaConfig, LinearOperator, LpConfig,
+    SolveWorkspace, WarmStart,
 };
 use proptest::prelude::*;
 
@@ -194,6 +195,33 @@ proptest! {
     }
 
     #[test]
+    fn greedy_workspace_reuse_is_bit_identical_to_wrappers(seed in 0u64..200, k in 1usize..6) {
+        // One GreedyWorkspace carried across all three greedy solvers
+        // and two problem instances: every *_in result must match the
+        // allocating wrapper bit for bit, including iteration counts.
+        let (m, n) = (10 * k + 10, 20 * k + 16);
+        let mut ws = GreedyWorkspace::new();
+        for round in 0..2u64 {
+            let op = gaussian_op(m, n, seed + round * 17);
+            let x = sparse_truth(n, k, seed + 11 + round);
+            let b = op.apply(&x);
+            let cfg = GreedyConfig::with_sparsity(k);
+            let a = omp(&op, &b, &cfg).unwrap();
+            let a_in = omp_in(&op, &b, &cfg, &mut ws).unwrap();
+            prop_assert_eq!(a.x, a_in.x);
+            prop_assert_eq!(a.report.iterations, a_in.report.iterations);
+            let c = cosamp(&op, &b, &cfg).unwrap();
+            let c_in = cosamp_in(&op, &b, &cfg, &mut ws).unwrap();
+            prop_assert_eq!(c.x, c_in.x);
+            prop_assert_eq!(c.report.iterations, c_in.report.iterations);
+            let s = subspace_pursuit(&op, &b, &cfg).unwrap();
+            let s_in = subspace_pursuit_in(&op, &b, &cfg, &mut ws).unwrap();
+            prop_assert_eq!(s.x, s_in.x);
+            prop_assert_eq!(s.report.iterations, s_in.report.iterations);
+        }
+    }
+
+    #[test]
     fn operator_scaling_scales_recovery(seed in 0u64..200, alpha in 0.1..5.0f64) {
         // Solving with measurements α·b recovers α·x for basis pursuit
         // (positive homogeneity of the L1 problem).
@@ -211,5 +239,42 @@ proptest! {
         let diff = vecops::norm2(&vecops::sub(&scaled_x, &r2.x));
         let scale = alpha * vecops::norm2(&r1.x);
         prop_assert!(diff < 2e-2 * scale.max(1e-9), "diff {diff} at scale {scale}");
+    }
+}
+
+proptest! {
+    // Fewer cases: the near-exact FISTA reference solve (λ = 1e-6,
+    // tol = 1e-12) is by far the most expensive solve in this file.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn omp_matches_fista_on_truly_sparse_signals(seed in 0u64..100, k in 1usize..5) {
+        // On genuinely K-sparse signals with a comfortable measurement
+        // margin, a converged OMP must land on the FISTA answer: same
+        // support and a residual within tolerance — the property the
+        // adaptive decode tier's greedy routing relies on.
+        let (m, n) = (14 * k + 16, 24 * k + 24);
+        let op = gaussian_op(m, n, seed.wrapping_mul(7) + 3);
+        let x = sparse_truth(n, k, seed + 13);
+        let b = op.apply(&x);
+        let greedy = omp(&op, &b, &GreedyConfig::with_sparsity(k)).unwrap();
+        if greedy.report.converged {
+            prop_assert!(greedy.report.residual_norm <= 1e-6 * vecops::norm2(&b));
+            let mut cfg = IstaConfig::with_lambda(1e-6);
+            cfg.max_iterations = 30_000;
+            cfg.tol = 1e-12;
+            let convex = fista(&op, &b, &cfg).unwrap();
+            // Same support: the K largest-magnitude FISTA entries sit
+            // exactly where OMP put its atoms (true entries are >= 1,
+            // spurious LASSO shrinkage residue is far smaller).
+            let mut greedy_support = vecops::top_k_indices(&greedy.x, k);
+            let mut convex_support = vecops::top_k_indices(&convex.x, k);
+            greedy_support.sort_unstable();
+            convex_support.sort_unstable();
+            prop_assert_eq!(greedy_support, convex_support);
+            // And the same coefficients to within the LASSO bias.
+            let diff = vecops::norm2(&vecops::sub(&greedy.x, &convex.x));
+            prop_assert!(diff < 5e-2 * vecops::norm2(&x), "diff {diff}");
+        }
     }
 }

@@ -8,7 +8,9 @@
 # agreement on the overlapping 8x8 size), and the block-tiled
 # megapixel decode benchmark (DCT scratch fan-out, 256x256
 # tiled-vs-untiled parity, 1024x1024 end-to-end with pooled
-# workspaces and the RPCA block-mean defect map).
+# workspaces and the RPCA block-mean defect map), and the tactile-video
+# adaptive-decode benchmark (change-gated tier routing vs warm-FISTA
+# decode-everything on a scripted 32x32 stream).
 #
 # Intermediate output is staged under the git-ignored artifacts/
 # directory so an interrupted run never leaves a half-written tracked
@@ -25,11 +27,12 @@ if ! command -v cargo >/dev/null 2>&1; then
 fi
 
 mkdir -p artifacts
-cargo build --release -p flexcs-bench --bin decode_baseline --bin bench_serve --bin bench_mna --bin bench_blocks
+cargo build --release -p flexcs-bench --bin decode_baseline --bin bench_serve --bin bench_mna --bin bench_blocks --bin bench_video
 ./target/release/decode_baseline > artifacts/decode_baseline.json
 ./target/release/bench_serve > artifacts/bench_serve.json
 ./target/release/bench_mna > artifacts/bench_mna.json
 ./target/release/bench_blocks > artifacts/bench_blocks.json
+./target/release/bench_video > artifacts/bench_video.json
 python3 - <<'PY'
 import json
 
@@ -40,6 +43,8 @@ with open("artifacts/bench_serve.json") as f:
 with open("artifacts/bench_mna.json") as f:
     merged.update(json.load(f))
 with open("artifacts/bench_blocks.json") as f:
+    merged.update(json.load(f))
+with open("artifacts/bench_video.json") as f:
     merged.update(json.load(f))
 with open("artifacts/BENCH_decode.json", "w") as f:
     json.dump(merged, f, indent=2)
